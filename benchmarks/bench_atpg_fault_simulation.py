@@ -1,0 +1,61 @@
+"""ATPG-FAULTSIM — the fault-simulation optimisation trade-off (paper §4.4).
+
+"The Orca program using this optimization is faster in absolute speed (by
+about a factor of 3), but it obtains inferior speedups.  This is partly due
+to the communication overhead, and partly to the fact that the static
+partitioning of work may now lead to a load balancing problem."
+
+The benchmark measures both variants on 1 and 8 processors and checks the
+trade-off: fault simulation is faster in absolute terms at every processor
+count, but its speedup curve is flatter than plain PODEM's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.atpg import random_circuit
+from repro.apps.atpg.orca_atpg import run_atpg_program
+
+from conftest import SCALE, run_once
+
+NUM_GATES = 120 if SCALE == "paper" else 50
+
+
+@pytest.mark.benchmark(group="atpg-faultsim")
+def test_fault_simulation_tradeoff(benchmark):
+    circuit = random_circuit(num_inputs=8, num_gates=NUM_GATES, num_outputs=5, seed=19)
+
+    def experiment():
+        runs = {}
+        for use_sim in (False, True):
+            for procs in (1, 8):
+                runs[(use_sim, procs)] = run_atpg_program(
+                    circuit, num_procs=procs, use_fault_simulation=use_sim)
+        return runs
+
+    runs = run_once(benchmark, experiment)
+
+    plain_1, plain_8 = runs[(False, 1)], runs[(False, 8)]
+    sim_1, sim_8 = runs[(True, 1)], runs[(True, 8)]
+
+    # Absolute speed: the fault-simulation variant wins at both counts.
+    assert sim_1.elapsed < plain_1.elapsed
+    assert sim_8.elapsed < plain_8.elapsed
+    absolute_factor = plain_1.elapsed / sim_1.elapsed
+
+    # Speedup: the plain variant scales better (fault simulation's curve is flatter).
+    plain_speedup = plain_1.elapsed / plain_8.elapsed
+    sim_speedup = sim_1.elapsed / sim_8.elapsed
+    assert plain_speedup > sim_speedup
+
+    # Both reach (almost) the same coverage.
+    assert sim_8.value.covered >= plain_8.value.covered * 0.95
+
+    benchmark.extra_info["absolute_speed_factor_1cpu"] = round(absolute_factor, 2)
+    benchmark.extra_info["plain_speedup_8cpu"] = round(plain_speedup, 2)
+    benchmark.extra_info["faultsim_speedup_8cpu"] = round(sim_speedup, 2)
+    benchmark.extra_info["faultsim_communication_broadcasts"] = sim_8.rts["broadcast_writes"]
+    print(f"\nFault simulation: {absolute_factor:.2f}x faster in absolute terms "
+          f"(paper: ~3x); speedup on 8 CPUs {sim_speedup:.2f} vs {plain_speedup:.2f} "
+          f"for plain PODEM")

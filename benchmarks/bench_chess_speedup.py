@@ -1,0 +1,48 @@
+"""CHESS-SPEEDUP — Oracol speedup and search overhead (paper §4.3).
+
+"On 10 CPUs, we have measured speedups between 4.5 and 5.5.  Almost all of
+the overhead is search overhead, which means that the parallel program
+searches far more nodes than a sequential program does."  The benchmark runs
+the parallel alpha-beta program on 1 and 10 processors and checks both
+properties: a clearly sub-linear speedup and a node count that exceeds the
+single-processor search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.chess import random_tactical_position
+from repro.apps.chess.orca_chess import run_chess_program
+
+from conftest import SCALE, run_once
+
+DEPTH = 4 if SCALE == "paper" else 3
+NUM_POSITIONS = 2 if SCALE == "paper" else 1
+
+
+@pytest.mark.benchmark(group="chess-speedup")
+def test_chess_speedup_on_ten_cpus(benchmark):
+    positions = [random_tactical_position(seed=s, plies=6) for s in range(NUM_POSITIONS)]
+
+    def experiment():
+        one = run_chess_program(positions, num_procs=1, depth=DEPTH)
+        ten = run_chess_program(positions, num_procs=10, depth=DEPTH)
+        return one, ten
+
+    one, ten = run_once(benchmark, experiment)
+    assert one.value.scores == ten.value.scores
+
+    speedup = one.elapsed / ten.elapsed
+    overhead = ten.value.total_nodes / max(1, one.value.total_nodes)
+
+    # Paper shape: real speedup, but far from linear on 10 CPUs...
+    assert 1.5 < speedup < 9.0
+    # ...and the cause is search overhead: the parallel run expands more nodes.
+    assert overhead >= 1.0
+
+    benchmark.extra_info["depth"] = DEPTH
+    benchmark.extra_info["speedup_10cpu"] = round(speedup, 2)
+    benchmark.extra_info["search_overhead_node_ratio"] = round(overhead, 2)
+    print(f"\nChess speedup on 10 CPUs: {speedup:.2f} (paper: 4.5-5.5); "
+          f"search overhead {overhead:.2f}x nodes")

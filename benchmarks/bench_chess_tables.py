@@ -1,0 +1,52 @@
+"""CHESS-TABLES — shared versus local killer/transposition tables (paper §4.3).
+
+"Both the killer table and the transposition table can be implemented as
+local data structures or as shared objects. [...] For Oracol, we have
+determined that, especially for the killer table, shared tables are most
+efficient."  The benchmark runs the same parallel search with the tables
+shared (as replicated objects) and with the tables private to every worker,
+and compares elapsed time, nodes searched, and the communication the shared
+version pays for its advantage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.chess import random_tactical_position
+from repro.apps.chess.orca_chess import run_chess_program
+
+from conftest import SCALE, run_once
+
+DEPTH = 4 if SCALE == "paper" else 3
+NUM_PROCS = 10 if SCALE == "paper" else 6
+
+
+@pytest.mark.benchmark(group="chess-tables")
+def test_shared_vs_local_tables(benchmark):
+    positions = [random_tactical_position(seed=s, plies=6) for s in (3, 9)]
+
+    def experiment():
+        shared = run_chess_program(positions, num_procs=NUM_PROCS, depth=DEPTH,
+                                   shared_tables=True)
+        local = run_chess_program(positions, num_procs=NUM_PROCS, depth=DEPTH,
+                                  shared_tables=False)
+        return shared, local
+
+    shared, local = run_once(benchmark, experiment)
+
+    # Both variants find the same best scores ("differ in only a few lines").
+    assert shared.value.scores == local.value.scores
+    # Sharing the tables costs communication...
+    assert shared.rts["broadcast_writes"] > local.rts["broadcast_writes"]
+    # ...and lets workers reuse each other's work: no more nodes than local tables.
+    assert shared.value.total_nodes <= local.value.total_nodes
+
+    benchmark.extra_info["shared_elapsed"] = round(shared.elapsed, 4)
+    benchmark.extra_info["local_elapsed"] = round(local.elapsed, 4)
+    benchmark.extra_info["shared_nodes"] = shared.value.total_nodes
+    benchmark.extra_info["local_nodes"] = local.value.total_nodes
+    benchmark.extra_info["shared_broadcasts"] = shared.rts["broadcast_writes"]
+    benchmark.extra_info["local_broadcasts"] = local.rts["broadcast_writes"]
+    print(f"\nShared tables: {shared.elapsed:.3f}s / {shared.value.total_nodes} nodes; "
+          f"local tables: {local.elapsed:.3f}s / {local.value.total_nodes} nodes")

@@ -1,0 +1,91 @@
+"""PB-BB — the two reliable broadcast protocols (paper §3.1).
+
+"In PB, each message appears in full on the network twice [...] However,
+only the second of these is broadcast, so each user machine is only
+interrupted once.  In BB, the full message only appears once on the network,
+plus a very short Accept message [...] every machine is interrupted twice.
+Thus PB wastes bandwidth to reduce interrupts compared to BB.  The present
+implementation [...] dynamically chooses either PB or BB, using the former
+for short messages and the latter for long ones (over 1 packet)."
+
+The benchmark sweeps the message size, measures wire bytes and per-receiver
+interrupts under each protocol, and checks the dynamic selection rule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amoeba.cluster import Cluster
+from repro.config import ClusterConfig, CostModel
+from repro.metrics.report import format_table
+
+from conftest import run_once
+
+NUM_NODES = 8
+BROADCASTS = 25
+SIZES = [200, 1000, 2000, 6000]
+
+
+def measure(method: str, size: int):
+    cost_model = CostModel().with_overrides(broadcast={"method": method})
+    cluster = Cluster(ClusterConfig(num_nodes=NUM_NODES, seed=7, cost_model=cost_model))
+    try:
+        group = cluster.broadcast_group
+        for node in cluster.nodes:
+            group.set_delivery_handler(node.node_id, lambda d: None)
+        for _ in range(BROADCASTS):
+            group.broadcast_from(2, payload=b"x", size=size)
+        elapsed = cluster.run()
+        receiver = cluster.node(6)  # neither sender (2) nor sequencer (0)
+        return {
+            "wire_bytes": cluster.network.stats.wire_bytes,
+            "interrupts_per_bcast": receiver.nic.stats.interrupts / BROADCASTS,
+            "delivered": group.delivered_counts()[6],
+            "elapsed": elapsed,
+        }
+    finally:
+        cluster.shutdown()
+
+
+@pytest.mark.benchmark(group="pb-vs-bb")
+def test_pb_vs_bb_bandwidth_and_interrupts(benchmark):
+    def experiment():
+        rows = {}
+        for size in SIZES:
+            rows[size] = {method: measure(method, size) for method in ("pb", "bb", "auto")}
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = []
+    for size in SIZES:
+        pb, bb = rows[size]["pb"], rows[size]["bb"]
+        # Everybody delivers everything under both protocols.
+        assert pb["delivered"] == bb["delivered"] == BROADCASTS
+        # PB carries the data twice: roughly double the wire bytes of BB.
+        assert pb["wire_bytes"] > 1.5 * bb["wire_bytes"] * (size / (size + 100))
+        # PB interrupts each receiver once per broadcast; BB twice.
+        assert pb["interrupts_per_bcast"] < bb["interrupts_per_bcast"]
+        table.append([str(size), str(pb["wire_bytes"]), str(bb["wire_bytes"]),
+                      f"{pb['interrupts_per_bcast']:.1f}", f"{bb['interrupts_per_bcast']:.1f}"])
+
+    # Dynamic selection: short messages behave like PB, long ones like BB.
+    short_auto = rows[SIZES[0]]["auto"]
+    long_auto = rows[SIZES[-1]]["auto"]
+    assert abs(short_auto["interrupts_per_bcast"] -
+               rows[SIZES[0]]["pb"]["interrupts_per_bcast"]) < 0.01
+    assert long_auto["interrupts_per_bcast"] > short_auto["interrupts_per_bcast"]
+
+    benchmark.extra_info["table"] = {
+        str(size): {
+            "pb_wire_bytes": rows[size]["pb"]["wire_bytes"],
+            "bb_wire_bytes": rows[size]["bb"]["wire_bytes"],
+            "pb_interrupts": rows[size]["pb"]["interrupts_per_bcast"],
+            "bb_interrupts": rows[size]["bb"]["interrupts_per_bcast"],
+        }
+        for size in SIZES
+    }
+    print()
+    print(format_table(
+        ["msg bytes", "PB wire bytes", "BB wire bytes", "PB intr/recv", "BB intr/recv"],
+        table, title="§3.1 — PB vs BB"))

@@ -1,0 +1,99 @@
+"""RW-RATIO — when does replication pay off? (paper §2 and ref. [3])
+
+"Whether replication can be done efficiently in software depends on two
+factors.  The first is the ratio of reads to writes. [...] The gain from
+making reads cheap generally results in a major gain in performance."
+
+The benchmark runs the same shared-counter workload under three object
+managements — the fully replicated broadcast RTS, a central-server (single
+copy, every remote access is an RPC), and a page-based DSM baseline — while
+sweeping the read fraction, and checks the crossover: replication wins
+decisively for read-mostly objects and loses its advantage as writes dominate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.central_server import CentralServerRts
+from repro.baselines.ivy_dsm import run_ivy_workload
+from repro.config import ClusterConfig
+from repro.metrics.report import format_table
+from repro.orca.builtin_objects import IntObject
+from repro.orca.program import OrcaProgram
+
+from conftest import run_once
+
+NUM_PROCS = 8
+OPS_PER_WORKER = 40
+READ_FRACTIONS = [0.99, 0.9, 0.7, 0.4, 0.1]
+
+
+def shared_counter_main(proc, read_fraction: float):
+    shared = proc.new_object(IntObject, 0)
+
+    def worker(wproc, obj, worker_id=0):
+        state = worker_id * 2654435761 + 1
+        for _ in range(OPS_PER_WORKER):
+            wproc.compute(200)
+            state = (state * 1103515245 + 12345) % 2**31
+            if (state % 1000) / 1000.0 < read_fraction:
+                obj.read()
+            else:
+                obj.add(1)
+
+    proc.join_all(proc.fork_workers(worker, shared))
+    return shared.read()
+
+
+def run_rts(kind: str, read_fraction: float) -> float:
+    config = ClusterConfig(num_nodes=NUM_PROCS, seed=13)
+    if kind == "replicated":
+        program = OrcaProgram(shared_counter_main, config, rts="broadcast")
+    elif kind == "central":
+        program = OrcaProgram(shared_counter_main, config, rts="p2p",
+                              rts_options={"dynamic_replication": False})
+        program._build_runtime = lambda cluster: CentralServerRts(cluster)  # type: ignore[method-assign]
+    else:
+        raise ValueError(kind)
+    return program.run(read_fraction).elapsed
+
+
+@pytest.mark.benchmark(group="rw-ratio")
+def test_replication_pays_off_for_read_mostly_objects(benchmark):
+    def experiment():
+        rows = []
+        for read_fraction in READ_FRACTIONS:
+            replicated = run_rts("replicated", read_fraction)
+            central = run_rts("central", read_fraction)
+            ivy = run_ivy_workload(num_nodes=NUM_PROCS, ops_per_worker=OPS_PER_WORKER,
+                                   read_fraction=read_fraction, seed=13)
+            rows.append((read_fraction, replicated, central, ivy))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    by_fraction = {rf: (rep, cen, ivy) for rf, rep, cen, ivy in rows}
+    # Read-mostly: full replication clearly beats both baselines.
+    rep, cen, ivy = by_fraction[0.99]
+    assert rep < cen / 2
+    assert rep < ivy
+    # Write-heavy: replication's advantage over the central server disappears
+    # (broadcasting every write to 8 machines is no longer worth it).
+    rep_w, cen_w, _ivy_w = by_fraction[0.1]
+    assert rep_w > cen_w * 0.5
+    advantage_read_mostly = cen / rep
+    advantage_write_heavy = cen_w / rep_w
+    assert advantage_read_mostly > advantage_write_heavy
+
+    table = [[f"{rf:.2f}", f"{rep:.4f}", f"{cen:.4f}", f"{ivy:.4f}"]
+             for rf, rep, cen, ivy in rows]
+    benchmark.extra_info["rows"] = {
+        str(rf): {"replicated": round(rep, 4), "central": round(cen, 4),
+                  "ivy_dsm": round(ivy, 4)}
+        for rf, rep, cen, ivy in rows
+    }
+    print()
+    print(format_table(
+        ["read fraction", "replicated objects (s)", "central server (s)", "Ivy-style DSM (s)"],
+        table, title="§2 — read/write ratio vs object management"))

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures or reported results.
+Because each data point is a full cluster simulation, benchmarks run exactly
+once per invocation (``rounds=1``) and record their derived measurements in
+``benchmark.extra_info`` so the JSON output contains the reproduced
+figure/table data alongside the wall-clock timing.
+
+Set ``REPRO_BENCH_SCALE=paper`` to run the paper-sized workloads (14-city
+TSP, 64-variable ACP, ...); the default ``small`` scale keeps the whole suite
+to a few minutes on a laptop while preserving every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: "small" (default) or "paper".
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def tsp_processor_counts() -> list:
+    return [1, 2, 4, 8, 12, 16]
+
+
+@pytest.fixture(scope="session")
+def acp_processor_counts() -> list:
+    return [2, 4, 8, 16]

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""ATPG demo: PODEM with static fault partitioning and fault simulation (§4.4).
+
+Generates a random combinational circuit, runs the Orca ATPG program with and
+without the fault-simulation optimisation over several processor counts, and
+prints the absolute-speed / speedup trade-off the paper describes.
+
+Run with::
+
+    python examples/atpg_demo.py [num_gates]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.apps.atpg import all_faults, random_circuit
+from repro.apps.atpg.orca_atpg import run_atpg_program
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    num_gates = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    circuit = random_circuit(num_inputs=8, num_gates=num_gates, num_outputs=5, seed=19)
+    faults = all_faults(circuit)
+    print(f"ATPG demo: {num_gates}-gate circuit, {len(faults)} stuck-at faults")
+
+    rows = []
+    for use_sim in (False, True):
+        label = "with fault simulation" if use_sim else "plain PODEM"
+        base = None
+        for procs in (1, 4, 8):
+            result = run_atpg_program(circuit, num_procs=procs,
+                                      use_fault_simulation=use_sim)
+            if base is None:
+                base = result.elapsed
+            rows.append([
+                label,
+                str(procs),
+                f"{result.elapsed:.3f}",
+                f"{base / result.elapsed:.2f}",
+                str(result.value.covered),
+                f"{result.value.coverage * 100:.0f}%",
+            ])
+    print(format_table(
+        ["variant", "CPUs", "elapsed (s)", "speedup", "faults covered", "coverage"],
+        rows,
+    ))
+    print("\nFault simulation lowers the absolute time (fewer PODEM runs) but its")
+    print("speedup curve is flatter: covered-fault broadcasts plus the load imbalance")
+    print("left by static partitioning — the same trade-off reported in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: define a shared object type, fork workers, watch it stay consistent.
+
+This is the smallest complete Orca program: a replicated counter object shared
+by one worker per simulated processor.  Reads are local; the increments are
+broadcast through the totally-ordered group layer, so every machine applies
+them in the same order and the final value is exact.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ClusterConfig, ObjectSpec, OrcaProgram, operation
+
+
+class Counter(ObjectSpec):
+    """A shared counter with a read operation and an atomic increment."""
+
+    def init(self, start: int = 0) -> None:
+        self.value = start
+        self.increments = 0
+
+    @operation(write=False)
+    def read(self) -> int:
+        return self.value
+
+    @operation(write=True)
+    def increment(self, by: int = 1) -> int:
+        self.value += by
+        self.increments += 1
+        return self.value
+
+
+def worker(proc, counter, iterations: int, worker_id: int = 0):
+    """Each worker alternates local computation with shared increments."""
+    for i in range(iterations):
+        proc.compute(500)             # ~10 ms of simulated application work
+        counter.increment()
+        observed = counter.read()     # a purely local read of the replica
+        assert observed >= i + 1
+    return proc.node_id
+
+
+def main(proc, iterations_per_worker: int = 20):
+    counter = proc.new_object(Counter, 0, name="demo-counter")
+    workers = proc.fork_workers(worker, counter, iterations_per_worker)
+    placements = proc.join_all(workers)
+    return {
+        "final_value": counter.read(),
+        "workers": len(workers),
+        "worker_nodes": placements,
+    }
+
+
+if __name__ == "__main__":
+    config = ClusterConfig(num_nodes=8, seed=42)
+    program = OrcaProgram(main, config)
+    result = program.run(20)
+
+    print("Quickstart: replicated shared counter on a simulated 8-node Amoeba cluster")
+    print(f"  final counter value : {result.value['final_value']} "
+          f"(expected {8 * 20})")
+    print(f"  virtual elapsed time: {result.elapsed * 1000:.2f} ms")
+    print(f"  broadcast writes    : {result.rts['broadcast_writes']}")
+    print(f"  local reads         : {result.rts['local_reads']}")
+    print(f"  network messages    : {result.network['messages']}")
+    print(f"  receive interrupts  : {result.network['interrupts']}")
+    assert result.value["final_value"] == 8 * 20

@@ -1,0 +1,387 @@
+"""Broadcast group membership, send/deliver engine, and sequencer election."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from ...config import BroadcastParams
+from ...errors import BroadcastError
+from ..message import Message
+from .bb import BBStrategy
+from .pb import PBStrategy
+from .protocol import (
+    CONTROL_MESSAGE_SIZE,
+    KIND_ACCEPT,
+    KIND_BB_DATA,
+    KIND_COORDINATOR,
+    KIND_DATA,
+    KIND_ELECTION,
+    KIND_REQUEST,
+    KIND_RETRANSMIT,
+    KIND_RETRANSMIT_REQ,
+    KIND_SYNC,
+    DeliveredMessage,
+    MessageId,
+    OrderingEngine,
+    SendRecord,
+)
+from .sequencer import HistoryEntry, Sequencer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster import Cluster
+    from ..node import Node
+
+DeliveryHandler = Callable[[DeliveredMessage], None]
+
+
+@dataclass
+class GroupStats:
+    """Group-wide protocol statistics."""
+
+    pb_sends: int = 0
+    bb_sends: int = 0
+    retransmit_requests: int = 0
+    elections: int = 0
+    deliveries: int = 0
+    data_bytes_sent: int = 0
+    control_bytes_sent: int = 0
+    per_member_deliveries: Dict[int, int] = field(default_factory=dict)
+
+
+class GroupMember:
+    """Per-node endpoint of the totally-ordered broadcast group."""
+
+    def __init__(self, group: "BroadcastGroup", node: "Node") -> None:
+        self.group = group
+        self.node = node
+        self.node_id = node.node_id
+        self.engine = OrderingEngine()
+        self.delivery_handler: Optional[DeliveryHandler] = None
+        self._send_counter = itertools.count(1)
+        self._pending_sends: Dict[MessageId, SendRecord] = {}
+        self._gap_timers: Dict[int, int] = {}
+        #: Election round bookkeeping: candidate -> highest known seqno.
+        self._election_votes: Dict[int, int] = {}
+        self._election_timer: Optional[int] = None
+        for kind in (KIND_REQUEST, KIND_DATA, KIND_BB_DATA, KIND_ACCEPT,
+                     KIND_RETRANSMIT_REQ, KIND_RETRANSMIT, KIND_SYNC,
+                     KIND_ELECTION, KIND_COORDINATOR):
+            node.register_handler(kind, self._on_message)
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+
+    def broadcast(self, payload: object, size: int = 0,
+                  on_delivered: Optional[Callable[[int], None]] = None,
+                  method: Optional[str] = None) -> MessageId:
+        """Reliably, totally-ordered broadcast ``payload`` to the whole group.
+
+        Returns the message's unique id.  Delivery (including at the sending
+        member itself) happens later, through the member's delivery handler;
+        ``on_delivered`` additionally fires with the assigned sequence number
+        when the sender's own copy is delivered locally.
+        """
+        if size <= 0:
+            from ..message import estimate_size
+
+            size = max(1, estimate_size(payload))
+        uid = MessageId(self.node_id, next(self._send_counter))
+        chosen = method or self.group.choose_method(size)
+        record = SendRecord(uid=uid, payload=payload, size=size, method=chosen,
+                            on_delivered=on_delivered)
+        self._pending_sends[uid] = record
+        if chosen == "pb":
+            self.group.stats.pb_sends += 1
+        else:
+            self.group.stats.bb_sends += 1
+        self.group.stats.data_bytes_sent += size
+        self._transmit(record)
+        return uid
+
+    def _transmit(self, record: SendRecord) -> None:
+        strategy = self.group.strategy(record.method)
+        strategy.send(self, record)
+        self._arm_retry(record)
+
+    def _arm_retry(self, record: SendRecord) -> None:
+        if record.retry_timer is not None:
+            self.node.kernel.cancel_timer(record.retry_timer)
+        record.retry_timer = self.node.kernel.set_timer(
+            self.group.retry_timeout, self._on_retry_timeout, record.uid
+        )
+
+    def _on_retry_timeout(self, uid: MessageId) -> None:
+        record = self._pending_sends.get(uid)
+        if record is None or record.delivered:
+            return
+        if record.attempts >= self.group.max_send_attempts:
+            # The sequencer is probably gone; try to elect a new one and keep
+            # the record pending so it is resent after the election.
+            self._start_election()
+            record.attempts = 0
+            self._arm_retry(record)
+            return
+        self.group.stats.retransmit_requests += 1
+        self._transmit(record)
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+
+    def _on_message(self, msg: Message) -> None:
+        kind = msg.kind
+        if kind == KIND_REQUEST:
+            if self.group.sequencer_node_id == self.node_id:
+                uid = MessageId(*msg.headers["uid"])
+                self.group.sequencer.handle_pb_request(msg.src, uid, msg.payload, msg.size)
+            # else: stale request addressed to an old sequencer; drop it.
+            return
+        if kind == KIND_BB_DATA:
+            uid = MessageId(*msg.headers["uid"])
+            self.engine.offer_bb_data(msg.src, uid, msg.payload, msg.size)
+            if self.group.sequencer_node_id == self.node_id:
+                self.group.sequencer.handle_bb_data(msg.src, uid, msg.payload, msg.size)
+            self._after_arrival()
+            return
+        if kind in (KIND_DATA, KIND_RETRANSMIT):
+            uid = MessageId(*msg.headers["uid"])
+            self.engine.offer(msg.headers["seqno"], msg.headers["origin"], uid,
+                              msg.payload, msg.size)
+            self._after_arrival()
+            return
+        if kind == KIND_ACCEPT:
+            uid = MessageId(*msg.headers["uid"])
+            self.engine.offer_accept(msg.headers["seqno"], msg.headers["origin"], uid)
+            self._after_arrival()
+            return
+        if kind == KIND_SYNC:
+            self.engine.note_highest(msg.headers["seqno"])
+            self._after_arrival()
+            return
+        if kind == KIND_RETRANSMIT_REQ:
+            if self.group.sequencer_node_id == self.node_id:
+                self.group.sequencer.handle_retransmit_request(
+                    msg.src, msg.headers["seqno"]
+                )
+            return
+        if kind == KIND_ELECTION:
+            self._on_election_message(msg)
+            return
+        if kind == KIND_COORDINATOR:
+            self._on_coordinator_message(msg)
+            return
+
+    def local_sequenced_data(self, entry: HistoryEntry) -> None:
+        """Direct (loop-back) delivery used by a sequencer hosted on this node."""
+        self.engine.offer(entry.seqno, entry.origin, entry.uid, entry.payload, entry.size)
+        self._after_arrival()
+
+    def _after_arrival(self) -> None:
+        self._deliver_ready()
+        self._schedule_gap_requests()
+
+    def _deliver_ready(self) -> None:
+        for delivered in self.engine.pop_deliverable():
+            timer = self._gap_timers.pop(delivered.seqno, None)
+            if timer is not None:
+                self.node.kernel.cancel_timer(timer)
+            record = self._pending_sends.get(delivered.uid)
+            if record is not None and delivered.origin == self.node_id:
+                record.delivered = True
+                if record.retry_timer is not None:
+                    self.node.kernel.cancel_timer(record.retry_timer)
+                self._pending_sends.pop(delivered.uid, None)
+                if record.on_delivered is not None:
+                    record.on_delivered(delivered.seqno)
+            self.group.stats.deliveries += 1
+            self.group.stats.per_member_deliveries[self.node_id] = (
+                self.group.stats.per_member_deliveries.get(self.node_id, 0) + 1
+            )
+            self.node.sim.trace("grp.deliver",
+                                f"node {self.node_id} delivers #{delivered.seqno}",
+                                origin=delivered.origin, seqno=delivered.seqno)
+            if self.delivery_handler is not None:
+                self.delivery_handler(delivered)
+
+    def _schedule_gap_requests(self) -> None:
+        for seqno in self.engine.missing_seqnos():
+            if seqno in self._gap_timers:
+                continue
+            self._gap_timers[seqno] = self.node.kernel.set_timer(
+                self.group.gap_request_delay, self._request_retransmit, seqno
+            )
+
+    def _request_retransmit(self, seqno: int) -> None:
+        self._gap_timers.pop(seqno, None)
+        if seqno < self.engine.next_expected:
+            return  # it arrived in the meantime
+        self.group.stats.retransmit_requests += 1
+        self.group.stats.control_bytes_sent += CONTROL_MESSAGE_SIZE
+        sequencer_node = self.group.sequencer_node_id
+        if sequencer_node == self.node_id:
+            return
+        msg = self.node.make_message(sequencer_node, KIND_RETRANSMIT_REQ,
+                                     size=CONTROL_MESSAGE_SIZE, seqno=seqno)
+        self.node.send(msg)
+        # Re-arm in case the retransmission is lost too.
+        self._gap_timers[seqno] = self.node.kernel.set_timer(
+            self.group.retry_timeout, self._request_retransmit, seqno
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sequencer election
+    # ------------------------------------------------------------------ #
+
+    def _start_election(self) -> None:
+        if self._election_timer is not None:
+            return  # already participating in a round
+        self.group.stats.elections += 1
+        self._election_votes = {self.node_id: self.engine.highest_known_seqno}
+        msg = self.node.make_message(
+            None, KIND_ELECTION, size=CONTROL_MESSAGE_SIZE,
+            candidate=self.node_id, high=self.engine.highest_known_seqno,
+        )
+        self.node.send(msg)
+        self._election_timer = self.node.kernel.set_timer(
+            self.group.params.election_timeout, self._conclude_election
+        )
+
+    def _on_election_message(self, msg: Message) -> None:
+        candidate = msg.headers["candidate"]
+        high = msg.headers["high"]
+        joined_already = self._election_timer is not None
+        if not joined_already:
+            # Join the round: announce ourselves as well.
+            self._election_votes = {self.node_id: self.engine.highest_known_seqno}
+            reply = self.node.make_message(
+                None, KIND_ELECTION, size=CONTROL_MESSAGE_SIZE,
+                candidate=self.node_id, high=self.engine.highest_known_seqno,
+            )
+            self.node.send(reply)
+            self._election_timer = self.node.kernel.set_timer(
+                self.group.params.election_timeout, self._conclude_election
+            )
+        self._election_votes[candidate] = max(
+            self._election_votes.get(candidate, -1), high
+        )
+
+    def _conclude_election(self) -> None:
+        self._election_timer = None
+        votes = dict(self._election_votes)
+        self._election_votes = {}
+        if not votes:
+            return
+        # Winner: highest known sequence number; ties go to the lowest node id.
+        winner = min(votes, key=lambda nid: (-votes[nid], nid))
+        if winner != self.node_id:
+            return  # the winner announces itself; everyone else stays quiet
+        next_seq = max(votes.values()) + 1
+        self.group.install_sequencer(self.node_id, next_seq)
+        msg = self.node.make_message(
+            None, KIND_COORDINATOR, size=CONTROL_MESSAGE_SIZE,
+            sequencer=self.node_id, next_seq=next_seq,
+        )
+        self.node.send(msg)
+        self._resend_pending()
+
+    def _on_coordinator_message(self, msg: Message) -> None:
+        new_sequencer = msg.headers["sequencer"]
+        self.group.note_new_sequencer(new_sequencer, msg.headers["next_seq"])
+        if self._election_timer is not None:
+            self.node.kernel.cancel_timer(self._election_timer)
+            self._election_timer = None
+            self._election_votes = {}
+        self._resend_pending()
+
+    def _resend_pending(self) -> None:
+        for record in list(self._pending_sends.values()):
+            if not record.delivered:
+                self._transmit(record)
+
+
+class BroadcastGroup:
+    """A totally-ordered broadcast group spanning every node of a cluster."""
+
+    def __init__(self, cluster: "Cluster", params: Optional[BroadcastParams] = None) -> None:
+        if not cluster.network.supports_broadcast:
+            raise BroadcastError(
+                "the broadcast group requires a network with hardware broadcast"
+            )
+        self.cluster = cluster
+        self.params = params or cluster.cost_model.broadcast
+        self.stats = GroupStats()
+        self._pb = PBStrategy()
+        self._bb = BBStrategy()
+        #: Elected sequencer (initially the lowest-numbered machine).
+        self.sequencer_node_id = cluster.nodes[0].node_id
+        self.sequencer = Sequencer(self, cluster.nodes[0])
+        self.members: Dict[int, GroupMember] = {
+            node.node_id: GroupMember(self, node) for node in cluster.nodes
+        }
+        #: Tunables for loss recovery (fractions of the election timeout).
+        self.retry_timeout = self.params.election_timeout / 2.0
+        self.gap_request_delay = self.params.election_timeout / 20.0
+        self.max_send_attempts = 3
+
+    # ------------------------------------------------------------------ #
+    # Lookup / configuration
+    # ------------------------------------------------------------------ #
+
+    def member(self, node_id: int) -> GroupMember:
+        return self.members[node_id]
+
+    def set_delivery_handler(self, node_id: int, handler: DeliveryHandler) -> None:
+        """Install the application's in-order delivery callback for one member."""
+        self.members[node_id].delivery_handler = handler
+
+    def strategy(self, method: str):
+        return self._pb if method == "pb" else self._bb
+
+    def choose_method(self, size: int) -> str:
+        """Pick PB for short messages, BB for long ones (the paper's rule)."""
+        if self.params.method != "auto":
+            return self.params.method
+        packets = self.cluster.cost_model.network.packets_for(size)
+        return "pb" if packets <= self.params.pb_max_packets else "bb"
+
+    # ------------------------------------------------------------------ #
+    # Sequencer management
+    # ------------------------------------------------------------------ #
+
+    def install_sequencer(self, node_id: int, next_seq: int) -> None:
+        """Make ``node_id`` the sequencer, continuing numbering at ``next_seq``."""
+        node = self.cluster.node(node_id)
+        self.sequencer_node_id = node_id
+        self.sequencer = Sequencer(self, node)
+        self.sequencer.adopt_state(next_seq)
+
+    def note_new_sequencer(self, node_id: int, next_seq: int) -> None:
+        """Record the outcome of an election announced by another member."""
+        if node_id == self.sequencer_node_id and self.sequencer.node.node_id == node_id:
+            self.sequencer.adopt_state(next_seq)
+            return
+        self.install_sequencer(node_id, next_seq)
+
+    def crash_sequencer(self) -> int:
+        """Failure injection: crash the current sequencer node; returns its id."""
+        crashed = self.sequencer_node_id
+        self.cluster.node(crashed).crash()
+        return crashed
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+
+    def broadcast_from(self, node_id: int, payload: object, size: int = 0,
+                       method: Optional[str] = None,
+                       on_delivered: Optional[Callable[[int], None]] = None) -> MessageId:
+        """Broadcast ``payload`` originating at ``node_id``."""
+        return self.members[node_id].broadcast(payload, size=size, method=method,
+                                               on_delivered=on_delivered)
+
+    def delivered_counts(self) -> Dict[int, int]:
+        """Number of messages delivered at each member (for tests)."""
+        return {nid: m.engine.delivered_count for nid, m in self.members.items()}

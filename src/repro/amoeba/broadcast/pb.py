@@ -1,0 +1,41 @@
+"""The PB (Point-to-point, then Broadcast) send path.
+
+The sender ships the full message to the sequencer as a point-to-point
+message; the sequencer assigns the next sequence number and broadcasts the
+data.  The message therefore consumes roughly ``2·m`` bytes of network
+bandwidth, but each user machine is interrupted only once (for the ordered
+broadcast).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .protocol import KIND_REQUEST, SendRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .group import GroupMember
+
+
+class PBStrategy:
+    """Send-side behaviour of the PB protocol."""
+
+    name = "pb"
+
+    def send(self, member: "GroupMember", record: SendRecord) -> None:
+        """Transmit ``record`` toward the sequencer."""
+        record.attempts += 1
+        group = member.group
+        sequencer_node = group.sequencer_node_id
+        if member.node_id == sequencer_node:
+            # The sender *is* the sequencer: skip the network hop entirely.
+            group.sequencer.handle_pb_request(
+                member.node_id, record.uid, record.payload, record.size
+            )
+            return
+        msg = member.node.make_message(
+            sequencer_node, KIND_REQUEST,
+            payload=record.payload, size=record.size,
+            uid=(record.uid.origin, record.uid.counter),
+        )
+        member.node.send(msg)

@@ -1,0 +1,200 @@
+"""The sequencer: assigns the global total order and answers retransmissions.
+
+One node of the broadcast group acts as the sequencer ("like a committee
+electing a chairman").  For the PB protocol it receives the full data from
+the sender and broadcasts it with the next sequence number; for the BB
+protocol it observes the sender's own broadcast and broadcasts a short
+Accept.  All sequenced messages are retained in a bounded *history buffer*
+from which missing messages are retransmitted point-to-point on request.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from .protocol import (
+    CONTROL_MESSAGE_SIZE,
+    KIND_ACCEPT,
+    KIND_DATA,
+    KIND_RETRANSMIT,
+    KIND_SYNC,
+    MessageId,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..node import Node
+    from .group import BroadcastGroup
+
+
+@dataclass
+class HistoryEntry:
+    """One sequenced message retained for retransmission."""
+
+    seqno: int
+    origin: int
+    uid: MessageId
+    payload: Any
+    size: int
+
+
+class Sequencer:
+    """Sequencer state machine, hosted on one node of the group."""
+
+    def __init__(self, group: "BroadcastGroup", node: "Node") -> None:
+        self.group = group
+        self.node = node
+        self.next_seq = 1
+        self.history_size = group.params.history_size
+        self._history: "OrderedDict[int, HistoryEntry]" = OrderedDict()
+        #: uid -> seqno, for duplicate suppression when senders retry.
+        self._assigned: Dict[MessageId, int] = {}
+        self.requests_handled = 0
+        self.retransmissions = 0
+        self.duplicates_suppressed = 0
+        self.sync_broadcasts = 0
+        self._sync_timer: Optional[int] = None
+        self._sync_remaining = 0
+        #: Number of idle-time sync heartbeats sent after the last sequenced
+        #: message (bounded so the simulation's event queue can drain).
+        self.sync_repeats = 5
+
+    # ------------------------------------------------------------------ #
+    # Sequencing
+    # ------------------------------------------------------------------ #
+
+    def handle_pb_request(self, origin: int, uid: MessageId, payload: Any, size: int) -> None:
+        """PB path: sender shipped us the data point-to-point; order and broadcast it."""
+        self.requests_handled += 1
+        existing = self._assigned.get(uid)
+        if existing is not None:
+            # A retry of a message we already sequenced: rebroadcast the data
+            # so whoever missed it (including possibly the sender) catches up.
+            self.duplicates_suppressed += 1
+            entry = self._history.get(existing)
+            if entry is not None:
+                self._broadcast_data(entry)
+            return
+        entry = self._record(origin, uid, payload, size)
+        self._broadcast_data(entry)
+
+    def handle_bb_data(self, origin: int, uid: MessageId, payload: Any, size: int) -> None:
+        """BB path: the data was broadcast by the sender; assign a number and Accept it."""
+        self.requests_handled += 1
+        existing = self._assigned.get(uid)
+        if existing is not None:
+            self.duplicates_suppressed += 1
+            entry = self._history.get(existing)
+            if entry is not None:
+                self._broadcast_accept(entry)
+            return
+        entry = self._record(origin, uid, payload, size)
+        self._broadcast_accept(entry)
+
+    def _record(self, origin: int, uid: MessageId, payload: Any, size: int) -> HistoryEntry:
+        seqno = self.next_seq
+        self.next_seq += 1
+        entry = HistoryEntry(seqno, origin, uid, payload, size)
+        self._assigned[uid] = seqno
+        self._history[seqno] = entry
+        while len(self._history) > self.history_size:
+            old_seq, old_entry = self._history.popitem(last=False)
+            self._assigned.pop(old_entry.uid, None)
+        # Charge the sequencer CPU for ordering work beyond the plain receive.
+        self.node.charge_overhead(self.node.cost_model.cpu.operation_dispatch_cost)
+        self._arm_sync()
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Idle-time sync heartbeats (tail-loss recovery)
+    # ------------------------------------------------------------------ #
+
+    def _arm_sync(self) -> None:
+        """(Re)start the bounded heartbeat sequence after sequencing activity.
+
+        Heartbeats exist only to heal *tail* losses (a member missing the very
+        last broadcast would otherwise never learn about it), so they are
+        suppressed entirely on loss-free networks — this keeps the PB/BB
+        bandwidth and interrupt counts exactly as the paper describes them.
+        """
+        if self.group.cluster.cost_model.network.loss_rate <= 0.0:
+            return
+        self._sync_remaining = self.sync_repeats
+        if self._sync_timer is not None:
+            self.node.kernel.cancel_timer(self._sync_timer)
+        self._sync_timer = self.node.kernel.set_timer(
+            self.group.retry_timeout, self._send_sync
+        )
+
+    def _send_sync(self) -> None:
+        self._sync_timer = None
+        if self.highest_assigned <= 0 or self.group.sequencer is not self:
+            return
+        self.sync_broadcasts += 1
+        msg = self.node.make_message(
+            None, KIND_SYNC, size=CONTROL_MESSAGE_SIZE, seqno=self.highest_assigned
+        )
+        self.node.send(msg)
+        self._sync_remaining -= 1
+        if self._sync_remaining > 0:
+            self._sync_timer = self.node.kernel.set_timer(
+                self.group.retry_timeout, self._send_sync
+            )
+
+    # ------------------------------------------------------------------ #
+    # Outgoing traffic
+    # ------------------------------------------------------------------ #
+
+    def _broadcast_data(self, entry: HistoryEntry) -> None:
+        msg = self.node.make_message(
+            None, KIND_DATA, payload=entry.payload, size=entry.size,
+            seqno=entry.seqno, origin=entry.origin,
+            uid=(entry.uid.origin, entry.uid.counter),
+        )
+        self.node.send(msg)
+        # Hardware broadcast does not loop back; deliver to the local member directly.
+        self.group.member(self.node.node_id).local_sequenced_data(entry)
+
+    def _broadcast_accept(self, entry: HistoryEntry) -> None:
+        msg = self.node.make_message(
+            None, KIND_ACCEPT, payload=None, size=CONTROL_MESSAGE_SIZE,
+            seqno=entry.seqno, origin=entry.origin,
+            uid=(entry.uid.origin, entry.uid.counter),
+        )
+        self.node.send(msg)
+        self.group.member(self.node.node_id).local_sequenced_data(entry)
+
+    def handle_retransmit_request(self, requester: int, seqno: int) -> None:
+        """Unicast a missing message back to the member that asked for it."""
+        entry = self._history.get(seqno)
+        if entry is None:
+            # Outside the history window; nothing we can do (the paper's
+            # protocol bounds the window by flow control, which group
+            # benchmarks never exceed).
+            return
+        # Someone is lagging: keep heartbeating so further tail losses heal.
+        self._arm_sync()
+        self.retransmissions += 1
+        msg = self.node.make_message(
+            requester, KIND_RETRANSMIT, payload=entry.payload, size=entry.size,
+            seqno=entry.seqno, origin=entry.origin,
+            uid=(entry.uid.origin, entry.uid.counter),
+        )
+        self.node.send(msg)
+
+    # ------------------------------------------------------------------ #
+    # Election support
+    # ------------------------------------------------------------------ #
+
+    def adopt_state(self, next_seq: int) -> None:
+        """Called on a newly elected sequencer to continue the numbering."""
+        self.next_seq = max(self.next_seq, next_seq)
+
+    @property
+    def highest_assigned(self) -> int:
+        return self.next_seq - 1
+
+    def history_entries(self) -> Dict[int, HistoryEntry]:
+        """A copy of the current history (used by tests and state transfer)."""
+        return dict(self._history)

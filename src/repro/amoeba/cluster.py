@@ -1,0 +1,125 @@
+"""Cluster assembly: simulator + network + nodes + communication services.
+
+:class:`Cluster` is the convenience object the runtime systems, applications
+and benchmarks build on.  It wires together a simulator, an interconnect, the
+requested number of processor-pool nodes (each with its RPC endpoint), and —
+when the interconnect supports it — one totally-ordered broadcast group
+spanning all nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..config import ClusterConfig
+from ..errors import ConfigurationError
+from ..sim.kernel import Simulator
+from .network import BaseNetwork, EthernetNetwork, SwitchedNetwork
+from .node import Node
+from .rpc import RpcEndpoint
+
+
+class Cluster:
+    """A simulated Amoeba processor pool.
+
+    Parameters
+    ----------
+    config:
+        The cluster configuration (node count, cost model, seed, tracing).
+    network_type:
+        ``"ethernet"`` (shared medium with hardware broadcast — the paper's
+        testbed) or ``"switched"`` (point-to-point only).
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 network_type: str = "ethernet") -> None:
+        self.config = config or ClusterConfig()
+        self.cost_model = self.config.cost_model
+        self.sim = Simulator(
+            seed=self.config.seed,
+            trace=self.config.trace,
+            work_unit_time=self.cost_model.cpu.work_unit_time,
+        )
+        self.network = self._build_network(network_type)
+        self.nodes: List[Node] = [
+            Node(self.sim, node_id, self.cost_model, network=self.network)
+            for node_id in range(self.config.num_nodes)
+        ]
+        self.rpc: Dict[int, RpcEndpoint] = {
+            node.node_id: RpcEndpoint(node) for node in self.nodes
+        }
+        self._broadcast_group = None
+
+    def _build_network(self, network_type: str) -> BaseNetwork:
+        if network_type == "ethernet":
+            return EthernetNetwork(self.sim, self.cost_model.network)
+        if network_type == "switched":
+            return SwitchedNetwork(self.sim, self.cost_model.network)
+        raise ConfigurationError(f"unknown network type {network_type!r}")
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def rpc_for(self, node_id: int) -> RpcEndpoint:
+        return self.rpc[node_id]
+
+    @property
+    def broadcast_group(self):
+        """The cluster-wide totally-ordered broadcast group (created lazily)."""
+        if self._broadcast_group is None:
+            from .broadcast.group import BroadcastGroup  # deferred import
+
+            self._broadcast_group = BroadcastGroup(self)
+        return self._broadcast_group
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+
+    def run(self, **kwargs: Any) -> float:
+        """Run the cluster's simulator until its event queue drains."""
+        return self.sim.run(**kwargs)
+
+    def shutdown(self) -> None:
+        """Kill remaining processes and reclaim their threads."""
+        self.sim.shutdown()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def total_interrupts(self) -> int:
+        """Sum of receive interrupts over all nodes."""
+        return sum(node.nic.stats.interrupts for node in self.nodes)
+
+    def total_overhead_time(self) -> float:
+        """Sum of protocol-processing CPU time charged across all nodes."""
+        return sum(node.stats.overhead_time for node in self.nodes)
+
+    def network_summary(self) -> Dict[str, Any]:
+        """A compact dictionary of traffic statistics for reports."""
+        stats = self.network.stats
+        return {
+            "messages": stats.messages_sent,
+            "broadcasts": stats.broadcast_messages,
+            "unicasts": stats.unicast_messages,
+            "packets": stats.packets_sent,
+            "payload_bytes": stats.payload_bytes,
+            "wire_bytes": stats.wire_bytes,
+            "dropped_packets": stats.packets_dropped,
+            "interrupts": self.total_interrupts(),
+        }

@@ -1,0 +1,108 @@
+"""Messages exchanged over the simulated network.
+
+A :class:`Message` is a logical unit (an RPC request, a broadcast data
+message, a protocol acknowledgement).  The network layer fragments messages
+larger than one packet and reassembles them at the receiving NIC, exactly so
+that the PB/BB protocol choice ("one packet or less" versus "more than one
+packet") can be made the way the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_msg_counter = itertools.count(1)
+
+#: Broadcast destination marker.
+BROADCAST = None
+
+
+def estimate_size(value: Any) -> int:
+    """Estimate the marshalled size, in bytes, of a Python value.
+
+    The simulation does not serialise payloads for real; instead it charges
+    network time according to this estimate.  The rules are deliberately
+    simple and deterministic:
+
+    * ``None``/booleans: 1 byte; integers and floats: 8 bytes;
+    * strings and byte strings: their length;
+    * lists, tuples, sets: 8 bytes of framing plus the sum of their elements;
+    * dicts: 8 bytes of framing plus keys and values;
+    * objects exposing ``marshal_size()``: whatever that reports;
+    * anything else: 64 bytes (a conservative default for small records).
+    """
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, (str, bytes, bytearray)):
+        return max(1, len(value))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 8 + sum(estimate_size(item) for item in value)
+    if isinstance(value, dict):
+        return 8 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in value.items()
+        )
+    marshal_size = getattr(value, "marshal_size", None)
+    if callable(marshal_size):
+        return int(marshal_size())
+    return 64
+
+
+@dataclass
+class Message:
+    """A logical message travelling between nodes.
+
+    Attributes
+    ----------
+    src:
+        Sending node id.
+    dst:
+        Destination node id, or ``None`` for a hardware broadcast.
+    kind:
+        Port / message-type string used for dispatch at the receiver.
+    payload:
+        Arbitrary Python payload (never copied; the simulation relies on
+        senders not mutating payloads after sending).
+    size:
+        Payload size in bytes used for network cost accounting.  If zero, it
+        is estimated from the payload at construction time.
+    headers:
+        Optional protocol metadata (sequence numbers, message ids, ...).
+    """
+
+    src: int
+    dst: Optional[int]
+    kind: str
+    payload: Any = None
+    size: int = 0
+    headers: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            self.size = max(1, estimate_size(self.payload))
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst is BROADCAST
+
+    def reply_to(self, kind: str, payload: Any = None, size: int = 0,
+                 **headers: Any) -> "Message":
+        """Build a unicast message back to this message's sender."""
+        merged = {"in_reply_to": self.msg_id}
+        merged.update(headers)
+        return Message(
+            src=self.dst if self.dst is not None else -1,
+            dst=self.src,
+            kind=kind,
+            payload=payload,
+            size=size,
+            headers=merged,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dst = "ALL" if self.is_broadcast else self.dst
+        return f"<Message #{self.msg_id} {self.kind} {self.src}->{dst} {self.size}B>"

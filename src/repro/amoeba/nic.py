@@ -1,0 +1,77 @@
+"""Per-node network interfaces.
+
+The NIC receives packets from the network, charges the node for the receive
+interrupt, reassembles fragmented messages, charges protocol-processing time
+for each complete message, and finally hands the message to the node's
+dispatcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from .message import Message
+from .network import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .network import BaseNetwork
+    from .node import Node
+
+
+@dataclass
+class NicStats:
+    """Receive-side statistics for one NIC."""
+
+    interrupts: int = 0
+    packets_received: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+    packets_discarded: int = 0
+
+
+class NetworkInterface:
+    """Receive-side model of a node's network adapter."""
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        self.node_id = node.node_id
+        self.network: Optional["BaseNetwork"] = None
+        self.stats = NicStats()
+        #: Partially reassembled messages keyed by message id.
+        self._partial: Dict[int, int] = {}
+
+    def receive_packet(self, packet: Packet) -> None:
+        """Handle one packet arriving from the network (kernel context)."""
+        node = self.node
+        if not node.alive:
+            self.stats.packets_discarded += 1
+            return
+        cpu = node.cost_model.cpu
+        # Every packet interrupts the receiving CPU.
+        self.stats.interrupts += 1
+        self.stats.packets_received += 1
+        self.stats.bytes_received += packet.payload_bytes
+        node.charge_overhead(cpu.interrupt_cost)
+
+        if packet.count == 1:
+            self._complete(packet.message)
+            return
+        received = self._partial.get(packet.message.msg_id, 0) + 1
+        if received >= packet.count:
+            self._partial.pop(packet.message.msg_id, None)
+            self._complete(packet.message)
+        else:
+            self._partial[packet.message.msg_id] = received
+
+    def _complete(self, msg: Message) -> None:
+        node = self.node
+        self.stats.messages_received += 1
+        node.charge_overhead(node.cost_model.cpu.protocol_cost)
+        node.sim.trace("net.deliver", f"node {node.node_id} received {msg.kind}",
+                       msg_id=msg.msg_id, src=msg.src, size=msg.size)
+        node.dispatch(msg)
+
+    def drop_partial_state(self) -> None:
+        """Forget all partially reassembled messages (used on node crash)."""
+        self._partial.clear()

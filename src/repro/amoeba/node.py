@@ -1,0 +1,160 @@
+"""Processor-pool nodes.
+
+A :class:`Node` models one CPU-plus-memory pair of the Amoeba processor pool.
+It owns a NIC, a per-node microkernel (:class:`repro.amoeba.kernel.AmoebaKernel`),
+a dispatch table from message kinds (ports) to handlers, and the accounting
+machinery through which network-protocol CPU overhead is charged to the
+application processes running on the node — the effect that visibly limits
+speedup for update-heavy applications such as ACP in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from ..config import CostModel
+from ..errors import NetworkError
+from .message import Message
+from .nic import NetworkInterface
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.kernel import Simulator
+    from ..sim.process import SimProcess
+    from .kernel import AmoebaKernel
+    from .network import BaseNetwork
+
+
+@dataclass
+class NodeStats:
+    """Per-node accounting."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    overhead_time: float = 0.0
+    overhead_absorbed: float = 0.0
+    handler_invocations: Dict[str, int] = field(default_factory=dict)
+
+
+class Node:
+    """One simulated machine of the processor pool."""
+
+    def __init__(self, sim: "Simulator", node_id: int, cost_model: CostModel,
+                 network: Optional["BaseNetwork"] = None) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.cost_model = cost_model
+        self.nic = NetworkInterface(self)
+        self.stats = NodeStats()
+        self.alive = True
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._default_handler: Optional[Callable[[Message], None]] = None
+        #: CPU overhead accrued by protocol processing that has not yet been
+        #: absorbed into an application process's virtual time.
+        self._overhead_pending = 0.0
+        #: Application processes pinned to this node (bookkeeping only).
+        self.processes: List["SimProcess"] = []
+        self.network: Optional["BaseNetwork"] = None
+        if network is not None:
+            network.attach(self.nic)
+            self.network = network
+        # The per-node microkernel is created lazily to avoid an import cycle.
+        from .kernel import AmoebaKernel  # local import by design
+
+        self.kernel: "AmoebaKernel" = AmoebaKernel(self)
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+
+    def register_handler(self, kind: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages whose ``kind`` matches exactly."""
+        if kind in self._handlers:
+            raise NetworkError(f"node {self.node_id} already has a handler for {kind!r}")
+        self._handlers[kind] = handler
+
+    def unregister_handler(self, kind: str) -> None:
+        self._handlers.pop(kind, None)
+
+    def set_default_handler(self, handler: Callable[[Message], None]) -> None:
+        """Handler for message kinds with no exact registration."""
+        self._default_handler = handler
+
+    def dispatch(self, msg: Message) -> None:
+        """Deliver a fully reassembled message to its registered handler."""
+        if not self.alive:
+            return
+        self.stats.messages_received += 1
+        self.stats.handler_invocations[msg.kind] = (
+            self.stats.handler_invocations.get(msg.kind, 0) + 1
+        )
+        handler = self._handlers.get(msg.kind, self._default_handler)
+        if handler is None:
+            raise NetworkError(
+                f"node {self.node_id} received {msg.kind!r} but has no handler for it"
+            )
+        handler(msg)
+
+    def send(self, msg: Message, on_sent: Optional[Callable[[Message], None]] = None) -> None:
+        """Send a message on the attached network."""
+        if self.network is None:
+            raise NetworkError(f"node {self.node_id} is not attached to a network")
+        if not self.alive:
+            return
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += msg.size
+        self.network.send(msg, on_sent)
+
+    def make_message(self, dst: Optional[int], kind: str, payload: Any = None,
+                     size: int = 0, **headers: Any) -> Message:
+        """Convenience constructor stamping this node as the source."""
+        return Message(src=self.node_id, dst=dst, kind=kind, payload=payload,
+                       size=size, headers=dict(headers))
+
+    # ------------------------------------------------------------------ #
+    # CPU overhead accounting
+    # ------------------------------------------------------------------ #
+
+    def charge_overhead(self, duration: float) -> None:
+        """Charge protocol-processing CPU time to this node.
+
+        The time is not consumed immediately (protocol handlers run in event
+        context); instead it accumulates and is absorbed by the next
+        application process on this node that synchronises with the clock,
+        modelling the CPU being stolen from the application.
+        """
+        if duration <= 0:
+            return
+        self._overhead_pending += duration
+        self.stats.overhead_time += duration
+
+    def drain_overhead(self) -> float:
+        """Return and clear the pending overhead (called by application processes)."""
+        pending = self._overhead_pending
+        if pending:
+            self._overhead_pending = 0.0
+            self.stats.overhead_absorbed += pending
+        return pending
+
+    @property
+    def pending_overhead(self) -> float:
+        return self._overhead_pending
+
+    # ------------------------------------------------------------------ #
+    # Failure injection
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        """Simulate a node crash: all subsequent traffic to the node is dropped."""
+        self.alive = False
+        self.nic.drop_partial_state()
+        self.sim.trace("node.crash", f"node {self.node_id} crashed")
+
+    def recover(self) -> None:
+        """Bring a crashed node back (its volatile protocol state stays lost)."""
+        self.alive = True
+        self.sim.trace("node.recover", f"node {self.node_id} recovered")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id}{'' if self.alive else ' (crashed)'}>"

@@ -1,0 +1,67 @@
+"""Ports and capabilities — Amoeba-style service naming.
+
+Amoeba names services by *ports* and protects objects with sparse
+*capabilities*.  The reproduction only needs enough of this to give RPC
+services and shared objects unforgeable, collision-free names, so a port is a
+derived 48-bit identifier and a capability pairs a port with an object number
+and a rights mask.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+_port_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Port:
+    """A service port: the get-port (private) and put-port (public) pair."""
+
+    name: str
+    private: int
+    public: int
+
+    def __str__(self) -> str:
+        return f"port:{self.name}:{self.public:012x}"
+
+
+def _one_way(value: int) -> int:
+    """The one-way function mapping a get-port to its put-port."""
+    digest = hashlib.sha256(value.to_bytes(8, "big")).digest()
+    return int.from_bytes(digest[:6], "big")
+
+
+def new_port(name: str, seed: int = 0) -> Port:
+    """Create a fresh port for the service ``name``.
+
+    Ports are deterministic given (name, seed, creation order), which keeps
+    simulation runs reproducible.
+    """
+    counter = next(_port_counter)
+    private_digest = hashlib.sha256(f"{seed}:{name}:{counter}".encode()).digest()
+    private = int.from_bytes(private_digest[:6], "big")
+    return Port(name=name, private=private, public=_one_way(private))
+
+
+@dataclass(frozen=True)
+class Capability:
+    """A capability granting ``rights`` on object ``obj_number`` of a service."""
+
+    port: Port
+    obj_number: int
+    rights: int = 0xFF
+
+    RIGHT_READ = 0x01
+    RIGHT_WRITE = 0x02
+    RIGHT_DESTROY = 0x04
+
+    def restrict(self, rights: int) -> "Capability":
+        """Return a capability with a subset of this capability's rights."""
+        return Capability(self.port, self.obj_number, self.rights & rights)
+
+    def allows(self, rights: int) -> bool:
+        """True if every right in ``rights`` is present in this capability."""
+        return (self.rights & rights) == rights

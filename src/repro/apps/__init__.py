@@ -1,0 +1,11 @@
+"""The paper's example applications, each in a sequential and an Orca-parallel form.
+
+* :mod:`repro.apps.tsp` — the Traveling Salesman Problem with replicated
+  workers, a shared job queue and a replicated global bound (Fig. 2);
+* :mod:`repro.apps.acp` — the Arc Consistency Problem with shared domain /
+  work / result objects and distributed termination detection (Fig. 3);
+* :mod:`repro.apps.chess` — Oracol-style parallel alpha-beta search with
+  shared killer and transposition tables (§4.3);
+* :mod:`repro.apps.atpg` — Automatic Test Pattern Generation with PODEM,
+  static fault partitioning and shared fault-simulation results (§4.4).
+"""

@@ -1,0 +1,13 @@
+"""The Arc Consistency Problem (Fig. 3 of the paper)."""
+
+from .problem import AcpProblem, random_acp_problem
+from .sequential import solve_sequential_ac3
+from .orca_acp import acp_main, run_acp_program
+
+__all__ = [
+    "AcpProblem",
+    "random_acp_problem",
+    "solve_sequential_ac3",
+    "acp_main",
+    "run_acp_program",
+]

@@ -1,0 +1,229 @@
+"""The Orca Arc Consistency program (§4.2 of the paper).
+
+Shared objects, mirroring the paper's description:
+
+* ``domain`` — an array of value sets, one per variable, with operations to
+  read a variable's set and to shrink it;
+* ``work`` — an array of Booleans saying which variables must be rechecked;
+* ``result`` — an array of Booleans, one per worker, set when a worker has no
+  more work (used, together with ``work``, for distributed termination);
+* ``failed`` — a Boolean set when some variable's set becomes empty (no
+  solution exists).
+
+The variables are statically partitioned among the workers.  All four objects
+are replicated on every processor, so every domain/work update is broadcast —
+this is exactly the CPU overhead the paper blames for ACP's speedups being
+lower than the hypercube implementation's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ...config import ClusterConfig
+from ...orca.builtin_objects import BoolObject
+from ...orca.process import OrcaProcess
+from ...orca.program import OrcaProgram, ProgramResult
+from ...rts.object_model import ObjectSpec, operation
+from .problem import AcpProblem, revise
+
+
+class DomainObject(ObjectSpec):
+    """The shared array of per-variable value sets."""
+
+    def init(self, domains: Sequence[FrozenSet[int]] = ()) -> None:
+        self.domains: List[FrozenSet[int]] = [frozenset(d) for d in domains]
+
+    @operation(write=False)
+    def get_domain(self, var: int) -> FrozenSet[int]:
+        return self.domains[var]
+
+    @operation(write=False)
+    def sizes(self) -> List[int]:
+        return [len(d) for d in self.domains]
+
+    @operation(write=True)
+    def restrict(self, var: int, new_domain: FrozenSet[int]) -> Tuple[bool, bool]:
+        """Shrink variable ``var``'s set; returns (changed, now_empty)."""
+        current = self.domains[var]
+        new_domain = frozenset(new_domain) & current
+        if new_domain == current:
+            return False, len(current) == 0
+        self.domains[var] = new_domain
+        return True, len(new_domain) == 0
+
+
+class WorkObject(ObjectSpec):
+    """The shared array of 'needs rechecking' flags, one per variable."""
+
+    def init(self, num_variables: int = 0) -> None:
+        self.flags = [True] * num_variables
+
+    @operation(write=False)
+    def pending_in(self, variables: Tuple[int, ...]) -> List[int]:
+        """Which of ``variables`` are currently flagged (local read)."""
+        return [v for v in variables if self.flags[v]]
+
+    @operation(write=False)
+    def any_pending(self) -> bool:
+        return any(self.flags)
+
+    @operation(write=True)
+    def take(self, variables: Tuple[int, ...]) -> List[int]:
+        """Atomically fetch-and-clear the flags of ``variables``."""
+        taken = [v for v in variables if self.flags[v]]
+        for v in taken:
+            self.flags[v] = False
+        return taken
+
+    @operation(write=True)
+    def flag(self, variables: Tuple[int, ...]) -> int:
+        """Mark ``variables`` as needing a recheck; returns how many were newly set."""
+        newly = 0
+        for v in variables:
+            if not self.flags[v]:
+                self.flags[v] = True
+                newly += 1
+        return newly
+
+
+class ReadyObject(ObjectSpec):
+    """The shared per-worker 'willing to terminate' flags."""
+
+    def init(self, num_workers: int = 0) -> None:
+        self.ready = [False] * num_workers
+
+    @operation(write=True)
+    def set_ready(self, worker: int, value: bool) -> None:
+        self.ready[worker] = value
+
+    @operation(write=False)
+    def all_ready(self) -> bool:
+        return all(self.ready)
+
+
+@dataclass
+class AcpResult:
+    """Application-level answer of the parallel ACP program."""
+
+    domain_sizes: List[int]
+    consistent: bool
+    total_revisions: int
+
+
+def partition_variables(num_variables: int, num_workers: int) -> List[Tuple[int, ...]]:
+    """Static block partition of the variables over the workers."""
+    partitions: List[Tuple[int, ...]] = []
+    base = num_variables // num_workers
+    extra = num_variables % num_workers
+    start = 0
+    for worker in range(num_workers):
+        size = base + (1 if worker < extra else 0)
+        partitions.append(tuple(range(start, start + size)))
+        start += size
+    return partitions
+
+
+def acp_worker(proc: OrcaProcess, problem: AcpProblem, domain, work, ready, failed,
+               my_vars: Tuple[int, ...], poll_interval: float = 0.002,
+               worker_id: int = 0) -> Dict[str, int]:
+    """One ACP worker, responsible for the variables in ``my_vars``."""
+    revisions = 0
+    am_ready = False
+    while True:
+        if failed.read():
+            break
+        # Cheap local read first; only pay for the fetch-and-clear write when
+        # there is something to take.
+        if work.pending_in(my_vars):
+            pending = work.take(my_vars)
+        else:
+            pending = []
+        if pending:
+            if am_ready:
+                ready.set_ready(worker_id, False)
+                am_ready = False
+            stop = False
+            for var in pending:
+                for constraint in problem.constraints_involving(var):
+                    other = (constraint.var_b if constraint.var_a == var
+                             else constraint.var_a)
+                    d_var = domain.get_domain(var)
+                    d_other = domain.get_domain(other)
+                    revised, checks = revise(d_var, d_other, constraint, var)
+                    proc.compute(checks + 2)
+                    revisions += 1
+                    if revised != d_var:
+                        changed, empty = domain.restrict(var, revised)
+                        if empty:
+                            failed.set(True)
+                            stop = True
+                            break
+                        if changed:
+                            neighbours = problem.neighbours(var)
+                            work.flag(tuple(neighbours))
+                if stop:
+                    break
+            if stop:
+                break
+            continue
+        # No local work: declare readiness and test the termination condition.
+        if not am_ready:
+            ready.set_ready(worker_id, True)
+            am_ready = True
+        # Read order matters: all_ready first, then any_pending (sequential
+        # consistency then guarantees we cannot miss freshly flagged work).
+        if ready.all_ready() and not work.any_pending():
+            break
+        proc.hold(poll_interval)
+    return {"revisions": revisions}
+
+
+def acp_main(proc: OrcaProcess, problem: AcpProblem,
+             num_workers: Optional[int] = None,
+             poll_interval: float = 0.002) -> AcpResult:
+    """The Orca main process for ACP.
+
+    The paper's program "uses at least two processors, since the master
+    process that distributes the work runs on a separate processor"; here the
+    master also runs on processor 0 and workers occupy the remaining
+    processors when more than one is available.
+    """
+    workers_wanted = num_workers
+    if workers_wanted is None:
+        workers_wanted = max(1, proc.num_nodes - 1) if proc.num_nodes > 1 else 1
+
+    domain = proc.new_object(DomainObject, tuple(problem.domains), name="acp-domain")
+    work = proc.new_object(WorkObject, problem.num_variables, name="acp-work")
+    ready = proc.new_object(ReadyObject, workers_wanted, name="acp-ready")
+    failed = proc.new_object(BoolObject, False, name="acp-failed")
+
+    partitions = partition_variables(problem.num_variables, workers_wanted)
+    start_node = 1 if proc.num_nodes > 1 else 0
+    workers = []
+    for worker_id, my_vars in enumerate(partitions):
+        node = (start_node + worker_id) % proc.num_nodes if proc.num_nodes > 1 else 0
+        workers.append(
+            proc.fork(acp_worker, problem, domain, work, ready, failed, my_vars,
+                      poll_interval, on_node=node, worker_id=worker_id,
+                      name=f"acp-worker[{worker_id}]")
+        )
+    results = proc.join_all(workers)
+
+    return AcpResult(
+        domain_sizes=domain.sizes(),
+        consistent=not failed.read(),
+        total_revisions=sum(r["revisions"] for r in results),
+    )
+
+
+def run_acp_program(problem: AcpProblem, num_procs: int, seed: int = 17,
+                    num_workers: Optional[int] = None,
+                    rts: str = "broadcast",
+                    rts_options: Optional[Dict[str, Any]] = None,
+                    config: Optional[ClusterConfig] = None) -> ProgramResult:
+    """Convenience wrapper used by the examples, tests and benchmarks."""
+    cluster_config = (config or ClusterConfig()).with_nodes(num_procs).with_seed(seed)
+    program = OrcaProgram(acp_main, cluster_config, rts=rts, rts_options=rts_options)
+    return program.run(problem, num_workers)

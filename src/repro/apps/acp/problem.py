@@ -1,0 +1,140 @@
+"""Arc-consistency problem instances.
+
+An instance consists of variables ``V0..Vn-1``, each with a finite integer
+domain, and binary constraints of the form ``Vi + offset <= Vj`` (the paper's
+own example is ``A < B``).  Such inequality constraints propagate strongly,
+which gives the algorithm plenty of work and mirrors the 64-variable input
+used for Fig. 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ...errors import ApplicationError
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """The binary constraint ``var_a + offset <= var_b``."""
+
+    var_a: int
+    var_b: int
+    offset: int = 1
+
+    def allows(self, value_a: int, value_b: int) -> bool:
+        return value_a + self.offset <= value_b
+
+    def involves(self, var: int) -> bool:
+        return var in (self.var_a, self.var_b)
+
+
+@dataclass(frozen=True)
+class AcpProblem:
+    """An arc-consistency instance: domains plus constraints."""
+
+    domains: Tuple[FrozenSet[int], ...]
+    constraints: Tuple[Constraint, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.domains) < 2:
+            raise ApplicationError("an ACP instance needs at least two variables")
+        for constraint in self.constraints:
+            if not (0 <= constraint.var_a < len(self.domains) and
+                    0 <= constraint.var_b < len(self.domains)):
+                raise ApplicationError("constraint references an unknown variable")
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.domains)
+
+    def constraints_involving(self, var: int) -> List[Constraint]:
+        return [c for c in self.constraints if c.involves(var)]
+
+    def neighbours(self, var: int) -> List[int]:
+        """Variables sharing a constraint with ``var``."""
+        out = set()
+        for constraint in self.constraints_involving(var):
+            out.add(constraint.var_b if constraint.var_a == var else constraint.var_a)
+        return sorted(out)
+
+    def marshal_size(self) -> int:
+        return 8 * (sum(len(d) for d in self.domains) + 3 * len(self.constraints))
+
+
+def random_acp_problem(num_variables: int = 64, domain_size: int = 16,
+                       constraints_per_variable: float = 2.0, seed: int = 0,
+                       max_offset: int = 3, feasible: bool = True) -> AcpProblem:
+    """Generate a random instance in the style of the paper's 64-variable input.
+
+    Constraints are inequalities ``Vi + offset <= Vj`` between randomly chosen
+    pairs; chains of such constraints force long propagation sequences.  When
+    ``feasible`` is true (the default), constraints are generated consistently
+    with a hidden random assignment, so arc consistency prunes aggressively
+    but never wipes out a domain.
+    """
+    if num_variables < 2 or domain_size < 2:
+        raise ApplicationError("instance too small")
+    rng = random.Random(seed)
+    domains = tuple(frozenset(range(domain_size)) for _ in range(num_variables))
+    num_constraints = int(num_variables * constraints_per_variable)
+    # Hidden witness assignment used to keep the instance satisfiable.
+    witness = [rng.randrange(domain_size) for _ in range(num_variables)]
+    constraints: List[Constraint] = []
+    seen = set()
+
+    def add_constraint(a: int, b: int) -> None:
+        if feasible:
+            # Orient the inequality so the witness satisfies it.
+            if witness[a] > witness[b]:
+                a, b = b, a
+            slack = witness[b] - witness[a]
+            offset = rng.randint(0, min(max_offset, slack))
+        else:
+            offset = rng.randint(1, max_offset)
+        if (a, b) in seen or a == b:
+            return
+        seen.add((a, b))
+        constraints.append(Constraint(a, b, offset))
+
+    # A backbone over consecutive variables guarantees connectivity (and
+    # therefore long propagation chains through the whole variable set).
+    for i in range(num_variables - 1):
+        add_constraint(i, i + 1)
+    attempts = 0
+    while len(constraints) < num_constraints and attempts < 50 * num_constraints:
+        attempts += 1
+        add_constraint(rng.randrange(num_variables), rng.randrange(num_variables))
+    return AcpProblem(domains=domains, constraints=tuple(constraints))
+
+
+def revise(domain_a: FrozenSet[int], domain_b: FrozenSet[int],
+           constraint: Constraint, var: int) -> Tuple[FrozenSet[int], int]:
+    """Compute the revised domain of ``var`` under ``constraint``.
+
+    Returns the set of values of ``var`` that have at least one support in the
+    other variable's domain, together with the number of value-pair checks
+    performed (the work-unit count used by both implementations).
+    """
+    checks = 0
+    if var == constraint.var_a:
+        other = domain_b
+        keep = set()
+        for value in domain_a:
+            for support in other:
+                checks += 1
+                if constraint.allows(value, support):
+                    keep.add(value)
+                    break
+        return frozenset(keep), checks
+    other = domain_b
+    keep = set()
+    for value in domain_a:
+        for support in other:
+            checks += 1
+            if constraint.allows(support, value):
+                keep.add(value)
+                break
+    return frozenset(keep), checks

@@ -1,0 +1,57 @@
+"""Sequential AC-3 arc consistency (the single-CPU reference)."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from .problem import AcpProblem, revise
+
+
+@dataclass
+class SequentialAcpResult:
+    """Result of a sequential arc-consistency run."""
+
+    domains: Tuple[FrozenSet[int], ...]
+    consistent: bool
+    revisions: int
+    work_units: int
+
+    def domain_sizes(self) -> List[int]:
+        return [len(d) for d in self.domains]
+
+
+def solve_sequential_ac3(problem: AcpProblem) -> SequentialAcpResult:
+    """Run AC-3 to a fixed point; returns the maximal arc-consistent domains."""
+    domains = list(problem.domains)
+    queue = deque()
+    for constraint in problem.constraints:
+        queue.append((constraint.var_a, constraint))
+        queue.append((constraint.var_b, constraint))
+    revisions = 0
+    work = 0
+    consistent = True
+    while queue:
+        var, constraint = queue.popleft()
+        other = constraint.var_b if constraint.var_a == var else constraint.var_a
+        revised, checks = revise(domains[var], domains[other], constraint, var)
+        revisions += 1
+        work += checks
+        if revised != domains[var]:
+            domains[var] = revised
+            if not revised:
+                consistent = False
+                break
+            # Every constraint involving var (other than this one) must be rechecked.
+            for neighbour_constraint in problem.constraints_involving(var):
+                neighbour = (neighbour_constraint.var_b
+                             if neighbour_constraint.var_a == var
+                             else neighbour_constraint.var_a)
+                queue.append((neighbour, neighbour_constraint))
+    return SequentialAcpResult(
+        domains=tuple(domains),
+        consistent=consistent,
+        revisions=revisions,
+        work_units=work,
+    )

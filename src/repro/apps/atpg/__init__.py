@@ -1,0 +1,20 @@
+"""Automatic Test Pattern Generation (§4.4): PODEM over combinational circuits."""
+
+from .circuit import Circuit, Gate, random_circuit
+from .faults import Fault, all_faults, fault_simulate
+from .podem import podem
+from .sequential import solve_sequential_atpg
+from .orca_atpg import atpg_main, run_atpg_program
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "random_circuit",
+    "Fault",
+    "all_faults",
+    "fault_simulate",
+    "podem",
+    "solve_sequential_atpg",
+    "atpg_main",
+    "run_atpg_program",
+]

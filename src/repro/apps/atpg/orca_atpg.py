@@ -1,0 +1,118 @@
+"""The Orca ATPG program (§4.4): static fault partitioning, shared covered-fault set.
+
+The fault list is statically partitioned over the processors; every worker
+generates test patterns for its own faults with PODEM.  With the *fault
+simulation* optimisation enabled, each new pattern is simulated against the
+remaining faults and every newly covered fault is added to a shared set, so
+other workers skip it — "faster in absolute speed (by about a factor of 3),
+but it obtains inferior speedups", partly from communication overhead and
+partly from the load imbalance the static partitioning now causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...config import ClusterConfig
+from ...orca.builtin_objects import SetObject
+from ...orca.process import OrcaProcess
+from ...orca.program import OrcaProgram, ProgramResult
+from .circuit import Circuit
+from .faults import Fault, all_faults, fault_simulate
+from .podem import podem
+
+
+@dataclass
+class AtpgResult:
+    """Application-level answer of the parallel ATPG program."""
+
+    covered: int
+    total_faults: int
+    patterns: int
+    untestable: int
+    aborted: int
+
+    @property
+    def coverage(self) -> float:
+        return self.covered / self.total_faults if self.total_faults else 0.0
+
+
+def partition_faults(faults: Sequence[Fault], num_workers: int) -> List[List[Fault]]:
+    """Static round-robin partition of the fault list (the paper's approach)."""
+    partitions: List[List[Fault]] = [[] for _ in range(num_workers)]
+    for index, fault in enumerate(faults):
+        partitions[index % num_workers].append(fault)
+    return partitions
+
+
+def atpg_worker(proc: OrcaProcess, circuit: Circuit, my_faults: List[Fault],
+                all_fault_list: List[Fault], covered, results,
+                use_fault_simulation: bool = False, max_backtracks: int = 200,
+                worker_id: int = 0) -> Dict[str, int]:
+    """One ATPG worker: generate patterns for its statically assigned faults."""
+    patterns = 0
+    untestable = 0
+    aborted = 0
+    for fault in my_faults:
+        # Skip faults another worker's pattern already covers (a cheap local read).
+        if covered.contains(str(fault)):
+            continue
+        result = podem(circuit, fault, max_backtracks=max_backtracks)
+        proc.compute(result.work_units)
+        if result.pattern is None:
+            if result.backtracks > max_backtracks:
+                aborted += 1
+            else:
+                untestable += 1
+            continue
+        patterns += 1
+        newly_covered = [str(fault)]
+        if use_fault_simulation:
+            detected, sim_work = fault_simulate(circuit, result.pattern, all_fault_list)
+            proc.compute(sim_work)
+            newly_covered.extend(str(f) for f in detected)
+        covered.add_many(sorted(set(newly_covered)))
+    results.add_many([(worker_id, patterns, untestable, aborted)])
+    return {"patterns": patterns, "untestable": untestable, "aborted": aborted}
+
+
+def atpg_main(proc: OrcaProcess, circuit: Circuit,
+              use_fault_simulation: bool = False,
+              faults: Optional[List[Fault]] = None,
+              max_backtracks: int = 200) -> AtpgResult:
+    """The Orca main process: partition faults, fork workers, tally coverage."""
+    fault_list = list(faults) if faults is not None else all_faults(circuit)
+    covered = proc.new_object(SetObject, name="atpg-covered")
+    results = proc.new_object(SetObject, name="atpg-results")
+
+    partitions = partition_faults(fault_list, proc.num_nodes)
+    workers = []
+    for worker_id, part in enumerate(partitions):
+        workers.append(
+            proc.fork(atpg_worker, circuit, part, fault_list, covered, results,
+                      use_fault_simulation, max_backtracks,
+                      on_node=worker_id % proc.num_nodes, worker_id=worker_id,
+                      name=f"atpg-worker[{worker_id}]")
+        )
+    stats = proc.join_all(workers)
+
+    return AtpgResult(
+        covered=covered.size(),
+        total_faults=len(fault_list),
+        patterns=sum(s["patterns"] for s in stats),
+        untestable=sum(s["untestable"] for s in stats),
+        aborted=sum(s["aborted"] for s in stats),
+    )
+
+
+def run_atpg_program(circuit: Circuit, num_procs: int,
+                     use_fault_simulation: bool = False, seed: int = 31,
+                     max_backtracks: int = 200,
+                     rts: str = "broadcast",
+                     rts_options: Optional[Dict[str, Any]] = None,
+                     config: Optional[ClusterConfig] = None) -> ProgramResult:
+    """Convenience wrapper used by the examples, tests and benchmarks."""
+    cluster_config = (config or ClusterConfig()).with_nodes(num_procs).with_seed(seed)
+    program = OrcaProgram(atpg_main, cluster_config, rts=rts, rts_options=rts_options)
+    return program.run(circuit, use_fault_simulation, None, max_backtracks)

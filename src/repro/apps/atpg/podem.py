@@ -1,0 +1,146 @@
+"""PODEM (Path-Oriented DEcision Making) test generation (Goel, 1981).
+
+PODEM searches over primary-input assignments only: it repeatedly picks an
+*objective* (first: activate the fault; later: propagate the D-frontier),
+*backtraces* the objective to an unassigned primary input, assigns it,
+re-implies the whole circuit, and backtracks on failure.  The implementation
+is deliberately straightforward — the paper's interest is in parallelising
+over the fault list, not in ATPG heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import CONTROLLING_VALUE, Circuit, D, DB, Gate, INVERTING, ONE, X, ZERO
+from .faults import Fault
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    fault: Fault
+    pattern: Optional[Dict[str, str]]
+    backtracks: int
+    work_units: int
+
+    @property
+    def testable(self) -> bool:
+        return self.pattern is not None
+
+
+def _fault_activated(values: Dict[str, str], fault: Fault) -> bool:
+    return values.get(fault.line) in (D, DB)
+
+
+def _d_frontier(circuit: Circuit, values: Dict[str, str]) -> List[Gate]:
+    """Gates whose output is X but that have a D/DB on some input."""
+    frontier = []
+    for gate in circuit.gates:
+        if values.get(gate.name) != X:
+            continue
+        if any(values.get(src) in (D, DB) for src in gate.inputs):
+            frontier.append(gate)
+    return frontier
+
+
+def _fault_at_output(circuit: Circuit, values: Dict[str, str]) -> bool:
+    return any(values.get(po) in (D, DB) for po in circuit.primary_outputs)
+
+
+def _objective(circuit: Circuit, values: Dict[str, str], fault: Fault) -> Optional[Tuple[str, str]]:
+    """The next (line, value) goal: activate the fault, then drive the D-frontier."""
+    if not _fault_activated(values, fault):
+        if values.get(fault.line) != X:
+            return None  # the fault site is already fixed at the stuck value
+        return fault.line, (ONE if fault.stuck_at == ZERO else ZERO)
+    frontier = _d_frontier(circuit, values)
+    if not frontier:
+        return None
+    gate = frontier[0]
+    for src in gate.inputs:
+        if values.get(src) == X:
+            controlling = CONTROLLING_VALUE.get(gate.gate_type)
+            if controlling is None:
+                # XOR/NOT/BUF: any defined value lets the difference through.
+                return src, ZERO
+            non_controlling = ONE if controlling == ZERO else ZERO
+            return src, non_controlling
+    return None
+
+
+def _backtrace(circuit: Circuit, line: str, value: str,
+               values: Dict[str, str]) -> Optional[Tuple[str, str]]:
+    """Walk an objective back to an unassigned primary input."""
+    current_line, current_value = line, value
+    for _ in range(10_000):  # cycle-free by construction; bound as a safety net
+        gate = circuit.gate_for(current_line)
+        if gate is None:
+            if values.get(current_line) != X:
+                return None
+            return current_line, current_value
+        if INVERTING.get(gate.gate_type, False):
+            current_value = ONE if current_value == ZERO else ZERO
+        # Prefer an unassigned input; the "easiest" heuristic is simply the first.
+        next_line = None
+        for src in gate.inputs:
+            if values.get(src) == X:
+                next_line = src
+                break
+        if next_line is None:
+            return None
+        current_line = next_line
+    return None
+
+
+def podem(circuit: Circuit, fault: Fault, max_backtracks: int = 200) -> PodemResult:
+    """Generate a test pattern for ``fault`` (or report it untestable/aborted)."""
+    assignment: Dict[str, str] = {}
+    decision_stack: List[Tuple[str, str, bool]] = []  # (pi, value, tried_both)
+    backtracks = 0
+    work = 0
+
+    def imply() -> Dict[str, str]:
+        nonlocal work
+        values, evaluations = circuit.simulate(assignment, fault=(fault.line, fault.stuck_at))
+        work += evaluations
+        return values
+
+    values = imply()
+    while True:
+        if _fault_at_output(circuit, values):
+            pattern = {pi: assignment.get(pi, X) for pi in circuit.primary_inputs}
+            return PodemResult(fault, pattern, backtracks, work)
+
+        objective = _objective(circuit, values, fault)
+        pi_assignment = None
+        if objective is not None:
+            pi_assignment = _backtrace(circuit, objective[0], objective[1], values)
+
+        if pi_assignment is not None:
+            pi, value = pi_assignment
+            assignment[pi] = value
+            decision_stack.append((pi, value, False))
+            values = imply()
+            continue
+
+        # No way forward: backtrack.
+        backtracked = False
+        while decision_stack:
+            pi, value, tried_both = decision_stack.pop()
+            if tried_both:
+                del assignment[pi]
+                continue
+            flipped = ONE if value == ZERO else ZERO
+            assignment[pi] = flipped
+            decision_stack.append((pi, flipped, True))
+            backtracks += 1
+            values = imply()
+            backtracked = True
+            break
+        if not backtracked:
+            return PodemResult(fault, None, backtracks, work)
+        if backtracks > max_backtracks:
+            return PodemResult(fault, None, backtracks, work)

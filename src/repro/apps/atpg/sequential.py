@@ -1,0 +1,64 @@
+"""Sequential ATPG: PODEM over the whole fault list, with optional fault simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .circuit import Circuit
+from .faults import Fault, all_faults, fault_simulate
+from .podem import podem
+
+
+@dataclass
+class SequentialAtpgResult:
+    """Result of a sequential ATPG run."""
+
+    patterns: List[Dict[str, str]]
+    covered: Set[Fault]
+    untestable: List[Fault]
+    aborted: List[Fault]
+    work_units: int
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.covered) + len(self.untestable) + len(self.aborted)
+        return len(self.covered) / total if total else 0.0
+
+
+def solve_sequential_atpg(circuit: Circuit, faults: Optional[List[Fault]] = None,
+                          use_fault_simulation: bool = False,
+                          max_backtracks: int = 200) -> SequentialAtpgResult:
+    """Generate patterns for every fault, one CPU, optionally with fault simulation."""
+    fault_list = list(faults) if faults is not None else all_faults(circuit)
+    covered: Set[Fault] = set()
+    patterns: List[Dict[str, str]] = []
+    untestable: List[Fault] = []
+    aborted: List[Fault] = []
+    work = 0
+
+    for fault in fault_list:
+        if fault in covered:
+            continue
+        result = podem(circuit, fault, max_backtracks=max_backtracks)
+        work += result.work_units
+        if result.pattern is None:
+            if result.backtracks > max_backtracks:
+                aborted.append(fault)
+            else:
+                untestable.append(fault)
+            continue
+        patterns.append(result.pattern)
+        covered.add(fault)
+        if use_fault_simulation:
+            detected, sim_work = fault_simulate(circuit, result.pattern, fault_list,
+                                                skip=covered)
+            work += sim_work
+            covered.update(detected)
+    return SequentialAtpgResult(
+        patterns=patterns,
+        covered=covered,
+        untestable=untestable,
+        aborted=aborted,
+        work_units=work,
+    )

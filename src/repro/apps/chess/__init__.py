@@ -1,0 +1,26 @@
+"""Oracol: parallel game-tree search with shared killer/transposition tables (§4.3).
+
+The engine plays 6x6 Los Alamos chess (standard piece movement without
+castling, en-passant or double pawn steps) — small enough to search quickly
+in pure Python while exercising exactly the same algorithmic structure as the
+paper's full-chess program: alpha-beta with iterative deepening, quiescence
+search, killer moves and a transposition table, parallelised by dynamically
+partitioning the search tree over worker processes.
+"""
+
+from .board import Board, initial_board, random_tactical_position
+from .search import SearchResult, SearchTables, iterative_deepening
+from .sequential import solve_position_sequential
+from .orca_chess import chess_main, run_chess_program
+
+__all__ = [
+    "Board",
+    "initial_board",
+    "random_tactical_position",
+    "SearchTables",
+    "SearchResult",
+    "iterative_deepening",
+    "solve_position_sequential",
+    "chess_main",
+    "run_chess_program",
+]

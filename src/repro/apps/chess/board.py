@@ -1,0 +1,329 @@
+"""6x6 Los Alamos chess: board representation, move generation, make/unmake.
+
+Pieces are encoded as signed integers (positive = white, negative = black):
+pawn 1, knight 2, rook 3, queen 4, king 5.  The board is a flat tuple-backed
+list of 36 squares, index = rank * 6 + file, rank 0 at white's back rank.
+Rules: standard piece movement; pawns move one square forward and capture
+diagonally, promoting to a queen on the last rank; no castling, no en passant,
+no double pawn step (the Los Alamos rules).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ...errors import ApplicationError
+
+SIZE = 6
+NUM_SQUARES = SIZE * SIZE
+
+EMPTY = 0
+PAWN, KNIGHT, ROOK, QUEEN, KING = 1, 2, 3, 4, 5
+
+PIECE_NAMES = {PAWN: "P", KNIGHT: "N", ROOK: "R", QUEEN: "Q", KING: "K"}
+
+#: Piece values in centipawns (used by the evaluator and move ordering).
+PIECE_VALUES = {PAWN: 100, KNIGHT: 300, ROOK: 500, QUEEN: 900, KING: 100_000}
+
+KNIGHT_DELTAS = ((1, 2), (2, 1), (2, -1), (1, -2), (-1, -2), (-2, -1), (-2, 1), (-1, 2))
+ROOK_DIRS = ((1, 0), (-1, 0), (0, 1), (0, -1))
+QUEEN_DIRS = ROOK_DIRS + ((1, 1), (1, -1), (-1, 1), (-1, -1))
+KING_DELTAS = QUEEN_DIRS
+
+
+def square(rank: int, file: int) -> int:
+    return rank * SIZE + file
+
+
+def on_board(rank: int, file: int) -> bool:
+    return 0 <= rank < SIZE and 0 <= file < SIZE
+
+
+@dataclass(frozen=True)
+class Move:
+    """One move: from-square, to-square, captured piece, and promotion flag."""
+
+    src: int
+    dst: int
+    captured: int = EMPTY
+    promotion: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = f"{chr(ord('a') + self.src % SIZE)}{self.src // SIZE + 1}"
+        d = f"{chr(ord('a') + self.dst % SIZE)}{self.dst // SIZE + 1}"
+        suffix = "=Q" if self.promotion else ""
+        return f"{s}{d}{suffix}"
+
+
+# Deterministic Zobrist keys for hashing positions.
+_zobrist_rng = random.Random(0xC0FFEE)
+ZOBRIST_PIECES = [
+    [_zobrist_rng.getrandbits(64) for _ in range(NUM_SQUARES)]
+    for _ in range(11)  # index = piece + 5 (piece in -5..5)
+]
+ZOBRIST_SIDE = _zobrist_rng.getrandbits(64)
+
+
+class Board:
+    """A mutable 6x6 chess position."""
+
+    __slots__ = ("squares", "side_to_move", "_hash")
+
+    def __init__(self, squares: List[int], side_to_move: int = 1) -> None:
+        if len(squares) != NUM_SQUARES:
+            raise ApplicationError(f"a board needs exactly {NUM_SQUARES} squares")
+        self.squares = list(squares)
+        self.side_to_move = side_to_move
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Hashing / copying
+    # ------------------------------------------------------------------ #
+
+    def zobrist(self) -> int:
+        """Position hash (recomputed lazily; invalidated by make/unmake)."""
+        if self._hash is None:
+            h = 0
+            for sq, piece in enumerate(self.squares):
+                if piece != EMPTY:
+                    h ^= ZOBRIST_PIECES[piece + 5][sq]
+            if self.side_to_move == -1:
+                h ^= ZOBRIST_SIDE
+            self._hash = h
+        return self._hash
+
+    def copy(self) -> "Board":
+        return Board(list(self.squares), self.side_to_move)
+
+    def key(self) -> Tuple:
+        """An exact, hashable position key (squares + side to move)."""
+        return (tuple(self.squares), self.side_to_move)
+
+    # ------------------------------------------------------------------ #
+    # Attack / check detection
+    # ------------------------------------------------------------------ #
+
+    def king_square(self, side: int) -> Optional[int]:
+        target = KING * side
+        for sq, piece in enumerate(self.squares):
+            if piece == target:
+                return sq
+        return None
+
+    def is_attacked(self, sq: int, by_side: int) -> bool:
+        """Is ``sq`` attacked by any piece of ``by_side``?"""
+        rank, file = divmod(sq, SIZE)
+        board = self.squares
+        # Pawn attacks (pawns capture diagonally forward).
+        pawn_rank = rank - by_side
+        for df in (-1, 1):
+            if on_board(pawn_rank, file + df):
+                if board[square(pawn_rank, file + df)] == PAWN * by_side:
+                    return True
+        # Knight attacks.
+        for dr, df in KNIGHT_DELTAS:
+            r, f = rank + dr, file + df
+            if on_board(r, f) and board[square(r, f)] == KNIGHT * by_side:
+                return True
+        # King adjacency.
+        for dr, df in KING_DELTAS:
+            r, f = rank + dr, file + df
+            if on_board(r, f) and board[square(r, f)] == KING * by_side:
+                return True
+        # Sliding pieces: rooks and queens on ranks/files, queens on diagonals.
+        for dr, df in ROOK_DIRS:
+            r, f = rank + dr, file + df
+            while on_board(r, f):
+                piece = board[square(r, f)]
+                if piece != EMPTY:
+                    if piece * by_side > 0 and abs(piece) in (ROOK, QUEEN):
+                        return True
+                    break
+                r += dr
+                f += df
+        for dr, df in ((1, 1), (1, -1), (-1, 1), (-1, -1)):
+            r, f = rank + dr, file + df
+            while on_board(r, f):
+                piece = board[square(r, f)]
+                if piece != EMPTY:
+                    if piece * by_side > 0 and abs(piece) == QUEEN:
+                        return True
+                    break
+                r += dr
+                f += df
+        return False
+
+    def in_check(self, side: Optional[int] = None) -> bool:
+        side = self.side_to_move if side is None else side
+        king = self.king_square(side)
+        if king is None:
+            return True  # king already captured: treated as terminal
+        return self.is_attacked(king, -side)
+
+    # ------------------------------------------------------------------ #
+    # Move generation
+    # ------------------------------------------------------------------ #
+
+    def pseudo_moves(self, captures_only: bool = False) -> List[Move]:
+        """All pseudo-legal moves for the side to move."""
+        moves: List[Move] = []
+        side = self.side_to_move
+        board = self.squares
+        for src, piece in enumerate(board):
+            if piece == EMPTY or piece * side <= 0:
+                continue
+            kind = abs(piece)
+            rank, file = divmod(src, SIZE)
+            if kind == PAWN:
+                forward = rank + side
+                # Single push (with promotion on the last rank).
+                if not captures_only and on_board(forward, file):
+                    dst = square(forward, file)
+                    if board[dst] == EMPTY:
+                        moves.append(Move(src, dst, EMPTY,
+                                          promotion=(forward in (0, SIZE - 1))))
+                # Diagonal captures.
+                for df in (-1, 1):
+                    if on_board(forward, file + df):
+                        dst = square(forward, file + df)
+                        target = board[dst]
+                        if target != EMPTY and target * side < 0:
+                            moves.append(Move(src, dst, target,
+                                              promotion=(forward in (0, SIZE - 1))))
+            elif kind == KNIGHT:
+                for dr, df in KNIGHT_DELTAS:
+                    r, f = rank + dr, file + df
+                    if not on_board(r, f):
+                        continue
+                    dst = square(r, f)
+                    target = board[dst]
+                    if target == EMPTY:
+                        if not captures_only:
+                            moves.append(Move(src, dst))
+                    elif target * side < 0:
+                        moves.append(Move(src, dst, target))
+            elif kind == KING:
+                for dr, df in KING_DELTAS:
+                    r, f = rank + dr, file + df
+                    if not on_board(r, f):
+                        continue
+                    dst = square(r, f)
+                    target = board[dst]
+                    if target == EMPTY:
+                        if not captures_only:
+                            moves.append(Move(src, dst))
+                    elif target * side < 0:
+                        moves.append(Move(src, dst, target))
+            else:
+                directions = ROOK_DIRS if kind == ROOK else QUEEN_DIRS
+                for dr, df in directions:
+                    r, f = rank + dr, file + df
+                    while on_board(r, f):
+                        dst = square(r, f)
+                        target = board[dst]
+                        if target == EMPTY:
+                            if not captures_only:
+                                moves.append(Move(src, dst))
+                        else:
+                            if target * side < 0:
+                                moves.append(Move(src, dst, target))
+                            break
+                        r += dr
+                        f += df
+        return moves
+
+    def legal_moves(self, captures_only: bool = False) -> List[Move]:
+        """Pseudo-legal moves filtered so the mover's king is not left in check."""
+        legal = []
+        for move in self.pseudo_moves(captures_only):
+            self.make(move)
+            if not self.in_check(-self.side_to_move):
+                legal.append(move)
+            self.unmake(move)
+        return legal
+
+    # ------------------------------------------------------------------ #
+    # Make / unmake
+    # ------------------------------------------------------------------ #
+
+    def make(self, move: Move) -> None:
+        board = self.squares
+        piece = board[move.src]
+        board[move.src] = EMPTY
+        if move.promotion:
+            board[move.dst] = QUEEN * self.side_to_move
+        else:
+            board[move.dst] = piece
+        self.side_to_move = -self.side_to_move
+        self._hash = None
+
+    def unmake(self, move: Move) -> None:
+        self.side_to_move = -self.side_to_move
+        board = self.squares
+        if move.promotion:
+            board[move.src] = PAWN * self.side_to_move
+        else:
+            board[move.src] = board[move.dst]
+        board[move.dst] = move.captured
+        self._hash = None
+
+    # ------------------------------------------------------------------ #
+    # Game state
+    # ------------------------------------------------------------------ #
+
+    def is_terminal(self) -> bool:
+        return not self.legal_moves() or self.king_square(1) is None \
+            or self.king_square(-1) is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rows = []
+        for rank in range(SIZE - 1, -1, -1):
+            row = []
+            for file in range(SIZE):
+                piece = self.squares[square(rank, file)]
+                if piece == EMPTY:
+                    row.append(".")
+                else:
+                    name = PIECE_NAMES[abs(piece)]
+                    row.append(name if piece > 0 else name.lower())
+            rows.append(" ".join(row))
+        side = "white" if self.side_to_move == 1 else "black"
+        return "\n".join(rows) + f"\n({side} to move)"
+
+
+def initial_board() -> Board:
+    """The Los Alamos chess starting position."""
+    squares = [EMPTY] * NUM_SQUARES
+    back_rank = [ROOK, KNIGHT, QUEEN, KING, KNIGHT, ROOK]
+    for file, piece in enumerate(back_rank):
+        squares[square(0, file)] = piece
+        squares[square(SIZE - 1, file)] = -piece
+    for file in range(SIZE):
+        squares[square(1, file)] = PAWN
+        squares[square(SIZE - 2, file)] = -PAWN
+    return Board(squares, side_to_move=1)
+
+
+def random_tactical_position(seed: int = 0, plies: int = 8) -> Board:
+    """A quiet-ish middlegame position reached by playing random legal moves.
+
+    Used to generate the benchmark's test positions deterministically; the
+    generator avoids ending in a terminal position.
+    """
+    rng = random.Random(seed)
+    board = initial_board()
+    for _ in range(plies):
+        moves = board.legal_moves()
+        if not moves:
+            break
+        # Prefer non-capturing moves early so material stays on the board.
+        quiet = [m for m in moves if m.captured == EMPTY]
+        pool = quiet if quiet and rng.random() < 0.8 else moves
+        move = rng.choice(pool)
+        board.make(move)
+        if board.is_terminal():
+            board.unmake(move)
+            break
+    return board

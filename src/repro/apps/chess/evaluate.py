@@ -1,0 +1,65 @@
+"""Static evaluation for the 6x6 chess engine.
+
+Oracol "does not consider positional characteristics" beyond what is needed
+for tactical play; the evaluator here is material plus a small centre/advance
+bonus and a mobility term, which is enough to drive sensible alpha-beta
+cutoffs.
+"""
+
+from __future__ import annotations
+
+from .board import (
+    EMPTY,
+    KING,
+    NUM_SQUARES,
+    PAWN,
+    PIECE_VALUES,
+    SIZE,
+    Board,
+)
+
+#: Score returned for a side that has been checkmated (from its perspective).
+MATE_SCORE = 100_000
+
+#: Small bonus per square of advancement for pawns and per centre proximity.
+_CENTRE = (SIZE - 1) / 2.0
+_CENTRE_BONUS = [
+    int(4 * ((_CENTRE - abs(sq // SIZE - _CENTRE)) + (_CENTRE - abs(sq % SIZE - _CENTRE))))
+    for sq in range(NUM_SQUARES)
+]
+
+
+def material_balance(board: Board) -> int:
+    """Material difference from white's point of view, in centipawns."""
+    total = 0
+    for piece in board.squares:
+        if piece == EMPTY:
+            continue
+        kind = abs(piece)
+        if kind == KING:
+            continue
+        value = PIECE_VALUES[kind]
+        total += value if piece > 0 else -value
+    return total
+
+
+def evaluate(board: Board, mobility_hint: int = 0) -> int:
+    """Static score from the perspective of the side to move.
+
+    ``mobility_hint`` (the number of legal moves, when the caller already has
+    it) adds a small mobility term without recomputing move generation.
+    """
+    score = 0
+    for sq, piece in enumerate(board.squares):
+        if piece == EMPTY:
+            continue
+        kind = abs(piece)
+        sign = 1 if piece > 0 else -1
+        if kind != KING:
+            score += sign * PIECE_VALUES[kind]
+        score += sign * _CENTRE_BONUS[sq]
+        if kind == PAWN:
+            advance = sq // SIZE if piece > 0 else (SIZE - 1 - sq // SIZE)
+            score += sign * 6 * advance
+    score = score if board.side_to_move == 1 else -score
+    return score + 2 * mobility_hint

@@ -1,0 +1,215 @@
+"""Alpha-beta search with iterative deepening, quiescence, killers and a TT.
+
+The same search code serves the sequential solver, the parallel workers, and
+both the local-table and shared-table configurations: tables are passed in
+behind a tiny method interface, and work accounting is a callback so that the
+Orca version can charge simulated CPU time per node searched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from .board import EMPTY, PIECE_VALUES, Board, Move
+from .evaluate import MATE_SCORE, evaluate
+from .tables import (
+    FLAG_EXACT,
+    FLAG_LOWER,
+    FLAG_UPPER,
+    LocalKillerTable,
+    LocalTranspositionTable,
+)
+
+#: Work units charged per interior node and per quiescence node.
+NODE_WORK = 3
+QNODE_WORK = 1
+
+
+@dataclass
+class SearchTables:
+    """The killer and transposition tables used by one search.
+
+    Both attributes may be plain local tables or shared-object proxies — the
+    search only calls ``lookup``/``store`` and ``get_killers``/``note_killer``.
+    """
+
+    transposition: Any = field(default_factory=LocalTranspositionTable)
+    killers: Any = field(default_factory=LocalKillerTable)
+
+
+@dataclass
+class SearchStats:
+    """Node counts collected during a search."""
+
+    nodes: int = 0
+    qnodes: int = 0
+    cutoffs: int = 0
+    tt_hits: int = 0
+
+    @property
+    def total_nodes(self) -> int:
+        return self.nodes + self.qnodes
+
+
+@dataclass
+class SearchResult:
+    """Outcome of searching one position."""
+
+    best_move: Optional[Move]
+    score: int
+    depth: int
+    stats: SearchStats
+
+
+def _noop_work(units: int) -> None:
+    return None
+
+
+def order_moves(board: Board, moves: List[Move], tt_move: Optional[Move],
+                killer_moves: List[Move]) -> List[Move]:
+    """Order moves: TT move, captures by MVV-LVA, killers, then the rest."""
+
+    def score(move: Move) -> int:
+        if tt_move is not None and move == tt_move:
+            return 1_000_000
+        if move.captured != EMPTY:
+            victim = PIECE_VALUES[abs(move.captured)]
+            attacker = PIECE_VALUES[abs(board.squares[move.src])]
+            return 100_000 + victim * 10 - attacker // 100
+        if move in killer_moves:
+            return 50_000
+        return 0
+
+    return sorted(moves, key=score, reverse=True)
+
+
+def quiescence(board: Board, alpha: int, beta: int, stats: SearchStats,
+               account_work: Callable[[int], None] = _noop_work) -> int:
+    """Capture-only search to settle tactical positions before evaluating."""
+    stats.qnodes += 1
+    account_work(QNODE_WORK)
+    stand_pat = evaluate(board)
+    if stand_pat >= beta:
+        return beta
+    alpha = max(alpha, stand_pat)
+    captures = board.legal_moves(captures_only=True)
+    captures = order_moves(board, captures, None, [])
+    for move in captures:
+        board.make(move)
+        score = -quiescence(board, -beta, -alpha, stats, account_work)
+        board.unmake(move)
+        if score >= beta:
+            return beta
+        alpha = max(alpha, score)
+    return alpha
+
+
+def alpha_beta(board: Board, depth: int, alpha: int, beta: int, ply: int,
+               tables: SearchTables, stats: SearchStats,
+               account_work: Callable[[int], None] = _noop_work) -> int:
+    """Negamax alpha-beta with transposition table and killer-move ordering."""
+    stats.nodes += 1
+    account_work(NODE_WORK)
+    original_alpha = alpha
+    key = board.zobrist()
+
+    entry = tables.transposition.lookup(key)
+    tt_move: Optional[Move] = None
+    if entry is not None:
+        entry_depth, entry_score, entry_flag, entry_move = entry
+        tt_move = entry_move
+        if entry_depth >= depth:
+            stats.tt_hits += 1
+            if entry_flag == FLAG_EXACT:
+                return entry_score
+            if entry_flag == FLAG_LOWER:
+                alpha = max(alpha, entry_score)
+            elif entry_flag == FLAG_UPPER:
+                beta = min(beta, entry_score)
+            if alpha >= beta:
+                return entry_score
+
+    if depth <= 0:
+        return quiescence(board, alpha, beta, stats, account_work)
+
+    moves = board.legal_moves()
+    if not moves:
+        if board.in_check():
+            return -MATE_SCORE + ply
+        return 0  # stalemate
+
+    killer_moves = tables.killers.get_killers(ply)
+    moves = order_moves(board, moves, tt_move, killer_moves)
+
+    best_score = -MATE_SCORE * 2
+    best_move: Optional[Move] = None
+    for move in moves:
+        board.make(move)
+        score = -alpha_beta(board, depth - 1, -beta, -alpha, ply + 1,
+                            tables, stats, account_work)
+        board.unmake(move)
+        if score > best_score:
+            best_score = score
+            best_move = move
+        alpha = max(alpha, score)
+        if alpha >= beta:
+            stats.cutoffs += 1
+            if move.captured == EMPTY:
+                tables.killers.note_killer(ply, move)
+            break
+
+    if best_score <= original_alpha:
+        flag = FLAG_UPPER
+    elif best_score >= beta:
+        flag = FLAG_LOWER
+    else:
+        flag = FLAG_EXACT
+    tables.transposition.store(key, depth, best_score, flag, best_move)
+    return best_score
+
+
+def search_root_move(board: Board, move: Move, depth: int, alpha: int, beta: int,
+                     tables: SearchTables, stats: SearchStats,
+                     account_work: Callable[[int], None] = _noop_work) -> int:
+    """Search a single root move to ``depth`` (used by the parallel workers)."""
+    board.make(move)
+    try:
+        return -alpha_beta(board, depth - 1, -beta, -alpha, 1, tables, stats,
+                           account_work)
+    finally:
+        board.unmake(move)
+
+
+def iterative_deepening(board: Board, max_depth: int,
+                        tables: Optional[SearchTables] = None,
+                        account_work: Callable[[int], None] = _noop_work) -> SearchResult:
+    """Iteratively deepen from 1 to ``max_depth`` (Oracol's search driver)."""
+    tables = tables or SearchTables()
+    stats = SearchStats()
+    best_move: Optional[Move] = None
+    best_score = 0
+    for depth in range(1, max_depth + 1):
+        alpha, beta = -MATE_SCORE * 2, MATE_SCORE * 2
+        moves = board.legal_moves()
+        if not moves:
+            return SearchResult(None, -MATE_SCORE if board.in_check() else 0, depth, stats)
+        killer_moves = tables.killers.get_killers(0)
+        entry = tables.transposition.lookup(board.zobrist())
+        tt_move = entry[3] if entry is not None else None
+        moves = order_moves(board, moves, tt_move or best_move, killer_moves)
+        depth_best_move = None
+        depth_best_score = -MATE_SCORE * 2
+        for move in moves:
+            stats.nodes += 1
+            account_work(NODE_WORK)
+            score = search_root_move(board, move, depth, alpha, beta, tables,
+                                     stats, account_work)
+            if score > depth_best_score:
+                depth_best_score = score
+                depth_best_move = move
+            alpha = max(alpha, score)
+        best_move, best_score = depth_best_move, depth_best_score
+        tables.transposition.store(board.zobrist(), depth, best_score,
+                                   FLAG_EXACT, best_move)
+    return SearchResult(best_move, best_score, max_depth, stats)

@@ -1,0 +1,43 @@
+"""Sequential Oracol: single-CPU iterative-deepening search of a set of positions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .board import Board, Move
+from .search import SearchResult, SearchTables, iterative_deepening
+
+
+@dataclass
+class SequentialChessResult:
+    """Result of searching a batch of positions sequentially."""
+
+    results: List[Tuple[Optional[Move], int]]
+    total_nodes: int
+
+
+def solve_position_sequential(board: Board, depth: int,
+                              tables: Optional[SearchTables] = None) -> SearchResult:
+    """Search a single position to ``depth`` with fresh (or provided) tables."""
+    return iterative_deepening(board.copy(), depth, tables=tables)
+
+
+def solve_positions_sequential(boards: Sequence[Board], depth: int,
+                               share_tables: bool = True) -> SequentialChessResult:
+    """Search several positions one after the other.
+
+    ``share_tables`` reuses one killer/transposition table across positions,
+    which is what the sequential Oracol does between iterative-deepening
+    rounds.
+    """
+    tables = SearchTables() if share_tables else None
+    results: List[Tuple[Optional[Move], int]] = []
+    total_nodes = 0
+    for board in boards:
+        outcome = iterative_deepening(
+            board.copy(), depth, tables=tables if share_tables else SearchTables()
+        )
+        results.append((outcome.best_move, outcome.score))
+        total_nodes += outcome.stats.total_nodes
+    return SequentialChessResult(results=results, total_nodes=total_nodes)

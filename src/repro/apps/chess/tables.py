@@ -1,0 +1,111 @@
+"""Killer and transposition tables, in local and shared-object form.
+
+The paper highlights that in Orca "the two versions differ in only a few
+lines of code": the table is an abstract data type; the local version
+instantiates it per process, the shared version declares one object in the
+main process and passes it to every worker.  The search code below talks to
+either through the same four methods (``tt_lookup`` / ``tt_store`` /
+``killers`` / ``note_killer``), so switching is a constructor argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...rts.object_model import ObjectSpec, operation
+
+#: Transposition-table entry flags.
+FLAG_EXACT = 0
+FLAG_LOWER = 1
+FLAG_UPPER = 2
+
+
+class TranspositionTable(ObjectSpec):
+    """A shared transposition table: position key -> (depth, score, flag, move)."""
+
+    def init(self, capacity: int = 50_000) -> None:
+        self.entries: Dict[Any, Tuple[int, int, int, Any]] = {}
+        self.capacity = capacity
+        self.stores = 0
+        self.hits = 0
+
+    @operation(write=False)
+    def lookup(self, key: Any) -> Optional[Tuple[int, int, int, Any]]:
+        return self.entries.get(key)
+
+    @operation(write=True)
+    def store(self, key: Any, depth: int, score: int, flag: int, move: Any) -> bool:
+        """Store an entry; deeper results overwrite shallower ones."""
+        existing = self.entries.get(key)
+        if existing is not None and existing[0] > depth:
+            return False
+        if existing is None and len(self.entries) >= self.capacity:
+            return False
+        self.entries[key] = (depth, score, flag, move)
+        self.stores += 1
+        return True
+
+    @operation(write=False)
+    def size(self) -> int:
+        return len(self.entries)
+
+
+class KillerTable(ObjectSpec):
+    """A shared killer-move table: search depth -> the moves causing most cutoffs."""
+
+    def init(self, slots_per_depth: int = 2) -> None:
+        self.slots = slots_per_depth
+        self.killers: Dict[int, List[Any]] = {}
+
+    @operation(write=False)
+    def get_killers(self, depth: int) -> List[Any]:
+        return list(self.killers.get(depth, ()))
+
+    @operation(write=True)
+    def note_killer(self, depth: int, move: Any) -> None:
+        slot = self.killers.setdefault(depth, [])
+        if move in slot:
+            return
+        slot.insert(0, move)
+        del slot[self.slots:]
+
+
+class LocalTranspositionTable:
+    """Per-process transposition table with the same interface as the shared one."""
+
+    def __init__(self, capacity: int = 50_000) -> None:
+        self.entries: Dict[Any, Tuple[int, int, int, Any]] = {}
+        self.capacity = capacity
+
+    def lookup(self, key: Any) -> Optional[Tuple[int, int, int, Any]]:
+        return self.entries.get(key)
+
+    def store(self, key: Any, depth: int, score: int, flag: int, move: Any) -> bool:
+        existing = self.entries.get(key)
+        if existing is not None and existing[0] > depth:
+            return False
+        if existing is None and len(self.entries) >= self.capacity:
+            return False
+        self.entries[key] = (depth, score, flag, move)
+        return True
+
+    def size(self) -> int:
+        return len(self.entries)
+
+
+class LocalKillerTable:
+    """Per-process killer table with the same interface as the shared one."""
+
+    def __init__(self, slots_per_depth: int = 2) -> None:
+        self.slots = slots_per_depth
+        self.killers: Dict[int, List[Any]] = {}
+
+    def get_killers(self, depth: int) -> List[Any]:
+        return list(self.killers.get(depth, ()))
+
+    def note_killer(self, depth: int, move: Any) -> None:
+        slot = self.killers.setdefault(depth, [])
+        if move in slot:
+            return
+        slot.insert(0, move)
+        del slot[self.slots:]

@@ -1,0 +1,15 @@
+"""The Traveling Salesman Problem (the paper's favourite Orca example)."""
+
+from .problem import TspInstance, circle_instance, random_instance
+from .sequential import solve_sequential
+from .orca_tsp import TspResult, run_tsp_program, tsp_main
+
+__all__ = [
+    "TspInstance",
+    "random_instance",
+    "circle_instance",
+    "solve_sequential",
+    "tsp_main",
+    "run_tsp_program",
+    "TspResult",
+]

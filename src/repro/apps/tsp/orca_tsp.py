@@ -1,0 +1,106 @@
+"""The Orca TSP program: replicated workers, a job queue and a shared bound.
+
+This is the program the paper describes in §4.1:
+
+* a *manager* (the main process) generates jobs — partial routes — and puts
+  them in a shared ``JobQueue`` object;
+* one *worker* process per processor repeatedly takes a job and searches all
+  routes starting with that partial route;
+* the best tour length found so far lives in a shared ``IntObject``
+  (the *global bound*), read at every search node and written only when a
+  better tour is found — the classic high read/write ratio that makes
+  replication win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ...config import ClusterConfig
+from ...orca.builtin_objects import IntObject, JobQueue
+from ...orca.process import OrcaProcess
+from ...orca.program import OrcaProgram, ProgramResult
+from .problem import TspInstance, TspJob, generate_jobs, search_subtree
+
+
+@dataclass
+class TspResult:
+    """Application-level answer returned by the Orca TSP program."""
+
+    best_length: int
+    jobs_processed: int
+    nodes_expanded: int
+
+    def __iter__(self):
+        yield self.best_length
+        yield self.jobs_processed
+        yield self.nodes_expanded
+
+
+def tsp_worker(proc: OrcaProcess, instance: TspInstance, queue, bound,
+               stats, read_interval: int = 1, worker_id: int = 0) -> Dict[str, int]:
+    """One replicated worker: drain the job queue, searching each subtree."""
+    jobs_done = 0
+    nodes = 0
+
+    def read_bound() -> int:
+        return bound.read()
+
+    def report_tour(length: int, tour: Tuple[int, ...]) -> None:
+        # Indivisible check-and-update prevents the race the paper mentions.
+        bound.min_update(length)
+
+    def account_work(units: int) -> None:
+        proc.compute(units)
+
+    while True:
+        job = queue.get_job()
+        if job is None:
+            break
+        jobs_done += 1
+        nodes += search_subtree(instance, job, read_bound, report_tour,
+                                account_work, read_interval=read_interval)
+    stats.add_many([(worker_id, jobs_done, nodes)])
+    return {"jobs": jobs_done, "nodes": nodes}
+
+
+def tsp_main(proc: OrcaProcess, instance: TspInstance, job_depth: int = 2,
+             read_interval: int = 1,
+             initial_bound: Optional[int] = None) -> TspResult:
+    """The Orca main process: generate jobs, fork workers, collect the answer."""
+    from ...orca.builtin_objects import SetObject
+
+    if initial_bound is None:
+        _tour, initial_bound = instance.nearest_neighbour_tour()
+
+    bound = proc.new_object(IntObject, initial_bound, name="tsp-bound")
+    queue = proc.new_object(JobQueue, name="tsp-jobs")
+    stats = proc.new_object(SetObject, name="tsp-stats")
+
+    jobs = generate_jobs(instance, job_depth)
+    # The manager charges a little work per generated job (route construction).
+    proc.compute(len(jobs) * instance.num_cities)
+    queue.add_jobs(jobs)
+
+    workers = proc.fork_workers(tsp_worker, instance, queue, bound, stats,
+                                read_interval)
+    queue.no_more_jobs()
+    results = proc.join_all(workers)
+
+    return TspResult(
+        best_length=bound.read(),
+        jobs_processed=sum(r["jobs"] for r in results),
+        nodes_expanded=sum(r["nodes"] for r in results),
+    )
+
+
+def run_tsp_program(instance: TspInstance, num_procs: int, seed: int = 11,
+                    job_depth: int = 2, read_interval: int = 1,
+                    rts: str = "broadcast",
+                    rts_options: Optional[Dict[str, Any]] = None,
+                    config: Optional[ClusterConfig] = None) -> ProgramResult:
+    """Convenience wrapper used by the examples, tests and benchmarks."""
+    cluster_config = (config or ClusterConfig()).with_nodes(num_procs).with_seed(seed)
+    program = OrcaProgram(tsp_main, cluster_config, rts=rts, rts_options=rts_options)
+    return program.run(instance, job_depth, read_interval)

@@ -1,0 +1,178 @@
+"""TSP instances: distance matrices, generators, and shared search helpers."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ...errors import ApplicationError
+
+
+@dataclass(frozen=True)
+class TspInstance:
+    """A symmetric TSP instance described by an integer distance matrix."""
+
+    distances: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.distances)
+        if n < 3:
+            raise ApplicationError("a TSP instance needs at least 3 cities")
+        for row in self.distances:
+            if len(row) != n:
+                raise ApplicationError("the distance matrix must be square")
+
+    @property
+    def num_cities(self) -> int:
+        return len(self.distances)
+
+    def distance(self, a: int, b: int) -> int:
+        return self.distances[a][b]
+
+    def tour_length(self, tour: Sequence[int]) -> int:
+        """Length of a closed tour visiting ``tour`` in order and returning home."""
+        if sorted(tour) != list(range(self.num_cities)):
+            raise ApplicationError("tour must visit every city exactly once")
+        total = 0
+        for i in range(len(tour)):
+            total += self.distance(tour[i], tour[(i + 1) % len(tour)])
+        return total
+
+    def nearest_neighbour_tour(self, start: int = 0) -> Tuple[List[int], int]:
+        """A greedy tour used as the initial upper bound for branch-and-bound."""
+        unvisited = set(range(self.num_cities))
+        unvisited.discard(start)
+        tour = [start]
+        total = 0
+        current = start
+        while unvisited:
+            nxt = min(unvisited, key=lambda c: (self.distance(current, c), c))
+            total += self.distance(current, nxt)
+            tour.append(nxt)
+            unvisited.discard(nxt)
+            current = nxt
+        total += self.distance(current, start)
+        return tour, total
+
+    def marshal_size(self) -> int:
+        """Size estimate used when an instance travels in a message."""
+        return 8 * self.num_cities * self.num_cities
+
+
+def random_instance(num_cities: int, seed: int = 0, max_distance: int = 100) -> TspInstance:
+    """A random symmetric instance with integer distances in [1, max_distance]."""
+    rng = random.Random(seed)
+    matrix = [[0] * num_cities for _ in range(num_cities)]
+    for i in range(num_cities):
+        for j in range(i + 1, num_cities):
+            d = rng.randint(1, max_distance)
+            matrix[i][j] = matrix[j][i] = d
+    return TspInstance(tuple(tuple(row) for row in matrix))
+
+
+def circle_instance(num_cities: int, radius: float = 100.0) -> TspInstance:
+    """Cities evenly spaced on a circle (known optimal tour: the circle order)."""
+    points = [
+        (radius * math.cos(2 * math.pi * i / num_cities),
+         radius * math.sin(2 * math.pi * i / num_cities))
+        for i in range(num_cities)
+    ]
+    matrix = [
+        [int(round(math.dist(points[i], points[j]))) for j in range(num_cities)]
+        for i in range(num_cities)
+    ]
+    return TspInstance(tuple(tuple(row) for row in matrix))
+
+
+@dataclass(frozen=True)
+class TspJob:
+    """One unit of work: a partial route to be extended exhaustively."""
+
+    route: Tuple[int, ...]
+    length: int
+
+    def marshal_size(self) -> int:
+        return 8 * (len(self.route) + 1)
+
+
+def generate_jobs(instance: TspInstance, depth: int) -> List[TspJob]:
+    """Split the search space into jobs: all partial routes of ``depth`` cities.
+
+    The manager process generates these and stores them in the shared job
+    queue; each job is the root of an independent subtree.
+    """
+    if not 1 <= depth < instance.num_cities:
+        raise ApplicationError("job depth must be between 1 and num_cities - 1")
+    jobs: List[TspJob] = []
+
+    def extend(route: Tuple[int, ...], length: int) -> None:
+        if len(route) == depth:
+            jobs.append(TspJob(route=route, length=length))
+            return
+        current = route[-1]
+        for city in range(instance.num_cities):
+            if city in route:
+                continue
+            extend(route + (city,), length + instance.distance(current, city))
+
+    extend((0,), 0)
+    return jobs
+
+
+def search_subtree(instance: TspInstance, job: TspJob,
+                   read_bound: Callable[[], int],
+                   report_tour: Callable[[int, Tuple[int, ...]], None],
+                   account_work: Callable[[int], None],
+                   read_interval: int = 1) -> int:
+    """Exhaustively search the subtree rooted at ``job`` with branch-and-bound.
+
+    ``read_bound`` supplies the current global bound (a shared-object read in
+    the parallel program), ``report_tour`` is called for every improving
+    complete tour, and ``account_work`` receives the work units spent (one
+    unit per candidate edge examined).  Returns the number of search nodes
+    expanded.
+    """
+    n = instance.num_cities
+    distances = instance.distances
+    nodes_expanded = 0
+    route = list(job.route)
+    in_route = [False] * n
+    for city in route:
+        in_route[city] = True
+    bound_cache = read_bound()
+    since_read = 0
+
+    def recurse(current: int, length: int) -> None:
+        nonlocal nodes_expanded, bound_cache, since_read
+        nodes_expanded += 1
+        since_read += 1
+        if since_read >= read_interval:
+            bound_cache = read_bound()
+            since_read = 0
+        if len(route) == n:
+            total = length + distances[current][route[0]]
+            account_work(1)
+            if total < bound_cache:
+                bound_cache = total
+                report_tour(total, tuple(route))
+            return
+        row = distances[current]
+        candidates = 0
+        for city in range(n):
+            if in_route[city]:
+                continue
+            candidates += 1
+            new_length = length + row[city]
+            if new_length >= bound_cache:
+                continue
+            route.append(city)
+            in_route[city] = True
+            recurse(city, new_length)
+            in_route[city] = False
+            route.pop()
+        account_work(max(1, candidates))
+
+    recurse(route[-1], job.length)
+    return nodes_expanded

@@ -1,0 +1,57 @@
+"""Sequential branch-and-bound TSP solver (the single-CPU reference)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .problem import TspInstance, TspJob, generate_jobs, search_subtree
+
+
+@dataclass
+class SequentialTspResult:
+    """Result of a sequential solve."""
+
+    best_length: int
+    best_tour: Tuple[int, ...]
+    nodes_expanded: int
+    work_units: int
+
+
+def solve_sequential(instance: TspInstance, job_depth: int = 2,
+                     initial_bound: Optional[int] = None) -> SequentialTspResult:
+    """Solve ``instance`` exactly with the same job structure as the parallel program.
+
+    Using the identical job decomposition keeps the sequential and parallel
+    versions comparable: the only difference is that here the bound is a local
+    variable rather than a replicated shared object.
+    """
+    if initial_bound is None:
+        _tour, initial_bound = instance.nearest_neighbour_tour()
+    state = {
+        "bound": initial_bound,
+        "tour": tuple(),
+        "nodes": 0,
+        "work": 0,
+    }
+
+    def read_bound() -> int:
+        return state["bound"]
+
+    def report_tour(length: int, tour: Tuple[int, ...]) -> None:
+        if length < state["bound"]:
+            state["bound"] = length
+            state["tour"] = tour
+
+    def account_work(units: int) -> None:
+        state["work"] += units
+
+    for job in generate_jobs(instance, job_depth):
+        state["nodes"] += search_subtree(instance, job, read_bound, report_tour,
+                                         account_work)
+    return SequentialTspResult(
+        best_length=state["bound"],
+        best_tour=state["tour"],
+        nodes_expanded=state["nodes"],
+        work_units=state["work"],
+    )

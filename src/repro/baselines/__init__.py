@@ -1,0 +1,13 @@
+"""Comparison baselines used by the ablation benchmarks.
+
+* :mod:`repro.baselines.central_server` — shared objects with a single copy
+  (every remote access is an RPC), the "no replication" end of the spectrum;
+* :mod:`repro.baselines.ivy_dsm` — a small page-based distributed shared
+  memory in the style of Li & Hudak's Ivy, which the paper contrasts with
+  object-based sharing in §1-2.
+"""
+
+from .central_server import CentralServerRts
+from .ivy_dsm import IvyDsm, run_ivy_workload
+
+__all__ = ["CentralServerRts", "IvyDsm", "run_ivy_workload"]

@@ -1,0 +1,156 @@
+"""A small page-based distributed shared memory in the style of Ivy (Li & Hudak).
+
+The paper motivates shared data-objects by contrast with page-based DSM:
+pages are a fixed, coarse unit (the whole page travels on every miss), and
+writable pages cannot be replicated without weakening consistency.  This
+module implements just enough of a write-invalidate, single-writer /
+multiple-reader page protocol to serve as the benchmark baseline:
+
+* a central manager (node 0) tracks, per page, the owner and the copy set;
+* a read fault fetches the whole page from the owner and adds the reader to
+  the copy set (read-only replication);
+* a write fault invalidates every copy, transfers ownership, and gives the
+  writer an exclusive writable copy.
+
+The "application" shares one counter that happens to live on one page — the
+same workload the RW-RATIO benchmark runs over the object runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..amoeba.cluster import Cluster
+from ..amoeba.rpc import RpcReply, RpcRequest
+from ..config import ClusterConfig
+
+#: Size of one DSM page in bytes (the unit that travels on every fault).
+PAGE_SIZE = 8192
+
+PORT_READ_FAULT = "ivy.read_fault"
+PORT_WRITE_FAULT = "ivy.write_fault"
+
+
+@dataclass
+class _PageState:
+    """Manager-side bookkeeping for one page."""
+
+    owner: int
+    copyset: Set[int] = field(default_factory=set)
+    content: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _LocalPage:
+    """One node's view of a page."""
+
+    valid: bool = False
+    writable: bool = False
+    content: Dict[str, int] = field(default_factory=dict)
+
+
+class IvyDsm:
+    """A single-page write-invalidate DSM spanning all nodes of a cluster."""
+
+    def __init__(self, cluster: Cluster, manager_node: int = 0) -> None:
+        self.cluster = cluster
+        self.manager_node = manager_node
+        self._page = _PageState(owner=manager_node, copyset={manager_node})
+        self._local: Dict[int, _LocalPage] = {
+            node.node_id: _LocalPage() for node in cluster.nodes
+        }
+        self._local[manager_node] = _LocalPage(valid=True, writable=True)
+        self.read_faults = 0
+        self.write_faults = 0
+        self.invalidations = 0
+        rpc = cluster.rpc_for(manager_node)
+        rpc.register_service(PORT_READ_FAULT, self._serve_read_fault, may_block=True)
+        rpc.register_service(PORT_WRITE_FAULT, self._serve_write_fault, may_block=True)
+        for node in cluster.nodes:
+            node.register_handler("ivy.invalidate", self._on_invalidate)
+
+    # ------------------------------------------------------------------ #
+    # Manager side
+    # ------------------------------------------------------------------ #
+
+    def _serve_read_fault(self, request: RpcRequest) -> RpcReply:
+        requester = request.payload["node"]
+        self.read_faults += 1
+        self._page.copyset.add(requester)
+        return RpcReply(payload=dict(self._page.content), size=PAGE_SIZE)
+
+    def _serve_write_fault(self, request: RpcRequest) -> RpcReply:
+        requester = request.payload["node"]
+        self.write_faults += 1
+        # Invalidate every other copy (their next access will fault again).
+        for node_id in sorted(self._page.copyset - {requester}):
+            self.invalidations += 1
+            self._local[node_id].valid = False
+            self._local[node_id].writable = False
+            manager = self.cluster.node(self.manager_node)
+            manager.send(manager.make_message(node_id, "ivy.invalidate", size=32))
+        self._page.copyset = {requester}
+        self._page.owner = requester
+        return RpcReply(payload=dict(self._page.content), size=PAGE_SIZE)
+
+    def _on_invalidate(self, msg) -> None:
+        self._local[msg.dst].valid = False
+        self._local[msg.dst].writable = False
+
+    # ------------------------------------------------------------------ #
+    # Node-side access (called from application processes)
+    # ------------------------------------------------------------------ #
+
+    def read(self, proc, node_id: int, key: str) -> Optional[int]:
+        """Read ``key`` from the shared page at ``node_id``."""
+        local = self._local[node_id]
+        if not local.valid:
+            content = self.cluster.rpc_for(node_id).call(
+                proc, self.manager_node, PORT_READ_FAULT,
+                payload={"node": node_id}, size=32)
+            local.content = dict(content)
+            local.valid = True
+            local.writable = False
+        return local.content.get(key)
+
+    def write(self, proc, node_id: int, key: str, value: int) -> None:
+        """Write ``key`` on the shared page at ``node_id`` (exclusive access)."""
+        local = self._local[node_id]
+        if not local.writable:
+            content = self.cluster.rpc_for(node_id).call(
+                proc, self.manager_node, PORT_WRITE_FAULT,
+                payload={"node": node_id}, size=32)
+            local.content = dict(content)
+            local.valid = True
+            local.writable = True
+        local.content[key] = value
+        # Keep the manager's authoritative content in sync (zero-cost model:
+        # the page is written back lazily when the next fault fetches it).
+        self._page.content = local.content
+
+
+def run_ivy_workload(num_nodes: int = 8, ops_per_worker: int = 40,
+                     read_fraction: float = 0.9, seed: int = 13) -> float:
+    """Run the RW-RATIO counter workload on the Ivy baseline; returns virtual time."""
+    cluster = Cluster(ClusterConfig(num_nodes=num_nodes, seed=seed))
+    try:
+        dsm = IvyDsm(cluster)
+
+        def worker(node_id: int) -> None:
+            proc = cluster.sim.current_process
+            state = node_id * 2654435761 + 1
+            for _ in range(ops_per_worker):
+                proc.compute(200)
+                state = (state * 1103515245 + 12345) % 2**31
+                if (state % 1000) / 1000.0 < read_fraction:
+                    dsm.read(proc, node_id, "counter")
+                else:
+                    current = dsm.read(proc, node_id, "counter") or 0
+                    dsm.write(proc, node_id, "counter", current + 1)
+
+        for node in cluster.nodes:
+            node.kernel.spawn_thread(worker, node.node_id)
+        return cluster.run()
+    finally:
+        cluster.shutdown()

@@ -1,0 +1,98 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures distinctly from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulator runs out of events while processes are blocked."""
+
+
+class ProcessError(SimulationError):
+    """Raised when a simulated process misbehaves (e.g. crashes with an exception)."""
+
+
+class NetworkError(ReproError):
+    """Errors raised by the simulated network substrate."""
+
+
+class RoutingError(NetworkError):
+    """Raised when a message is addressed to an unknown node."""
+
+
+class RpcError(ReproError):
+    """Errors raised by the Amoeba RPC layer."""
+
+
+class RpcTimeoutError(RpcError):
+    """Raised when an RPC does not complete within its timeout."""
+
+
+class BroadcastError(ReproError):
+    """Errors raised by the totally-ordered broadcast protocols."""
+
+
+class SequencerUnavailableError(BroadcastError):
+    """Raised when no sequencer is available and election is disabled."""
+
+
+class RtsError(ReproError):
+    """Errors raised by the shared-object runtime systems."""
+
+
+class UnknownObjectError(RtsError):
+    """Raised when an operation references an object id not registered locally."""
+
+
+class UnknownOperationError(RtsError):
+    """Raised when an operation name is not defined by the object's type."""
+
+
+class ConsistencyViolationError(RtsError):
+    """Raised by the consistency checker when a history is not sequentially consistent."""
+
+
+class OrcaError(ReproError):
+    """Errors raised by the Orca programming layer."""
+
+
+class OrcaTypeError(OrcaError):
+    """Raised by the Orca mini-language type checker."""
+
+
+class OrcaSyntaxError(OrcaError):
+    """Raised by the Orca mini-language parser."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.line:
+            return f"{base} (line {self.line}, column {self.column})"
+        return base
+
+
+class OrcaRuntimeError(OrcaError):
+    """Raised when an Orca mini-language program fails at run time."""
+
+
+class ApplicationError(ReproError):
+    """Errors raised by the example applications."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when configuration values are inconsistent or out of range."""

@@ -1,0 +1,12 @@
+"""Experiment orchestration used by the benchmark suite and the examples."""
+
+from .experiment import ScalingExperiment, ExperimentResult
+from .sweeps import ParameterSweep
+from .figures import render_speedup_figure
+
+__all__ = [
+    "ScalingExperiment",
+    "ExperimentResult",
+    "ParameterSweep",
+    "render_speedup_figure",
+]

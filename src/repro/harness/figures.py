@@ -1,0 +1,27 @@
+"""Rendering of the paper's figures from experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..metrics.report import ascii_plot, format_table
+from ..metrics.speedup import SpeedupCurve
+
+
+def render_speedup_figure(title: str, curve: SpeedupCurve,
+                          max_procs: Optional[int] = None) -> str:
+    """Render a Fig. 2 / Fig. 3 style chart: measured speedup vs perfect speedup."""
+    procs = curve.processor_counts
+    top = max_procs or max(procs)
+    measured = {float(p): curve.speedup(p) for p in procs}
+    perfect = {float(p): float(p) for p in procs}
+    chart = ascii_plot(
+        {"measured": measured, "perfect": perfect},
+        title=title, x_label="number of processors", y_label="speedup",
+        y_max=float(top),
+    )
+    table = format_table(
+        ["CPUs", "time (s)", "speedup", "efficiency"],
+        curve.as_rows(),
+    )
+    return f"{chart}\n\n{table}"

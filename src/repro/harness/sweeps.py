@@ -1,0 +1,54 @@
+"""Generic parameter sweeps (used by the protocol and ablation benchmarks)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+from ..metrics.collectors import RunCollection, RunRecord
+
+
+@dataclass
+class SweepPoint:
+    """One parameter combination and the measurement it produced."""
+
+    params: Dict[str, Any]
+    measurement: Dict[str, Any]
+
+
+class ParameterSweep:
+    """Run a measurement function over the cartesian product of parameters.
+
+    The measurement function receives the parameter combination as keyword
+    arguments and returns a dict of measured quantities.
+    """
+
+    def __init__(self, name: str, measure: Callable[..., Mapping[str, Any]],
+                 parameters: Mapping[str, Sequence[Any]]) -> None:
+        self.name = name
+        self.measure = measure
+        self.parameters = {key: list(values) for key, values in parameters.items()}
+
+    def combinations(self) -> List[Dict[str, Any]]:
+        keys = sorted(self.parameters)
+        product = itertools.product(*(self.parameters[k] for k in keys))
+        return [dict(zip(keys, combo)) for combo in product]
+
+    def execute(self) -> List[SweepPoint]:
+        points = []
+        for combo in self.combinations():
+            measurement = dict(self.measure(**combo))
+            points.append(SweepPoint(params=combo, measurement=measurement))
+        return points
+
+    @staticmethod
+    def to_rows(points: Iterable[SweepPoint], param_keys: Sequence[str],
+                measure_keys: Sequence[str]) -> List[List[str]]:
+        """Flatten sweep points into table rows for reporting."""
+        rows = []
+        for point in points:
+            row = [str(point.params.get(k)) for k in param_keys]
+            row.extend(str(point.measurement.get(k)) for k in measure_keys)
+            rows.append(row)
+        return rows

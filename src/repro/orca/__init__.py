@@ -1,0 +1,25 @@
+"""The Orca programming model.
+
+Orca programs consist of *processes* and *shared data-objects*.  Processes
+are created with ``fork`` and may run on any processor; objects are abstract
+data types whose operations are indivisible and sequentially consistent, no
+matter how many machines hold replicas.  This package provides that model as
+a Python API (:mod:`repro.orca.api`, :mod:`repro.orca.process`,
+:mod:`repro.orca.program`), a library of generally useful object types
+(:mod:`repro.orca.builtin_objects`), and a small Orca-subset language front
+end (:mod:`repro.orca.lang`).
+"""
+
+from ..rts.object_model import ObjectSpec, operation
+from .api import BoundObject
+from .process import OrcaProcess
+from .program import OrcaProgram, ProgramResult
+
+__all__ = [
+    "ObjectSpec",
+    "operation",
+    "BoundObject",
+    "OrcaProcess",
+    "OrcaProgram",
+    "ProgramResult",
+]

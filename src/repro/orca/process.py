@@ -1,0 +1,163 @@
+"""Orca processes: the active entities of an Orca program.
+
+An :class:`OrcaProcess` wraps a simulated kernel thread pinned to one
+processor-pool node and provides the Orca-level facilities: ``fork`` to
+create new processes (optionally on another processor), shared-object
+creation, work accounting, and joining.  Shared objects are passed to forked
+children simply by passing the :class:`~repro.orca.api.BoundObject` as an
+argument — call-by-reference, exactly as in Orca.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..errors import OrcaError
+from ..rts.base import RuntimeSystem
+from ..rts.object_model import ObjectSpec
+from .api import BoundObject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..amoeba.cluster import Cluster
+    from ..sim.process import SimProcess
+
+_process_ids = itertools.count(1)
+
+
+class OrcaProcess:
+    """One Orca process, running on a specific processor."""
+
+    def __init__(self, cluster: "Cluster", rts: RuntimeSystem, node_id: int,
+                 name: str = "orca") -> None:
+        self.cluster = cluster
+        self.rts = rts
+        self.node_id = node_id
+        self.name = name
+        self.pid = next(_process_ids)
+        self.sim_proc: Optional["SimProcess"] = None
+        self.children: List["OrcaProcess"] = []
+
+    # ------------------------------------------------------------------ #
+    # Environment
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of processors in the pool."""
+        return self.cluster.num_nodes
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    @property
+    def now(self) -> float:
+        """Current virtual time as observed by this process."""
+        if self.sim_proc is not None:
+            return self.sim_proc.local_time
+        return self.sim.now
+
+    def _require_running(self) -> "SimProcess":
+        proc = self.sim.current_process
+        if proc is None or proc is not self.sim_proc:
+            raise OrcaError(
+                f"Orca process {self.name!r} used from outside its own execution context"
+            )
+        return proc
+
+    # ------------------------------------------------------------------ #
+    # Work accounting and time
+    # ------------------------------------------------------------------ #
+
+    def compute(self, work_units: float) -> None:
+        """Account ``work_units`` of application computation (lazy, cheap)."""
+        self._require_running().compute(work_units)
+
+    def hold(self, duration: float) -> None:
+        """Let virtual time pass (e.g. to model I/O or explicit delays)."""
+        self._require_running().hold(duration)
+
+    # ------------------------------------------------------------------ #
+    # Shared objects
+    # ------------------------------------------------------------------ #
+
+    def new_object(self, spec_class: Type[ObjectSpec], *args: Any,
+                   name: Optional[str] = None, **kwargs: Any) -> BoundObject:
+        """Create a shared object and return a location-transparent reference."""
+        proc = self._require_running()
+        handle = self.rts.create_object(proc, spec_class, args, kwargs, name=name)
+        return BoundObject(self.rts, handle)
+
+    # ------------------------------------------------------------------ #
+    # Process management
+    # ------------------------------------------------------------------ #
+
+    def fork(self, func: Callable[..., Any], *args: Any,
+             on_node: Optional[int] = None, name: Optional[str] = None,
+             **kwargs: Any) -> "OrcaProcess":
+        """Create a new Orca process running ``func(child, *args, **kwargs)``.
+
+        ``on_node`` selects the processor; the default is the forker's own
+        processor (the Orca default).  Shared objects are passed by reference
+        simply by including their :class:`BoundObject` in ``args``.
+        """
+        parent_proc = self._require_running()
+        target_node = self.node_id if on_node is None else on_node
+        if not 0 <= target_node < self.cluster.num_nodes:
+            raise OrcaError(
+                f"fork onto node {target_node} but the pool has {self.cluster.num_nodes} nodes"
+            )
+        child = OrcaProcess(self.cluster, self.rts, target_node,
+                            name=name or f"{func.__name__}@{target_node}")
+        self.children.append(child)
+
+        cpu = self.cluster.cost_model.cpu
+        net = self.cluster.cost_model.network
+        # Creating a remote process costs the forker a dispatch and the fork
+        # request one message's worth of latency before the child starts.
+        parent_proc.advance(cpu.operation_dispatch_cost)
+        start_delay = 0.0
+        if target_node != self.node_id:
+            start_delay = net.latency + net.transmit_time(128) + cpu.context_switch_cost
+
+        def _child_body() -> None:
+            return func(child, *args, **kwargs)
+
+        child.sim_proc = self.cluster.node(target_node).kernel.spawn_thread(
+            _child_body, name=child.name, start_delay=start_delay,
+        )
+        return child
+
+    def fork_workers(self, func: Callable[..., Any], *args: Any,
+                     count: Optional[int] = None, start_node: int = 0,
+                     **kwargs: Any) -> List["OrcaProcess"]:
+        """Fork one worker per processor (the replicated-worker paradigm).
+
+        ``count`` defaults to the number of processors; workers are placed
+        round-robin starting at ``start_node``.  Each worker receives its
+        worker index as a keyword argument ``worker_id``.
+        """
+        total = self.cluster.num_nodes if count is None else count
+        workers = []
+        for index in range(total):
+            node = (start_node + index) % self.cluster.num_nodes
+            workers.append(
+                self.fork(func, *args, on_node=node, worker_id=index,
+                          name=f"{func.__name__}[{index}]@{node}", **kwargs)
+            )
+        return workers
+
+    def join(self, child: "OrcaProcess") -> Any:
+        """Wait for ``child`` to terminate; returns its result."""
+        proc = self._require_running()
+        if child.sim_proc is None:
+            raise OrcaError(f"cannot join process {child.name!r}: it never started")
+        return proc.join(child.sim_proc)
+
+    def join_all(self, children: List["OrcaProcess"]) -> List[Any]:
+        """Wait for every process in ``children``; returns their results in order."""
+        return [self.join(child) for child in children]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<OrcaProcess {self.name!r} pid={self.pid} node={self.node_id}>"

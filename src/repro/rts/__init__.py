@@ -1,0 +1,30 @@
+"""Shared data-object runtime systems (the paper's core contribution).
+
+Two runtime systems manage replicated shared objects:
+
+* :class:`~repro.rts.broadcast_rts.BroadcastRts` — every object is replicated
+  on every machine; reads are purely local; writes are applied everywhere via
+  the totally-ordered broadcast layer (operation shipping), which directly
+  yields sequential consistency.
+* :class:`~repro.rts.p2p.runtime.PointToPointRts` — objects have a primary
+  copy and dynamically managed secondary copies; writes go to the primary and
+  are propagated either by **invalidation** or by a **two-phase update**
+  protocol; replication decisions are driven by per-machine read/write-ratio
+  statistics.
+
+Both expose the same :class:`ObjectHandle`-based interface, so the Orca
+programming layer and the applications are agnostic of which RTS is in use.
+"""
+
+from .object_model import ObjectSpec, OperationDef, operation
+from .manager import ObjectManager, Replica
+from .stats import AccessStats
+
+__all__ = [
+    "ObjectSpec",
+    "OperationDef",
+    "operation",
+    "ObjectManager",
+    "Replica",
+    "AccessStats",
+]

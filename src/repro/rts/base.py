@@ -1,0 +1,150 @@
+"""Common interface shared by the runtime systems.
+
+Application code (and the Orca layer on top) manipulates shared objects
+through :class:`ObjectHandle` references and a :class:`RuntimeSystem`
+implementation.  Handles are location transparent: the same handle works on
+every machine, and the runtime decides whether an invocation is a local read,
+a broadcast update, or an RPC to a primary copy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Type
+
+from ..errors import RtsError
+from .manager import ObjectManager
+from .object_model import ObjectSpec, validate_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..amoeba.cluster import Cluster
+    from ..sim.process import SimProcess
+
+
+@dataclass(frozen=True)
+class ObjectHandle:
+    """A location-transparent reference to one shared object."""
+
+    obj_id: int
+    name: str
+    spec_class: Type[ObjectSpec]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ObjectHandle {self.name!r} #{self.obj_id} ({self.spec_class.__name__})>"
+
+
+@dataclass
+class RtsStats:
+    """Aggregate invocation statistics for one runtime system."""
+
+    objects_created: int = 0
+    local_reads: int = 0
+    remote_reads: int = 0
+    local_writes: int = 0
+    broadcast_writes: int = 0
+    rpc_writes: int = 0
+    guard_retries: int = 0
+    replicas_created: int = 0
+    replicas_dropped: int = 0
+    invalidations_sent: int = 0
+    updates_sent: int = 0
+    per_object_reads: Dict[int, int] = field(default_factory=dict)
+    per_object_writes: Dict[int, int] = field(default_factory=dict)
+
+    def note_read(self, obj_id: int, local: bool) -> None:
+        if local:
+            self.local_reads += 1
+        else:
+            self.remote_reads += 1
+        self.per_object_reads[obj_id] = self.per_object_reads.get(obj_id, 0) + 1
+
+    def note_write(self, obj_id: int) -> None:
+        self.per_object_writes[obj_id] = self.per_object_writes.get(obj_id, 0) + 1
+
+
+class RuntimeSystem(ABC):
+    """Abstract base of the broadcast and point-to-point runtime systems."""
+
+    #: Human-readable name used in reports.
+    name = "abstract-rts"
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.cost_model = cluster.cost_model
+        self.stats = RtsStats()
+        self._object_ids = itertools.count(1)
+        self._handles: Dict[int, ObjectHandle] = {}
+        #: One object manager per machine.
+        self.managers: Dict[int, ObjectManager] = {
+            node.node_id: ObjectManager(node) for node in cluster.nodes
+        }
+
+    # ------------------------------------------------------------------ #
+    # Object creation / lookup
+    # ------------------------------------------------------------------ #
+
+    def _new_handle(self, spec_class: Type[ObjectSpec], name: Optional[str]) -> ObjectHandle:
+        validate_spec(spec_class)
+        obj_id = next(self._object_ids)
+        handle = ObjectHandle(obj_id=obj_id,
+                              name=name or f"{spec_class.__name__}#{obj_id}",
+                              spec_class=spec_class)
+        self._handles[obj_id] = handle
+        self.stats.objects_created += 1
+        return handle
+
+    def handle(self, obj_id: int) -> ObjectHandle:
+        try:
+            return self._handles[obj_id]
+        except KeyError:
+            raise RtsError(f"unknown object id {obj_id}") from None
+
+    def handles(self) -> List[ObjectHandle]:
+        return list(self._handles.values())
+
+    def manager(self, node_id: int) -> ObjectManager:
+        return self.managers[node_id]
+
+    # ------------------------------------------------------------------ #
+    # Abstract operations
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def create_object(self, proc: "SimProcess", spec_class: Type[ObjectSpec],
+                      args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
+                      name: Optional[str] = None) -> ObjectHandle:
+        """Create a shared object from the given process; returns its handle."""
+
+    @abstractmethod
+    def invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
+               args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
+        """Invoke an operation on a shared object from the given process."""
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by implementations
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _node_of(proc: "SimProcess"):
+        node = getattr(proc, "node", None)
+        if node is None:
+            raise RtsError(
+                "shared-object operations must be invoked from a process created "
+                "on a cluster node (kernel.spawn_thread or OrcaProcess.fork)"
+            )
+        return node
+
+    def read_write_summary(self) -> Dict[str, Any]:
+        """Compact summary used by benchmark reports."""
+        return {
+            "rts": self.name,
+            "objects": self.stats.objects_created,
+            "local_reads": self.stats.local_reads,
+            "remote_reads": self.stats.remote_reads,
+            "broadcast_writes": self.stats.broadcast_writes,
+            "rpc_writes": self.stats.rpc_writes,
+            "guard_retries": self.stats.guard_retries,
+        }

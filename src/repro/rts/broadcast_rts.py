@@ -1,0 +1,211 @@
+"""The broadcast runtime system: full replication, writes by ordered broadcast.
+
+Every shared object is replicated on every machine.  Read operations execute
+directly on the local replica, bypassing the object manager and generating no
+network traffic.  Write operations are broadcast — operation code plus
+parameters, not the new value — through the totally-ordered group layer; each
+machine's object manager applies incoming writes in strict sequence-number
+order, which is exactly what makes the replicas sequentially consistent.
+
+Guarded operations that find their guard false are applied as no-ops
+everywhere (all replicas agree, since they evaluate the guard on identical
+state) and the invoking process is blocked until its local replica changes,
+at which point the operation is re-issued.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Type
+
+from ..amoeba.broadcast.protocol import DeliveredMessage
+from ..amoeba.message import estimate_size
+from ..errors import RtsError
+from .base import ObjectHandle, RuntimeSystem
+from .object_model import RETRY, ObjectSpec
+from .consistency import HistoryRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..amoeba.cluster import Cluster
+    from ..sim.process import SimProcess
+
+
+@dataclass
+class _PendingWrite:
+    """A write invocation waiting for its own broadcast to come back."""
+
+    proc: "SimProcess"
+    result: Any = None
+    resolved: bool = False
+
+
+class BroadcastRts(RuntimeSystem):
+    """Fully replicated shared objects on top of totally-ordered broadcast."""
+
+    name = "broadcast-rts"
+
+    def __init__(self, cluster: "Cluster", record_history: bool = False) -> None:
+        super().__init__(cluster)
+        self.group = cluster.broadcast_group
+        self._invocation_ids = itertools.count(1)
+        self._pending: Dict[int, _PendingWrite] = {}
+        #: Processes waiting for a replica of a given object to appear locally:
+        #: (node_id, obj_id) -> [SimProcess, ...]
+        self._replica_waiters: Dict[Tuple[int, int], List["SimProcess"]] = {}
+        self.history = HistoryRecorder(enabled=record_history)
+        for node in cluster.nodes:
+            self.group.set_delivery_handler(
+                node.node_id,
+                lambda delivered, nid=node.node_id: self._on_deliver(nid, delivered),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def create_object(self, proc: "SimProcess", spec_class: Type[ObjectSpec],
+                      args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
+                      name: Optional[str] = None) -> ObjectHandle:
+        """Create a shared object, replicated on every machine."""
+        node = self._node_of(proc)
+        handle = self._new_handle(spec_class, name)
+        invocation_id = next(self._invocation_ids)
+        pending = _PendingWrite(proc=proc)
+        self._pending[invocation_id] = pending
+        payload = ("create", handle.obj_id, spec_class, args, kwargs or {},
+                   invocation_id)
+        size = max(32, estimate_size(args) + estimate_size(kwargs or {}))
+        proc.advance(self.cost_model.cpu.operation_dispatch_cost)
+        proc.absorb_overhead(node.drain_overhead())
+        proc.flush()
+        self.group.member(node.node_id).broadcast(payload, size=size)
+        proc.suspend()
+        self._pending.pop(invocation_id, None)
+        return handle
+
+    def invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
+               args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
+        """Invoke ``op_name`` on the shared object referenced by ``handle``."""
+        node = self._node_of(proc)
+        op = handle.spec_class.operation_def(op_name)
+        cpu = self.cost_model.cpu
+        proc.advance(cpu.operation_dispatch_cost)
+        if op.work_units:
+            proc.compute(op.work_units)
+        manager = self.managers[node.node_id]
+
+        if not op.is_write:
+            # Reads are purely local: no network traffic, no kernel round trip.
+            if not manager.has_valid_copy(handle.obj_id):
+                self._await_replica(proc, node.node_id, handle.obj_id)
+            proc.absorb_overhead(node.drain_overhead())
+            while True:
+                result = manager.execute_read(handle.obj_id, op, args, kwargs)
+                if result is not RETRY:
+                    break
+                self.stats.guard_retries += 1
+                self._wait_for_change(proc, node.node_id, handle.obj_id)
+            self.stats.note_read(handle.obj_id, local=True)
+            self.history.record_read(proc.name, node.node_id, handle.obj_id,
+                                     op_name, args, result,
+                                     manager.get(handle.obj_id).version)
+            return result
+
+        # Writes: broadcast the operation and wait for it to be applied locally.
+        self.stats.note_write(handle.obj_id)
+        while True:
+            if not manager.has_valid_copy(handle.obj_id):
+                self._await_replica(proc, node.node_id, handle.obj_id)
+            invocation_id = next(self._invocation_ids)
+            pending = _PendingWrite(proc=proc)
+            self._pending[invocation_id] = pending
+            payload = ("op", handle.obj_id, op_name, args, kwargs or {}, invocation_id)
+            size = max(16, estimate_size(args) + estimate_size(kwargs or {}) + 16)
+            proc.absorb_overhead(node.drain_overhead())
+            proc.flush()
+            self.stats.broadcast_writes += 1
+            self.group.member(node.node_id).broadcast(payload, size=size)
+            result = proc.suspend()
+            self._pending.pop(invocation_id, None)
+            proc.absorb_overhead(node.drain_overhead())
+            if result is not RETRY:
+                return result
+            # Guard rejected the operation everywhere; wait for a change and retry.
+            self.stats.guard_retries += 1
+            self._wait_for_change(proc, node.node_id, handle.obj_id)
+
+    # ------------------------------------------------------------------ #
+    # Delivery handling (runs at every member, in total order)
+    # ------------------------------------------------------------------ #
+
+    def _on_deliver(self, node_id: int, delivered: DeliveredMessage) -> None:
+        payload = delivered.payload
+        kind = payload[0]
+        manager = self.managers[node_id]
+        node = self.cluster.node(node_id)
+        cpu = self.cost_model.cpu
+        if kind == "create":
+            _, obj_id, spec_class, args, kwargs, invocation_id = payload
+            if not manager.has_valid_copy(obj_id):
+                instance = spec_class.create(args, kwargs)
+                manager.install(obj_id, self.handle(obj_id).name, instance)
+                self.stats.replicas_created += 1
+            node.charge_overhead(cpu.operation_dispatch_cost)
+            self._wake_replica_waiters(node_id, obj_id)
+            if delivered.origin == node_id:
+                self._resolve(invocation_id, None)
+            return
+        if kind == "op":
+            _, obj_id, op_name, args, kwargs, invocation_id = payload
+            handle = self.handle(obj_id)
+            op = handle.spec_class.operation_def(op_name)
+            if not manager.has_valid_copy(obj_id):
+                # Total order guarantees the create precedes every operation,
+                # so a missing replica is a protocol error worth failing on.
+                raise RtsError(
+                    f"node {node_id} received operation {op_name!r} for object "
+                    f"{obj_id} before its create message"
+                )
+            result = manager.apply_write(obj_id, op, args, kwargs,
+                                         local_origin=delivered.origin == node_id)
+            # Applying the update costs CPU on every machine that holds a
+            # replica: this is the overhead that limits ACP's speedup.
+            node.charge_overhead(cpu.operation_dispatch_cost +
+                                 op.work_units * cpu.work_unit_time)
+            if result is not RETRY:
+                self.history.record_write(node_id, obj_id, op_name, args,
+                                          delivered.seqno,
+                                          manager.get(obj_id).version)
+            if delivered.origin == node_id:
+                self._resolve(invocation_id, result)
+            return
+        raise RtsError(f"unknown broadcast RTS payload kind {kind!r}")
+
+    def _resolve(self, invocation_id: int, result: Any) -> None:
+        pending = self._pending.get(invocation_id)
+        if pending is None or pending.resolved:
+            return
+        pending.resolved = True
+        pending.result = result
+        pending.proc.wake(result)
+
+    # ------------------------------------------------------------------ #
+    # Blocking helpers
+    # ------------------------------------------------------------------ #
+
+    def _await_replica(self, proc: "SimProcess", node_id: int, obj_id: int) -> None:
+        """Block until this node holds a replica of ``obj_id``."""
+        key = (node_id, obj_id)
+        self._replica_waiters.setdefault(key, []).append(proc)
+        proc.suspend()
+
+    def _wake_replica_waiters(self, node_id: int, obj_id: int) -> None:
+        for proc in self._replica_waiters.pop((node_id, obj_id), []):
+            proc.wake()
+
+    def _wait_for_change(self, proc: "SimProcess", node_id: int, obj_id: int) -> None:
+        """Block until the local replica of ``obj_id`` is modified."""
+        replica = self.managers[node_id].get(obj_id)
+        replica.on_next_change(lambda: proc.wake())
+        proc.suspend()

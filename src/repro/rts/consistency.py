@@ -1,0 +1,183 @@
+"""Recording and checking sequential consistency of shared-object histories.
+
+The paper's correctness claim is that shared objects behave as if all
+operations were executed in some sequential order that every process agrees
+on.  The :class:`HistoryRecorder` captures, per machine, the order in which
+write operations were applied and, per process, which replica *version* each
+read observed.  The :class:`ConsistencyChecker` then verifies the two
+properties that together give sequential consistency in this design:
+
+1. **Write-order agreement** — every machine applied the same sequence of
+   writes to every object (same operations, same order).
+2. **Per-process monotonicity** — the sequence of replica versions observed
+   by any single process (through reads and its own writes) never goes
+   backwards; i.e. a process never sees the effect of a write and later reads
+   state from before that write.
+
+A third, optional *replay* check re-executes the canonical write order
+against a fresh instance and verifies that each recorded read result matches
+the state at the version it observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from ..errors import ConsistencyViolationError
+from .object_model import ObjectSpec, execute_operation
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One write applied at one machine."""
+
+    seqno: int
+    op_name: str
+    args: Tuple[Any, ...]
+    version_after: int
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One read performed by one process."""
+
+    process: str
+    node_id: int
+    obj_id: int
+    op_name: str
+    args: Tuple[Any, ...]
+    result: Any
+    version_observed: int
+
+
+class HistoryRecorder:
+    """Collects operation histories (cheap no-op unless enabled)."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        #: node_id -> obj_id -> [WriteRecord, ...] in application order.
+        self.writes: Dict[int, Dict[int, List[WriteRecord]]] = {}
+        #: [ReadRecord, ...] in recording order.
+        self.reads: List[ReadRecord] = []
+
+    def record_write(self, node_id: int, obj_id: int, op_name: str,
+                     args: Tuple[Any, ...], seqno: int, version_after: int) -> None:
+        if not self.enabled:
+            return
+        per_node = self.writes.setdefault(node_id, {})
+        per_node.setdefault(obj_id, []).append(
+            WriteRecord(seqno, op_name, tuple(args), version_after)
+        )
+
+    def record_read(self, process: str, node_id: int, obj_id: int, op_name: str,
+                    args: Tuple[Any, ...], result: Any, version_observed: int) -> None:
+        if not self.enabled:
+            return
+        self.reads.append(
+            ReadRecord(process, node_id, obj_id, op_name, tuple(args), result,
+                       version_observed)
+        )
+
+
+class ConsistencyChecker:
+    """Verifies recorded histories against the sequential-consistency criteria."""
+
+    def __init__(self, history: HistoryRecorder) -> None:
+        if not history.enabled:
+            raise ConsistencyViolationError(
+                "history recording was not enabled; nothing to check"
+            )
+        self.history = history
+
+    # ------------------------------------------------------------------ #
+    # Property 1: all machines applied the same writes in the same order
+    # ------------------------------------------------------------------ #
+
+    def check_write_order_agreement(self) -> None:
+        per_object: Dict[int, List[Tuple[int, List[WriteRecord]]]] = {}
+        for node_id, objects in self.history.writes.items():
+            for obj_id, records in objects.items():
+                per_object.setdefault(obj_id, []).append((node_id, records))
+        for obj_id, node_histories in per_object.items():
+            reference_node, reference = node_histories[0]
+            ref_ops = [(r.seqno, r.op_name, r.args) for r in reference]
+            for node_id, records in node_histories[1:]:
+                ops = [(r.seqno, r.op_name, r.args) for r in records]
+                if ops != ref_ops:
+                    raise ConsistencyViolationError(
+                        f"object {obj_id}: node {node_id} applied writes {ops[:5]}..., "
+                        f"node {reference_node} applied {ref_ops[:5]}..."
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Property 2: per-process version monotonicity
+    # ------------------------------------------------------------------ #
+
+    def check_process_monotonicity(self) -> None:
+        last_seen: Dict[Tuple[str, int], int] = {}
+        for record in self.history.reads:
+            key = (record.process, record.obj_id)
+            previous = last_seen.get(key, -1)
+            if record.version_observed < previous:
+                raise ConsistencyViolationError(
+                    f"process {record.process} observed object {record.obj_id} going "
+                    f"backwards: version {record.version_observed} after {previous}"
+                )
+            last_seen[key] = record.version_observed
+
+    # ------------------------------------------------------------------ #
+    # Property 3 (optional): replay validation of read results
+    # ------------------------------------------------------------------ #
+
+    def check_read_values(self, obj_id: int, spec_class: Type[ObjectSpec],
+                          init_args: Tuple[Any, ...] = ()) -> None:
+        """Re-execute the canonical write order and validate read results.
+
+        Only reads whose operations are deterministic functions of the object
+        state can be validated this way; that covers every object type used
+        in the test suite.
+        """
+        canonical = self._canonical_writes(obj_id)
+        # Rebuild object states at every version.
+        instance = spec_class.create(init_args)
+        states = [instance.marshal_state()]
+        for record in canonical:
+            op = spec_class.operation_def(record.op_name)
+            execute_operation(instance, op, record.args)
+            states.append(instance.marshal_state())
+        for read in self.history.reads:
+            if read.obj_id != obj_id:
+                continue
+            if read.version_observed >= len(states):
+                raise ConsistencyViolationError(
+                    f"read observed version {read.version_observed} but only "
+                    f"{len(states) - 1} writes were applied to object {obj_id}"
+                )
+            probe = spec_class.create(init_args)
+            probe.unmarshal_state(states[read.version_observed])
+            op = spec_class.operation_def(read.op_name)
+            expected = execute_operation(probe, op, read.args)
+            if expected != read.result:
+                raise ConsistencyViolationError(
+                    f"read {read.op_name}{read.args} by {read.process} returned "
+                    f"{read.result!r} but version {read.version_observed} implies "
+                    f"{expected!r}"
+                )
+
+    def _canonical_writes(self, obj_id: int) -> List[WriteRecord]:
+        best: List[WriteRecord] = []
+        for objects in self.history.writes.values():
+            records = objects.get(obj_id, [])
+            if len(records) > len(best):
+                best = records
+        return best
+
+    # ------------------------------------------------------------------ #
+
+    def check_all(self, replay: Optional[Dict[int, Tuple[Type[ObjectSpec], Tuple[Any, ...]]]] = None) -> None:
+        """Run every check; ``replay`` maps object ids to (spec, init args)."""
+        self.check_write_order_agreement()
+        self.check_process_monotonicity()
+        for obj_id, (spec_class, init_args) in (replay or {}).items():
+            self.check_read_values(obj_id, spec_class, init_args)

@@ -1,0 +1,187 @@
+"""The shared data-object model: abstract data types with read/write operations.
+
+A shared object type is declared as a Python class deriving from
+:class:`ObjectSpec`; its operations are ordinary methods decorated with
+:func:`operation`, which records whether the operation may change the
+object's state (a *write*) or not (a *read*).  The distinction is what makes
+replication pay off: reads execute locally on any replica, writes go through
+the runtime system's coherence protocol.
+
+Operations may declare a *guard* — a predicate over the object state.  A
+guarded operation blocks the invoking process until the guard holds (the
+classic example is dequeueing from an empty job queue).  Guards are evaluated
+atomically with the operation, on every replica, in the same total order, so
+all replicas agree on whether an invocation succeeded or must be retried.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from ..errors import RtsError, UnknownOperationError
+
+
+class _RetryType:
+    """Sentinel returned by the runtime when a guarded operation must wait."""
+
+    _instance: Optional["_RetryType"] = None
+
+    def __new__(cls) -> "_RetryType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<RETRY>"
+
+
+#: Singleton marker meaning "guard not satisfied; re-issue when the object changes".
+RETRY = _RetryType()
+
+
+@dataclass(frozen=True)
+class OperationDef:
+    """Metadata describing one operation of a shared object type."""
+
+    name: str
+    func: Callable[..., Any]
+    is_write: bool
+    guard: Optional[Callable[[Any], bool]] = None
+    #: Extra simulated CPU work units charged per invocation (beyond the
+    #: runtime's fixed dispatch cost); applications normally account their own
+    #: work instead.
+    work_units: float = 0.0
+
+
+def operation(write: bool = False, guard: Optional[Callable[[Any], bool]] = None,
+              work_units: float = 0.0) -> Callable[[Callable], Callable]:
+    """Mark a method of an :class:`ObjectSpec` subclass as a shared-object operation.
+
+    Parameters
+    ----------
+    write:
+        True if the operation may modify the object state.  Read operations
+        are executed locally on a replica without any communication.
+    guard:
+        Optional predicate ``guard(self, *args, **kwargs) -> bool`` receiving
+        the same arguments as the operation; the operation blocks the caller
+        until the predicate is true.
+    work_units:
+        Simulated CPU work charged per invocation.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        func._op_is_write = write          # type: ignore[attr-defined]
+        func._op_guard = guard             # type: ignore[attr-defined]
+        func._op_work_units = work_units   # type: ignore[attr-defined]
+        return func
+
+    return decorate
+
+
+class ObjectSpec:
+    """Base class for shared abstract data types.
+
+    Subclasses define their state in :meth:`init` (which receives the
+    arguments passed at object creation) and their operations as methods
+    decorated with :func:`operation`.  Instances must keep all their state in
+    instance attributes so the default marshalling (used for replica creation
+    and state transfer) works; override :meth:`marshal_state` /
+    :meth:`unmarshal_state` for custom layouts.
+    """
+
+    #: Populated by ``__init_subclass__``: operation name -> OperationDef.
+    _operations: Dict[str, OperationDef] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        ops: Dict[str, OperationDef] = {}
+        # Inherit operations from parent ObjectSpec classes.
+        for base in cls.__mro__[1:]:
+            if issubclass(base, ObjectSpec) and base is not ObjectSpec:
+                ops.update(getattr(base, "_operations", {}))
+        for name, attr in cls.__dict__.items():
+            if callable(attr) and hasattr(attr, "_op_is_write"):
+                ops[name] = OperationDef(
+                    name=name,
+                    func=attr,
+                    is_write=attr._op_is_write,
+                    guard=attr._op_guard,
+                    work_units=attr._op_work_units,
+                )
+        cls._operations = ops
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    def init(self, *args: Any, **kwargs: Any) -> None:
+        """Initialise the object's state (the Orca object 'constructor')."""
+
+    @classmethod
+    def operations(cls) -> Dict[str, OperationDef]:
+        """All operations declared by this type (including inherited ones)."""
+        return dict(cls._operations)
+
+    @classmethod
+    def operation_def(cls, name: str) -> OperationDef:
+        try:
+            return cls._operations[name]
+        except KeyError:
+            raise UnknownOperationError(
+                f"object type {cls.__name__!r} has no operation {name!r}"
+            ) from None
+
+    @classmethod
+    def create(cls, args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> "ObjectSpec":
+        """Instantiate the type and run its ``init``."""
+        instance = cls()
+        instance.init(*args, **(kwargs or {}))
+        return instance
+
+    # -- state marshalling ------------------------------------------------ #
+
+    def marshal_state(self) -> Dict[str, Any]:
+        """Return a deep-copied snapshot of the object's state."""
+        return copy.deepcopy(self.__dict__)
+
+    def unmarshal_state(self, state: Dict[str, Any]) -> None:
+        """Replace the object's state with a previously marshalled snapshot."""
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(state))
+
+    def state_size(self) -> int:
+        """Estimated marshalled size of the whole object state, in bytes."""
+        from ..amoeba.message import estimate_size
+
+        return max(1, estimate_size(self.__dict__))
+
+    def clone(self) -> "ObjectSpec":
+        """Create an independent replica with identical state."""
+        replica = type(self)()
+        replica.unmarshal_state(self.marshal_state())
+        return replica
+
+
+def execute_operation(instance: ObjectSpec, op: OperationDef,
+                      args: Tuple[Any, ...], kwargs: Optional[Dict[str, Any]] = None) -> Any:
+    """Run ``op`` against ``instance``, honouring its guard.
+
+    Returns the operation's result, or :data:`RETRY` if the guard is not
+    satisfied (in which case the state is guaranteed untouched).
+    """
+    kwargs = kwargs or {}
+    if op.guard is not None and not op.guard(instance, *args, **kwargs):
+        return RETRY
+    return op.func(instance, *args, **kwargs)
+
+
+def validate_spec(spec_class: Type[ObjectSpec]) -> None:
+    """Sanity-check an object type before it is registered with a runtime."""
+    if not (isinstance(spec_class, type) and issubclass(spec_class, ObjectSpec)):
+        raise RtsError(f"{spec_class!r} is not an ObjectSpec subclass")
+    if not spec_class._operations:
+        raise RtsError(
+            f"object type {spec_class.__name__!r} declares no operations; "
+            "decorate its methods with @operation(...)"
+        )

@@ -1,0 +1,23 @@
+"""The point-to-point runtime system (no hardware broadcast required).
+
+Objects have a *primary copy* on the machine that created them; other
+machines may hold *secondary copies*.  All writes are sent to the primary,
+which propagates them to the secondaries either by **invalidation** (discard
+all other copies) or by a **two-phase update** (ship the operation, wait for
+acknowledgements, then unlock).  Which machines hold copies is decided
+dynamically from per-machine read/write-ratio statistics.
+"""
+
+from .directory import ObjectDirectory
+from .invalidation import InvalidationProtocol
+from .replication_policy import ReplicationPolicy
+from .runtime import PointToPointRts
+from .update import TwoPhaseUpdateProtocol
+
+__all__ = [
+    "PointToPointRts",
+    "InvalidationProtocol",
+    "TwoPhaseUpdateProtocol",
+    "ObjectDirectory",
+    "ReplicationPolicy",
+]

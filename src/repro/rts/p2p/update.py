@@ -1,0 +1,100 @@
+"""The two-phase update coherence protocol for primary-copy objects.
+
+When a write arrives at the primary, the primary locks the object and ships
+the *operation* (code plus parameters — cheaper in bandwidth than shipping
+the new state) to every secondary.  Each secondary locks its copy, applies
+the operation, acknowledges, and keeps the copy locked.  When all
+acknowledgements have reached the primary, the second phase unlocks every
+copy; reads attempted while a copy is locked wait until it is unlocked.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from ..object_model import OperationDef
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...sim.process import SimProcess
+    from .runtime import PointToPointRts
+
+#: Message kinds used by the two-phase update protocol.
+KIND_UPDATE = "p2p.update"
+KIND_UNLOCK = "p2p.unlock"
+
+
+class TwoPhaseUpdateProtocol:
+    """Primary-side behaviour of the two-phase update protocol."""
+
+    name = "update"
+
+    def __init__(self, rts: "PointToPointRts") -> None:
+        self.rts = rts
+        self.updates_sent = 0
+        self.unlocks_sent = 0
+        self.writes_processed = 0
+
+    def primary_write(self, proc: "SimProcess", obj_id: int, op: OperationDef,
+                      args: Tuple[Any, ...], kwargs: Optional[Dict[str, Any]]) -> Any:
+        """Execute a write at the primary with the two-phase update protocol."""
+        rts = self.rts
+        primary_node = rts.directory.primary_of(obj_id)
+        manager = rts.managers[primary_node]
+        replica = manager.get(obj_id)
+        secondaries = rts.directory.secondaries_of(obj_id)
+        self.writes_processed += 1
+
+        replica.locked = True
+        try:
+            if secondaries:
+                # Phase 1: ship the operation, wait until everyone applied it.
+                txn_id = rts.new_transaction(len(secondaries))
+                for node_id in secondaries:
+                    self.updates_sent += 1
+                    rts.stats.updates_sent += 1
+                    rts.send_protocol_message(
+                        primary_node, node_id, KIND_UPDATE,
+                        {"obj_id": obj_id, "txn_id": txn_id,
+                         "op_name": op.name, "args": args, "kwargs": kwargs or {}},
+                    )
+                rts.await_acks(proc, txn_id)
+                # Phase 2: unlock every secondary copy.
+                for node_id in secondaries:
+                    self.unlocks_sent += 1
+                    rts.send_protocol_message(
+                        primary_node, node_id, KIND_UNLOCK,
+                        {"obj_id": obj_id, "txn_id": txn_id},
+                    )
+            result = manager.apply_write(obj_id, op, args, kwargs, local_origin=True)
+        finally:
+            replica.locked = False
+        return result
+
+    # -- secondary side ---------------------------------------------------- #
+
+    def handle_update(self, node_id: int, payload: Dict[str, Any]) -> None:
+        """A secondary applies the shipped operation, acknowledges, stays locked."""
+        rts = self.rts
+        obj_id = payload["obj_id"]
+        manager = rts.managers[node_id]
+        if manager.has_valid_copy(obj_id):
+            handle = rts.handle(obj_id)
+            op = handle.spec_class.operation_def(payload["op_name"])
+            manager.apply_write(obj_id, op, payload["args"], payload["kwargs"],
+                                local_origin=False)
+            manager.get(obj_id).locked = True
+            cpu = rts.cost_model.cpu
+            rts.cluster.node(node_id).charge_overhead(
+                cpu.operation_dispatch_cost + op.work_units * cpu.work_unit_time
+            )
+        rts.send_ack(node_id, payload["txn_id"])
+
+    def handle_unlock(self, node_id: int, payload: Dict[str, Any]) -> None:
+        """Phase 2 at a secondary: make the copy readable again."""
+        rts = self.rts
+        manager = rts.managers[node_id]
+        obj_id = payload["obj_id"]
+        if obj_id in manager.replicas:
+            replica = manager.get(obj_id)
+            replica.locked = False
+            replica.notify_changed()

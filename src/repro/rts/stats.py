@@ -1,0 +1,95 @@
+"""Access statistics driving the dynamic replication policy.
+
+The point-to-point runtime decides *per machine and per object* whether to
+keep a local copy, based on the observed ratio of reads to writes.  The
+statistics use an exponentially decayed window so the policy adapts when the
+access pattern changes phase (e.g. a data-structure that is write-heavy while
+being built and read-heavy afterwards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..config import ReplicationParams
+
+
+@dataclass
+class AccessStats:
+    """Read/write counters for one (object, machine) pair."""
+
+    reads: float = 0.0
+    writes: float = 0.0
+    total_reads: int = 0
+    total_writes: int = 0
+
+    def note_read(self) -> None:
+        self.reads += 1.0
+        self.total_reads += 1
+
+    def note_write(self) -> None:
+        self.writes += 1.0
+        self.total_writes += 1
+
+    @property
+    def accesses(self) -> float:
+        return self.reads + self.writes
+
+    @property
+    def ratio(self) -> float:
+        """Read/write ratio; all-read windows report infinity."""
+        if self.writes == 0.0:
+            return float("inf") if self.reads > 0 else 0.0
+        return self.reads / self.writes
+
+    def decay(self, factor: float) -> None:
+        """Shrink the window so newer accesses dominate older ones."""
+        self.reads *= factor
+        self.writes *= factor
+
+
+class ReplicationDecider:
+    """Applies the hysteresis thresholds of the dynamic replication policy."""
+
+    def __init__(self, params: ReplicationParams) -> None:
+        self.params = params
+        self._stats: Dict[Tuple[int, int], AccessStats] = {}
+        self.replicate_decisions = 0
+        self.drop_decisions = 0
+
+    def stats_for(self, obj_id: int, node_id: int) -> AccessStats:
+        key = (obj_id, node_id)
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = AccessStats()
+            self._stats[key] = stats
+        return stats
+
+    def note_read(self, obj_id: int, node_id: int) -> None:
+        self.stats_for(obj_id, node_id).note_read()
+
+    def note_write(self, obj_id: int, node_id: int) -> None:
+        self.stats_for(obj_id, node_id).note_write()
+
+    def should_replicate(self, obj_id: int, node_id: int) -> bool:
+        """True if a machine *without* a copy should fetch one."""
+        stats = self.stats_for(obj_id, node_id)
+        if stats.accesses < self.params.min_accesses:
+            return False
+        decision = stats.ratio > self.params.replicate_threshold
+        if decision:
+            self.replicate_decisions += 1
+            stats.decay(self.params.decay)
+        return decision
+
+    def should_drop(self, obj_id: int, node_id: int) -> bool:
+        """True if a machine *with* a copy should discard it."""
+        stats = self.stats_for(obj_id, node_id)
+        if stats.accesses < self.params.min_accesses:
+            return False
+        decision = stats.ratio < self.params.drop_threshold
+        if decision:
+            self.drop_decisions += 1
+            stats.decay(self.params.decay)
+        return decision

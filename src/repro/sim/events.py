@@ -1,0 +1,122 @@
+"""Event and event-queue primitives for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A scheduled callback in virtual time.
+
+    Events are created through :meth:`repro.sim.kernel.Simulator.schedule`.
+    They can be cancelled before they fire; a cancelled event is skipped by
+    the run loop without invoking its callback.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not self.cancelled and not self.fired
+
+    def fire(self) -> None:
+        """Invoke the callback (used by the simulator run loop)."""
+        if self.cancelled:
+            return
+        self.fired = True
+        self.callback(*self.args, **self.kwargs)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<Event t={self.time:.6f} seq={self.seq} {state} cb={getattr(self.callback, '__name__', self.callback)!r}>"
+
+
+class EventQueue:
+    """A stable priority queue of :class:`Event` objects.
+
+    Events with equal timestamps fire in insertion order, which is what makes
+    the simulation deterministic independent of hash ordering or OS thread
+    scheduling.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def next_seq(self) -> int:
+        """Return a fresh monotonically-increasing sequence number."""
+        return next(self._counter)
+
+    def push(self, event: Event) -> None:
+        """Insert an event into the queue."""
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue contains no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop() from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the virtual time of the earliest live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Inform the queue that one of its events was cancelled externally."""
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Discard all events."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,206 @@
+"""The discrete-event simulator core: virtual clock, event queue, run loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..errors import DeadlockError, SimulationError
+from .events import Event, EventQueue
+from .process import SimProcess
+from .rng import RngRegistry
+from .trace import Tracer
+
+
+class Simulator:
+    """A single-clock discrete-event simulator.
+
+    The simulator owns the virtual clock, the event queue, the random-stream
+    registry and the tracer.  Higher layers (the Amoeba substrate, the RTSes,
+    the Orca programming layer) all schedule work through one simulator
+    instance per cluster.
+
+    The simulator can be used as a context manager; on exit it kills any
+    still-blocked processes so their OS threads are reclaimed promptly::
+
+        with Simulator(seed=1) as sim:
+            sim.spawn(my_process)
+            sim.run()
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: bool = False,
+        work_unit_time: float = 2.0e-5,
+        max_trace_records: Optional[int] = None,
+    ) -> None:
+        self.now = 0.0
+        self.rng = RngRegistry(seed)
+        self.tracer = Tracer(enabled=trace, max_records=max_trace_records)
+        #: Default conversion factor used by :meth:`SimProcess.compute`.
+        self.work_unit_time = work_unit_time
+        self._queue = EventQueue()
+        self._processes: List[SimProcess] = []
+        self._current_process: Optional[SimProcess] = None
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args, **kwargs)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before current time {self.now}"
+            )
+        event = Event(time, self._queue.next_seq(), callback, args, kwargs)
+        self._queue.push(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if event.pending:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------ #
+    # Processes
+    # ------------------------------------------------------------------ #
+
+    def spawn(
+        self,
+        target: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        start_delay: float = 0.0,
+        **kwargs: Any,
+    ) -> SimProcess:
+        """Create a :class:`SimProcess` running ``target`` and schedule its start."""
+        proc_name = name or getattr(target, "__name__", "process")
+        proc = SimProcess(
+            self, target, args, kwargs, name=f"{proc_name}#{len(self._processes)}",
+            daemon=daemon,
+        )
+        self._processes.append(proc)
+        proc.state = "ready"
+        self.schedule(start_delay, proc._kernel_start)
+        return proc
+
+    @property
+    def current_process(self) -> Optional[SimProcess]:
+        """The process currently holding control, if any."""
+        return self._current_process
+
+    @property
+    def processes(self) -> List[SimProcess]:
+        """All processes ever spawned on this simulator."""
+        return list(self._processes)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        check_deadlock: bool = True,
+    ) -> float:
+        """Run until the event queue drains (or ``until`` / ``max_events`` hit).
+
+        Returns the final virtual time.
+
+        Raises
+        ------
+        DeadlockError
+            If the event queue drains while non-daemon processes are still
+            blocked and ``check_deadlock`` is true.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            fired = 0
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    return self.now
+                event = self._queue.pop()
+                self.now = event.time
+                event.fire()
+                self._events_processed += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    return self.now
+            if check_deadlock:
+                self._check_deadlock()
+            return self.now
+        finally:
+            self._running = False
+
+    def run_until_complete(self, processes: List[SimProcess], **run_kwargs: Any) -> float:
+        """Run until every process in ``processes`` has terminated."""
+        final = self.run(**run_kwargs)
+        still_alive = [p for p in processes if p.alive]
+        if still_alive:
+            names = ", ".join(p.name for p in still_alive)
+            raise DeadlockError(
+                f"simulation ended at t={final:.6f} with live processes: {names}"
+            )
+        return final
+
+    def _check_deadlock(self) -> None:
+        blocked = [
+            p for p in self._processes if p.state == "blocked" and not p.daemon
+        ]
+        if blocked:
+            names = ", ".join(p.name for p in blocked)
+            raise DeadlockError(
+                f"event queue empty at t={self.now:.6f} but processes are blocked: {names}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Shutdown / context manager
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self) -> None:
+        """Kill all still-alive processes so their OS threads terminate."""
+        for proc in self._processes:
+            if proc.alive:
+                proc._kill()
+        self._queue.clear()
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+
+    def trace(self, category: str, message: str, **data: Any) -> None:
+        """Record a trace entry at the current virtual time."""
+        self.tracer.record(self.now, category, message, **data)

@@ -1,0 +1,306 @@
+"""Handshaked-thread simulation processes.
+
+A :class:`SimProcess` runs ordinary Python code in a dedicated OS thread, but
+the simulator guarantees that **at most one thread runs at any moment**: the
+kernel hands control to the process and then blocks until the process hands
+control back (by blocking on a simulation primitive, holding for virtual
+time, or terminating).  This gives application code the convenience of plain
+imperative Python (deep recursion, loops, exceptions) while keeping the
+simulation fully deterministic: the interleaving of processes is decided
+solely by the virtual-time event queue, never by the OS scheduler.
+
+Processes account for their computation with :meth:`SimProcess.compute`,
+which accumulates *pending* virtual time locally.  Pending time is flushed
+into the global clock lazily — when the process blocks, communicates, or
+finishes — so that fine-grained accounting (e.g. one call per tree node in a
+search application) does not force a kernel round trip per call.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from ..errors import ProcessError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Simulator
+
+
+class ProcessKilled(BaseException):
+    """Raised inside a process thread to unwind it when the simulation shuts down.
+
+    Derives from ``BaseException`` so that well-behaved application code that
+    catches ``Exception`` does not accidentally swallow it.
+    """
+
+
+class SimProcess:
+    """A simulated process (an Orca process, a worker thread, a server loop).
+
+    Instances are created through :meth:`repro.sim.kernel.Simulator.spawn`.
+    """
+
+    _STATES = ("new", "ready", "running", "blocked", "finished", "failed", "killed")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        target: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        name: str = "process",
+        daemon: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.daemon = daemon
+        self._target = target
+        self._args = args
+        self._kwargs = kwargs or {}
+        self.state = "new"
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._pending_compute = 0.0
+        self._local_time_at_last_sync = 0.0
+        self._killed = False
+        self._wake_value: Any = None
+        self._completion_waiters: List[Callable[["SimProcess"], None]] = []
+        self._resume_evt = threading.Event()
+        self._yield_evt = threading.Event()
+        self._thread = threading.Thread(
+            target=self._bootstrap, name=f"sim:{name}", daemon=True
+        )
+        self._thread_started = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alive(self) -> bool:
+        """True while the process has not yet finished, failed, or been killed."""
+        return self.state in ("new", "ready", "running", "blocked")
+
+    @property
+    def finished(self) -> bool:
+        return self.state == "finished"
+
+    @property
+    def failed(self) -> bool:
+        return self.state == "failed"
+
+    @property
+    def pending_compute(self) -> float:
+        """Virtual compute time accumulated but not yet flushed to the clock."""
+        return self._pending_compute
+
+    @property
+    def local_time(self) -> float:
+        """The process's own notion of current time (global clock + pending)."""
+        return self.sim.now + self._pending_compute
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimProcess {self.name!r} state={self.state}>"
+
+    # ------------------------------------------------------------------ #
+    # Kernel-side control (runs in the simulator's thread)
+    # ------------------------------------------------------------------ #
+
+    def _kernel_start(self) -> None:
+        """Start the process thread and give it control for the first time."""
+        if self.state != "ready":
+            return
+        if not self._thread_started:
+            self._thread.start()
+            self._thread_started = True
+        self._transfer_control()
+
+    def _kernel_resume(self, value: Any = None) -> None:
+        """Resume a blocked process (invoked from the event queue)."""
+        if self.state == "killed":
+            return
+        if self.state != "blocked":
+            raise SimulationError(
+                f"cannot resume process {self.name!r} in state {self.state}"
+            )
+        self._wake_value = value
+        self._transfer_control()
+
+    def _transfer_control(self) -> None:
+        """Hand control to the process thread and wait until it yields back."""
+        previous = self.sim._current_process
+        self.sim._current_process = self
+        self.state = "running"
+        self._yield_evt.clear()
+        self._resume_evt.set()
+        self._yield_evt.wait()
+        self.sim._current_process = previous
+        if self.state == "failed" and not self.daemon:
+            exc = self.exception
+            raise ProcessError(
+                f"simulated process {self.name!r} raised {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _kill(self) -> None:
+        """Forcefully unwind this process's thread (used at simulator shutdown)."""
+        if not self.alive:
+            return
+        self._killed = True
+        if self.state == "new":
+            self.state = "killed"
+            return
+        if self.state == "blocked":
+            # Resume it so the thread can observe the kill flag and unwind.
+            self._wake_value = None
+            self._transfer_control()
+        elif self.state in ("ready",):
+            self.state = "killed"
+
+    # ------------------------------------------------------------------ #
+    # Process-side API (runs in the process's own thread)
+    # ------------------------------------------------------------------ #
+
+    def _bootstrap(self) -> None:
+        self._resume_evt.wait()
+        self._resume_evt.clear()
+        try:
+            if self._killed:
+                raise ProcessKilled()
+            self.result = self._target(*self._args, **self._kwargs)
+            self.state = "finished"
+        except ProcessKilled:
+            self.state = "killed"
+        except BaseException as exc:  # noqa: BLE001 - report any failure
+            self.exception = exc
+            self.state = "failed"
+        finally:
+            if self.state == "finished":
+                self._on_finished()
+            self._yield_evt.set()
+
+    def _on_finished(self) -> None:
+        """Flush pending compute and notify joiners.  Runs with control held."""
+        if self._pending_compute > 0.0:
+            # Completion should be visible at the process's local time, so
+            # schedule the waiter notifications after the pending compute.
+            delay = self._pending_compute
+            self._pending_compute = 0.0
+            self.sim.schedule(delay, self._notify_completion)
+        else:
+            self.sim.schedule(0.0, self._notify_completion)
+
+    def _notify_completion(self) -> None:
+        waiters, self._completion_waiters = self._completion_waiters, []
+        for callback in waiters:
+            callback(self)
+
+    def _yield_to_kernel(self) -> Any:
+        """Give control back to the kernel and wait to be resumed."""
+        self._yield_evt.set()
+        self._resume_evt.wait()
+        self._resume_evt.clear()
+        if self._killed:
+            raise ProcessKilled()
+        return self._wake_value
+
+    def _require_current(self) -> None:
+        if self.sim._current_process is not self:
+            raise SimulationError(
+                f"primitive called outside process {self.name!r}'s own context"
+            )
+
+    # -- work accounting ------------------------------------------------ #
+
+    def compute(self, units: float, unit_time: Optional[float] = None) -> None:
+        """Account ``units`` of application work without yielding control.
+
+        ``unit_time`` defaults to the simulator's configured work-unit time.
+        The accumulated time is added to the global clock the next time this
+        process blocks, communicates, or finishes.
+        """
+        if units < 0:
+            raise SimulationError("compute() requires a non-negative amount of work")
+        factor = self.sim.work_unit_time if unit_time is None else unit_time
+        self._pending_compute += units * factor
+
+    def advance(self, duration: float) -> None:
+        """Account ``duration`` seconds of local computation without yielding."""
+        if duration < 0:
+            raise SimulationError("advance() requires a non-negative duration")
+        self._pending_compute += duration
+
+    def absorb_overhead(self, duration: float) -> None:
+        """Charge externally-imposed CPU overhead (e.g. interrupt handling)."""
+        if duration > 0:
+            self._pending_compute += duration
+
+    def flush(self) -> None:
+        """Flush accumulated compute time into the global clock (may block)."""
+        self._require_current()
+        if self._pending_compute > 0.0:
+            self.hold(0.0)
+
+    # -- blocking primitives --------------------------------------------- #
+
+    def hold(self, duration: float) -> None:
+        """Block this process for ``duration`` seconds of virtual time.
+
+        Any pending compute time is flushed first, so ``hold(0)`` is an
+        explicit synchronization point.
+        """
+        self._require_current()
+        if duration < 0:
+            raise SimulationError("hold() requires a non-negative duration")
+        total = duration + self._pending_compute
+        self._pending_compute = 0.0
+        self.state = "blocked"
+        self.sim.schedule(total, self._kernel_resume)
+        self._yield_to_kernel()
+
+    def suspend(self) -> Any:
+        """Block until another component calls :meth:`wake`.
+
+        Pending compute time is flushed (scheduled) before suspending so the
+        process's prior work is reflected in the clock by the time it wakes.
+        Returns the value passed to :meth:`wake`.
+        """
+        self._require_current()
+        self._pending_compute = 0.0
+        self.state = "blocked"
+        return self._yield_to_kernel()
+
+    def wake(self, value: Any = None, delay: float = 0.0) -> None:
+        """Schedule this (blocked) process to resume after ``delay`` seconds.
+
+        May be called from kernel context (event callbacks) or from another
+        process that currently holds control.
+        """
+        if not self.alive:
+            return
+        self.sim.schedule(delay, self._kernel_resume, value)
+
+    def join(self, other: "SimProcess") -> Any:
+        """Block until ``other`` terminates; returns its result.
+
+        Raises
+        ------
+        ProcessError
+            If ``other`` failed with an exception.
+        """
+        self._require_current()
+        if other.alive:
+            other._completion_waiters.append(lambda _p: self.wake())
+            self.suspend()
+        if other.failed:
+            raise ProcessError(
+                f"joined process {other.name!r} failed: {other.exception}"
+            ) from other.exception
+        return other.result
+
+    def on_completion(self, callback: Callable[["SimProcess"], None]) -> None:
+        """Register ``callback`` to run (in kernel context) when this process ends."""
+        if not self.alive:
+            self.sim.schedule(0.0, callback, self)
+        else:
+            self._completion_waiters.append(callback)

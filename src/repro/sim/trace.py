@@ -1,0 +1,73 @@
+"""Structured event tracing for the simulation kernel and higher layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event was recorded.
+    category:
+        Dot-separated category string (e.g. ``"net.broadcast"``, ``"rts.write"``).
+    message:
+        Human-readable description.
+    data:
+        Arbitrary structured payload for programmatic inspection.
+    """
+
+    time: float
+    category: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled.
+
+    Tracing is off by default because application benchmarks can generate
+    millions of events; tests that need to inspect protocol behaviour enable
+    it explicitly via ``ClusterConfig(trace=True)``.
+    """
+
+    def __init__(self, enabled: bool = False, max_records: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.max_records = max_records
+        self._records: List[TraceRecord] = []
+        self._dropped = 0
+
+    def record(self, time: float, category: str, message: str, **data: Any) -> None:
+        """Append a record if tracing is enabled (cheap no-op otherwise)."""
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self._records) >= self.max_records:
+            self._dropped += 1
+            return
+        self._records.append(TraceRecord(time, category, message, dict(data)))
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All recorded entries, in chronological order."""
+        return self._records
+
+    @property
+    def dropped(self) -> int:
+        """Number of records dropped because ``max_records`` was reached."""
+        return self._dropped
+
+    def filter(self, category_prefix: str) -> Iterator[TraceRecord]:
+        """Iterate over records whose category starts with ``category_prefix``."""
+        for record in self._records:
+            if record.category.startswith(category_prefix):
+                yield record
+
+    def clear(self) -> None:
+        """Discard all recorded entries."""
+        self._records.clear()
+        self._dropped = 0

@@ -1,0 +1,268 @@
+"""Tests for the PB/BB totally-ordered reliable broadcast protocols."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amoeba.broadcast.protocol import MessageId, OrderingEngine
+from repro.amoeba.cluster import Cluster
+from repro.config import BroadcastParams, ClusterConfig, CostModel
+from repro.errors import BroadcastError
+
+
+def make_cluster(n=4, seed=3, method="auto", loss_rate=0.0, network_type="ethernet"):
+    cost_model = CostModel().with_overrides(
+        network={"loss_rate": loss_rate},
+        broadcast={"method": method},
+    )
+    return Cluster(ClusterConfig(num_nodes=n, cost_model=cost_model, seed=seed),
+                   network_type=network_type)
+
+
+def collect_deliveries(cluster):
+    """Install recording delivery handlers; returns {node_id: [(seqno, payload)]}."""
+    log = {node.node_id: [] for node in cluster.nodes}
+    group = cluster.broadcast_group
+    for node in cluster.nodes:
+        group.set_delivery_handler(
+            node.node_id,
+            lambda d, nid=node.node_id: log[nid].append((d.seqno, d.payload)),
+        )
+    return log
+
+
+class TestOrderingEngine:
+    def test_in_order_delivery(self):
+        engine = OrderingEngine()
+        engine.offer(1, 0, MessageId(0, 1), "a", 10)
+        engine.offer(2, 0, MessageId(0, 2), "b", 10)
+        assert [d.payload for d in engine.pop_deliverable()] == ["a", "b"]
+
+    def test_out_of_order_buffered(self):
+        engine = OrderingEngine()
+        engine.offer(2, 0, MessageId(0, 2), "b", 10)
+        assert engine.pop_deliverable() == []
+        assert engine.missing_seqnos() == [1]
+        engine.offer(1, 0, MessageId(0, 1), "a", 10)
+        assert [d.payload for d in engine.pop_deliverable()] == ["a", "b"]
+
+    def test_duplicates_discarded(self):
+        engine = OrderingEngine()
+        engine.offer(1, 0, MessageId(0, 1), "a", 10)
+        engine.pop_deliverable()
+        engine.offer(1, 0, MessageId(0, 1), "a", 10)
+        assert engine.pop_deliverable() == []
+        assert engine.duplicates == 1
+
+    def test_bb_data_then_accept(self):
+        engine = OrderingEngine()
+        engine.offer_bb_data(3, MessageId(3, 1), "x", 10)
+        assert engine.pop_deliverable() == []
+        assert engine.offer_accept(1, 3, MessageId(3, 1))
+        assert [d.payload for d in engine.pop_deliverable()] == ["x"]
+
+    def test_accept_before_data(self):
+        engine = OrderingEngine()
+        assert not engine.offer_accept(1, 3, MessageId(3, 1))
+        assert engine.missing_seqnos() == [1]
+        engine.offer_bb_data(3, MessageId(3, 1), "x", 10)
+        assert [d.payload for d in engine.pop_deliverable()] == ["x"]
+
+    @given(st.permutations(list(range(1, 11))))
+    @settings(max_examples=50, deadline=None)
+    def test_any_arrival_order_delivers_in_sequence(self, order):
+        engine = OrderingEngine()
+        delivered = []
+        for seqno in order:
+            engine.offer(seqno, 0, MessageId(0, seqno), f"m{seqno}", 8)
+            delivered.extend(d.seqno for d in engine.pop_deliverable())
+        assert delivered == list(range(1, 11))
+
+
+class TestBroadcastGroup:
+    def test_total_order_identical_on_all_nodes(self):
+        with make_cluster(5) as cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            # Fire several broadcasts from different nodes at the same instant.
+            for i, sender in enumerate([0, 1, 2, 3, 4, 1, 2]):
+                group.broadcast_from(sender, payload=f"msg{i}", size=100)
+            cluster.run()
+            sequences = list(log.values())
+            assert all(seq == sequences[0] for seq in sequences)
+            assert len(sequences[0]) == 7
+            assert [s for s, _ in sequences[0]] == list(range(1, 8))
+
+    def test_sender_also_delivers_its_own_message(self):
+        with make_cluster(3) as cluster:
+            log = collect_deliveries(cluster)
+            cluster.broadcast_group.broadcast_from(2, payload="hello", size=50)
+            cluster.run()
+            assert log[2] == [(1, "hello")]
+
+    def test_on_delivered_callback_receives_seqno(self):
+        with make_cluster(3) as cluster:
+            collect_deliveries(cluster)
+            seqnos = []
+            cluster.broadcast_group.broadcast_from(
+                1, payload="x", size=10, on_delivered=seqnos.append
+            )
+            cluster.run()
+            assert seqnos == [1]
+
+    def test_short_messages_use_pb_long_use_bb(self):
+        with make_cluster(3) as cluster:
+            collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            group.broadcast_from(1, payload="short", size=100)
+            group.broadcast_from(1, payload="long", size=5000)
+            cluster.run()
+            assert group.stats.pb_sends == 1
+            assert group.stats.bb_sends == 1
+
+    def test_forced_method_overrides_size_rule(self):
+        with make_cluster(3, method="bb") as cluster:
+            collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            group.broadcast_from(1, payload="short", size=10)
+            cluster.run()
+            assert group.stats.bb_sends == 1
+            assert group.stats.pb_sends == 0
+
+    def test_pb_bandwidth_is_roughly_double_bb(self):
+        """PB puts the full message on the wire twice; BB only once (plus Accept)."""
+        size = 1000
+
+        def wire_bytes(method):
+            with make_cluster(4, method=method) as cluster:
+                collect_deliveries(cluster)
+                for _ in range(10):
+                    cluster.broadcast_group.broadcast_from(1, payload="p", size=size)
+                cluster.run()
+                return cluster.network.stats.wire_bytes
+
+        pb_bytes = wire_bytes("pb")
+        bb_bytes = wire_bytes("bb")
+        assert pb_bytes > 1.6 * bb_bytes
+
+    def test_bb_interrupts_receivers_twice(self):
+        """Each non-sequencer, non-sender machine takes 1 interrupt under PB, 2 under BB."""
+        def interrupts_at_node_3(method):
+            with make_cluster(4, method=method) as cluster:
+                collect_deliveries(cluster)
+                for _ in range(10):
+                    cluster.broadcast_group.broadcast_from(1, payload="p", size=500)
+                cluster.run()
+                return cluster.node(3).nic.stats.interrupts
+
+        assert interrupts_at_node_3("pb") == 10
+        assert interrupts_at_node_3("bb") == 20
+
+    def test_sequencer_can_broadcast_too(self):
+        with make_cluster(3) as cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            assert group.sequencer_node_id == 0
+            group.broadcast_from(0, payload="from-seq", size=10)
+            cluster.run()
+            assert log[1] == [(1, "from-seq")]
+            assert log[0] == [(1, "from-seq")]
+
+    def test_requires_broadcast_network(self):
+        with make_cluster(3, network_type="switched") as cluster:
+            with pytest.raises(BroadcastError):
+                _ = cluster.broadcast_group
+
+    def test_many_interleaved_broadcasts_from_processes(self):
+        with make_cluster(4) as cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+
+            def sender(node_id, count):
+                proc = cluster.sim.current_process
+                for i in range(count):
+                    group.broadcast_from(node_id, payload=(node_id, i), size=200)
+                    proc.hold(0.001)
+
+            for node in cluster.nodes:
+                node.kernel.spawn_thread(sender, node.node_id, 5)
+            cluster.run()
+            sequences = list(log.values())
+            assert all(seq == sequences[0] for seq in sequences)
+            assert len(sequences[0]) == 20
+
+
+class TestLossRecovery:
+    def test_total_order_survives_packet_loss(self):
+        with make_cluster(4, loss_rate=0.15, seed=9) as cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            for i in range(30):
+                group.broadcast_from(i % 4, payload=i, size=300)
+            cluster.run()
+            sequences = list(log.values())
+            # Every live node must deliver the same 30 messages in the same order.
+            assert all(seq == sequences[0] for seq in sequences)
+            assert len(sequences[0]) == 30
+            payloads = [p for _, p in sequences[0]]
+            assert sorted(payloads) == list(range(30))
+
+    def test_loss_recovery_uses_retransmissions(self):
+        with make_cluster(4, loss_rate=0.25, seed=21) as cluster:
+            collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            for i in range(20):
+                group.broadcast_from(1, payload=i, size=300)
+            cluster.run()
+            assert group.stats.retransmit_requests > 0
+            assert group.delivered_counts() == {0: 20, 1: 20, 2: 20, 3: 20}
+
+
+class TestSequencerElection:
+    def test_new_sequencer_elected_after_crash(self):
+        with make_cluster(4) as cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+
+            def scenario():
+                proc = cluster.sim.current_process
+                group.broadcast_from(1, payload="before", size=10)
+                proc.hold(0.2)
+                group.crash_sequencer()
+                # This send has no sequencer to order it; the retry path
+                # must elect a new sequencer and then deliver it.
+                group.broadcast_from(1, payload="after", size=10)
+                proc.hold(2.0)
+
+            cluster.node(1).kernel.spawn_thread(scenario)
+            cluster.run()
+            assert group.sequencer_node_id != 0
+            surviving = [nid for nid in log if nid != 0]
+            for nid in surviving:
+                payloads = [p for _, p in log[nid]]
+                assert payloads == ["before", "after"]
+
+    def test_order_preserved_across_election(self):
+        with make_cluster(5) as cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+
+            def scenario():
+                proc = cluster.sim.current_process
+                for i in range(5):
+                    group.broadcast_from(2, payload=("pre", i), size=10)
+                proc.hold(0.2)
+                group.crash_sequencer()
+                for i in range(5):
+                    group.broadcast_from(3, payload=("post", i), size=10)
+                proc.hold(2.0)
+
+            cluster.node(2).kernel.spawn_thread(scenario)
+            cluster.run()
+            surviving = [nid for nid in log if nid != 0]
+            reference = log[surviving[0]]
+            for nid in surviving:
+                assert log[nid] == reference
+            labels = [p[0] for _, p in reference]
+            assert labels == ["pre"] * 5 + ["post"] * 5

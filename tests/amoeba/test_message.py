@@ -1,0 +1,70 @@
+"""Tests for message construction and size estimation."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.amoeba.message import Message, estimate_size
+
+
+class TestEstimateSize:
+    def test_scalars(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 1
+        assert estimate_size(7) == 8
+        assert estimate_size(3.14) == 8
+
+    def test_strings_and_bytes(self):
+        assert estimate_size("hello") == 5
+        assert estimate_size(b"abc") == 3
+
+    def test_containers_include_framing(self):
+        assert estimate_size([1, 2, 3]) == 8 + 24
+        assert estimate_size({"a": 1}) == 8 + 1 + 8
+
+    def test_custom_marshal_size(self):
+        class Blob:
+            def marshal_size(self):
+                return 1000
+
+        assert estimate_size(Blob()) == 1000
+
+    def test_unknown_objects_get_default(self):
+        class Opaque:
+            pass
+
+        assert estimate_size(Opaque()) == 64
+
+    @given(st.recursive(
+        st.one_of(st.integers(), st.text(max_size=20), st.booleans(), st.none()),
+        lambda children: st.lists(children, max_size=5),
+        max_leaves=20,
+    ))
+    def test_size_is_always_positive(self, value):
+        assert estimate_size(value) >= 1
+
+
+class TestMessage:
+    def test_size_estimated_when_omitted(self):
+        msg = Message(src=0, dst=1, kind="x", payload="hello")
+        assert msg.size == 5
+
+    def test_explicit_size_respected(self):
+        msg = Message(src=0, dst=1, kind="x", payload="hello", size=4000)
+        assert msg.size == 4000
+
+    def test_broadcast_flag(self):
+        assert Message(src=0, dst=None, kind="x").is_broadcast
+        assert not Message(src=0, dst=3, kind="x").is_broadcast
+
+    def test_unique_ids(self):
+        a = Message(src=0, dst=1, kind="x")
+        b = Message(src=0, dst=1, kind="x")
+        assert a.msg_id != b.msg_id
+
+    def test_reply_to(self):
+        request = Message(src=2, dst=5, kind="req", payload="hi")
+        reply = request.reply_to("rep", payload="ok")
+        assert reply.dst == 2
+        assert reply.src == 5
+        assert reply.headers["in_reply_to"] == request.msg_id

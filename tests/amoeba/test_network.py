@@ -1,0 +1,172 @@
+"""Tests for the simulated interconnects and NICs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amoeba.cluster import Cluster
+from repro.amoeba.message import Message
+from repro.config import ClusterConfig, CostModel, NetworkParams
+from repro.errors import NetworkError, RoutingError
+
+
+def make_cluster(n=3, network_type="ethernet", **net_overrides):
+    cost_model = CostModel().with_overrides(network=net_overrides) if net_overrides else CostModel()
+    config = ClusterConfig(num_nodes=n, cost_model=cost_model, seed=5)
+    return Cluster(config, network_type=network_type)
+
+
+class TestEthernetNetwork:
+    def test_unicast_delivery(self):
+        with make_cluster(3) as cluster:
+            received = []
+            cluster.node(1).register_handler("test", lambda m: received.append(m.payload))
+            cluster.node(0).send(cluster.node(0).make_message(1, "test", payload="hi"))
+            cluster.run()
+            assert received == ["hi"]
+
+    def test_broadcast_reaches_all_but_sender(self):
+        with make_cluster(4) as cluster:
+            received = []
+            for node in cluster.nodes:
+                node.register_handler(
+                    "test", lambda m, nid=node.node_id: received.append(nid)
+                )
+            cluster.node(2).send(cluster.node(2).make_message(None, "test", payload="x"))
+            cluster.run()
+            assert sorted(received) == [0, 1, 3]
+
+    def test_delivery_takes_latency_plus_transmit_time(self):
+        with make_cluster(2) as cluster:
+            params = cluster.cost_model.network
+            arrival = []
+            cluster.node(1).register_handler("t", lambda m: arrival.append(cluster.sim.now))
+            msg = cluster.node(0).make_message(1, "t", payload=None, size=1000)
+            cluster.node(0).send(msg)
+            cluster.run()
+            expected = params.transmit_time(1000) + params.latency
+            assert arrival[0] == pytest.approx(expected)
+
+    def test_shared_medium_serialises_transmissions(self):
+        with make_cluster(3) as cluster:
+            params = cluster.cost_model.network
+            arrivals = []
+            cluster.node(2).register_handler("t", lambda m: arrivals.append(cluster.sim.now))
+            cluster.node(0).send(cluster.node(0).make_message(2, "t", size=1000))
+            cluster.node(1).send(cluster.node(1).make_message(2, "t", size=1000))
+            cluster.run()
+            t_packet = params.transmit_time(1000)
+            assert arrivals[0] == pytest.approx(t_packet + params.latency)
+            assert arrivals[1] == pytest.approx(2 * t_packet + params.latency)
+
+    def test_large_message_fragmented(self):
+        with make_cluster(2) as cluster:
+            received = []
+            cluster.node(1).register_handler("t", lambda m: received.append(m.size))
+            cluster.node(0).send(cluster.node(0).make_message(1, "t", size=4000))
+            cluster.run()
+            assert received == [4000]
+            assert cluster.network.stats.packets_sent == 3
+            assert cluster.node(1).nic.stats.interrupts == 3
+            assert cluster.node(1).nic.stats.messages_received == 1
+
+    def test_unknown_destination_raises(self):
+        with make_cluster(2) as cluster:
+            with pytest.raises(RoutingError):
+                cluster.node(0).send(cluster.node(0).make_message(9, "t"))
+
+    def test_packet_loss_drops_messages(self):
+        with make_cluster(2, loss_rate=0.5) as cluster:
+            received = []
+            cluster.node(1).register_handler("t", lambda m: received.append(1))
+            for _ in range(200):
+                cluster.node(0).send(cluster.node(0).make_message(1, "t", size=10))
+            cluster.run()
+            assert 0 < len(received) < 200
+            assert cluster.network.stats.packets_dropped > 0
+
+    def test_crashed_node_discards_traffic(self):
+        with make_cluster(2) as cluster:
+            received = []
+            cluster.node(1).register_handler("t", lambda m: received.append(1))
+            cluster.node(1).crash()
+            cluster.node(0).send(cluster.node(0).make_message(1, "t"))
+            cluster.run()
+            assert received == []
+            assert cluster.node(1).nic.stats.packets_discarded == 1
+
+    def test_utilization_reported(self):
+        with make_cluster(2) as cluster:
+            cluster.node(1).register_handler("t", lambda m: None)
+            cluster.node(0).send(cluster.node(0).make_message(1, "t", size=1000))
+            cluster.run()
+            assert 0.0 < cluster.network.utilization() <= 1.0
+
+    def test_stats_by_kind(self):
+        with make_cluster(2) as cluster:
+            cluster.node(1).register_handler("a", lambda m: None)
+            cluster.node(1).register_handler("b", lambda m: None)
+            cluster.node(0).send(cluster.node(0).make_message(1, "a", size=10))
+            cluster.node(0).send(cluster.node(0).make_message(1, "a", size=10))
+            cluster.node(0).send(cluster.node(0).make_message(1, "b", size=10))
+            cluster.run()
+            assert cluster.network.stats.by_kind == {"a": 2, "b": 1}
+
+
+class TestSwitchedNetwork:
+    def test_no_hardware_broadcast(self):
+        with make_cluster(3, network_type="switched") as cluster:
+            with pytest.raises(NetworkError):
+                cluster.node(0).send(cluster.node(0).make_message(None, "t"))
+
+    def test_unicast_works(self):
+        with make_cluster(3, network_type="switched") as cluster:
+            received = []
+            cluster.node(2).register_handler("t", lambda m: received.append(m.payload))
+            cluster.node(0).send(cluster.node(0).make_message(2, "t", payload=42))
+            cluster.run()
+            assert received == [42]
+
+    def test_different_sources_do_not_contend(self):
+        with make_cluster(3, network_type="switched") as cluster:
+            params = cluster.cost_model.network
+            arrivals = []
+            cluster.node(2).register_handler("t", lambda m: arrivals.append(cluster.sim.now))
+            cluster.node(0).send(cluster.node(0).make_message(2, "t", size=1000))
+            cluster.node(1).send(cluster.node(1).make_message(2, "t", size=1000))
+            cluster.run()
+            expected = params.transmit_time(1000) + params.latency
+            assert arrivals == [pytest.approx(expected), pytest.approx(expected)]
+
+
+class TestNodeOverhead:
+    def test_interrupt_cost_charged_to_receiver(self):
+        with make_cluster(2) as cluster:
+            cpu = cluster.cost_model.cpu
+            cluster.node(1).register_handler("t", lambda m: None)
+            cluster.node(0).send(cluster.node(0).make_message(1, "t", size=10))
+            cluster.run()
+            expected = cpu.interrupt_cost + cpu.protocol_cost
+            assert cluster.node(1).stats.overhead_time == pytest.approx(expected)
+            assert cluster.node(1).pending_overhead == pytest.approx(expected)
+
+    def test_drain_overhead_clears_pending(self):
+        with make_cluster(2) as cluster:
+            cluster.node(1).register_handler("t", lambda m: None)
+            cluster.node(0).send(cluster.node(0).make_message(1, "t", size=10))
+            cluster.run()
+            drained = cluster.node(1).drain_overhead()
+            assert drained > 0
+            assert cluster.node(1).pending_overhead == 0.0
+
+    def test_duplicate_handler_registration_rejected(self):
+        with make_cluster(2) as cluster:
+            cluster.node(0).register_handler("t", lambda m: None)
+            with pytest.raises(NetworkError):
+                cluster.node(0).register_handler("t", lambda m: None)
+
+    def test_unhandled_kind_raises(self):
+        with make_cluster(2) as cluster:
+            cluster.node(0).send(cluster.node(0).make_message(1, "nobody"))
+            with pytest.raises(NetworkError):
+                cluster.run()

@@ -1,0 +1,227 @@
+"""Tests for the Amoeba RPC layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amoeba.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import RpcError, RpcTimeoutError
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(ClusterConfig(num_nodes=3, seed=11)) as c:
+        yield c
+
+
+class TestRpcBasics:
+    def test_round_trip(self, cluster):
+        cluster.rpc_for(1).register_service("echo", lambda req: req.payload * 2)
+        results = []
+
+        def client():
+            proc = cluster.sim.current_process
+            results.append(cluster.rpc_for(0).call(proc, 1, "echo", payload=21))
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.run()
+        assert results == [42]
+
+    def test_rpc_takes_nonzero_virtual_time(self, cluster):
+        cluster.rpc_for(1).register_service("noop", lambda req: None)
+        times = []
+
+        def client():
+            proc = cluster.sim.current_process
+            cluster.rpc_for(0).call(proc, 1, "noop")
+            times.append(cluster.sim.now)
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.run()
+        assert times[0] > 0.0
+
+    def test_local_call_skips_network(self, cluster):
+        cluster.rpc_for(0).register_service("local", lambda req: req.payload + 1)
+        results = []
+
+        def client():
+            proc = cluster.sim.current_process
+            results.append(cluster.rpc_for(0).call(proc, 0, "local", payload=1))
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.run()
+        assert results == [2]
+        assert cluster.network.stats.messages_sent == 0
+
+    def test_unknown_service_raises_at_caller(self, cluster):
+        errors = []
+
+        def client():
+            proc = cluster.sim.current_process
+            try:
+                cluster.rpc_for(0).call(proc, 1, "missing")
+            except RpcError as exc:
+                errors.append(str(exc))
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.run()
+        assert errors and "missing" in errors[0]
+
+    def test_handler_exception_propagates_to_caller(self, cluster):
+        def bad_handler(req):
+            raise ValueError("broken service")
+
+        cluster.rpc_for(1).register_service("bad", bad_handler)
+        errors = []
+
+        def client():
+            proc = cluster.sim.current_process
+            try:
+                cluster.rpc_for(0).call(proc, 1, "bad")
+            except RpcError as exc:
+                errors.append(str(exc))
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.run()
+        assert errors and "broken service" in errors[0]
+
+    def test_duplicate_service_rejected(self, cluster):
+        cluster.rpc_for(1).register_service("dup", lambda req: None)
+        with pytest.raises(RpcError):
+            cluster.rpc_for(1).register_service("dup", lambda req: None)
+
+    def test_timeout_when_server_crashed(self, cluster):
+        cluster.rpc_for(1).register_service("echo", lambda req: req.payload)
+        cluster.node(1).crash()
+        errors = []
+
+        def client():
+            proc = cluster.sim.current_process
+            try:
+                cluster.rpc_for(0).call(proc, 1, "echo", payload=1, timeout=0.5)
+            except RpcTimeoutError:
+                errors.append("timeout")
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.run()
+        assert errors == ["timeout"]
+
+    def test_blocking_handler_can_use_primitives(self, cluster):
+        def slow_handler(req):
+            proc = cluster.sim.current_process
+            proc.hold(0.25)
+            return "slept"
+
+        cluster.rpc_for(2).register_service("slow", slow_handler, may_block=True)
+        results = []
+
+        def client():
+            proc = cluster.sim.current_process
+            results.append(cluster.rpc_for(0).call(proc, 2, "slow"))
+            results.append(cluster.sim.now)
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.run()
+        assert results[0] == "slept"
+        assert results[1] >= 0.25
+
+    def test_concurrent_clients_all_served(self, cluster):
+        cluster.rpc_for(2).register_service("add", lambda req: sum(req.payload))
+        results = []
+
+        def client(node_id, a, b):
+            proc = cluster.sim.current_process
+            results.append(cluster.rpc_for(node_id).call(proc, 2, "add", payload=[a, b]))
+
+        cluster.node(0).kernel.spawn_thread(client, 0, 1, 2)
+        cluster.node(1).kernel.spawn_thread(client, 1, 3, 4)
+        cluster.run()
+        assert sorted(results) == [3, 7]
+
+    def test_call_counters(self, cluster):
+        cluster.rpc_for(1).register_service("echo", lambda req: req.payload)
+
+        def client():
+            proc = cluster.sim.current_process
+            for i in range(3):
+                cluster.rpc_for(0).call(proc, 1, "echo", payload=i)
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.run()
+        assert cluster.rpc_for(0).calls_made == 3
+        assert cluster.rpc_for(1).calls_served == 3
+
+
+class TestKernelFacilities:
+    def test_spawn_thread_pins_node(self, cluster):
+        seen = []
+
+        def body():
+            seen.append(cluster.sim.current_process.node.node_id)
+
+        cluster.node(2).kernel.spawn_thread(body)
+        cluster.run()
+        assert seen == [2]
+
+    def test_timer_fire_and_cancel(self, cluster):
+        fired = []
+        kernel = cluster.node(0).kernel
+        kernel.set_timer(1.0, lambda: fired.append("a"))
+        timer_b = kernel.set_timer(2.0, lambda: fired.append("b"))
+        kernel.cancel_timer(timer_b)
+        cluster.run()
+        assert fired == ["a"]
+
+    def test_timer_suppressed_on_crashed_node(self, cluster):
+        fired = []
+        kernel = cluster.node(0).kernel
+        kernel.set_timer(1.0, lambda: fired.append("a"))
+        cluster.node(0).crash()
+        cluster.run()
+        assert fired == []
+
+    def test_segments_allocation_and_mapping(self, cluster):
+        segs = cluster.node(0).kernel.segments
+        seg = segs.allocate(1024, owner_thread="t1")
+        segs.map(seg)
+        seg.write("k", 99)
+        assert seg.read("k") == 99
+        segs.unmap(seg)
+        with pytest.raises(Exception):
+            seg.read("k")
+        segs.free(seg)
+        assert segs.used_bytes == 0
+
+    def test_segment_capacity_enforced(self, cluster):
+        from repro.amoeba.segments import SegmentManager
+
+        mgr = SegmentManager(capacity_bytes=100)
+        mgr.allocate(60)
+        with pytest.raises(Exception):
+            mgr.allocate(60)
+
+    def test_double_free_rejected(self, cluster):
+        segs = cluster.node(0).kernel.segments
+        seg = segs.allocate(10)
+        segs.free(seg)
+        with pytest.raises(Exception):
+            segs.free(seg)
+
+
+class TestPorts:
+    def test_ports_are_unique(self):
+        from repro.amoeba.ports import new_port
+
+        a = new_port("svc")
+        b = new_port("svc")
+        assert a.private != b.private
+        assert a.public != b.public
+
+    def test_capability_rights(self):
+        from repro.amoeba.ports import Capability, new_port
+
+        cap = Capability(new_port("obj"), obj_number=1)
+        read_only = cap.restrict(Capability.RIGHT_READ)
+        assert read_only.allows(Capability.RIGHT_READ)
+        assert not read_only.allows(Capability.RIGHT_WRITE)

@@ -1,0 +1,136 @@
+"""Tests for the Arc Consistency application."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.acp import random_acp_problem, solve_sequential_ac3
+from repro.apps.acp.orca_acp import partition_variables, run_acp_program
+from repro.apps.acp.problem import AcpProblem, Constraint, revise
+
+
+class TestProblem:
+    def test_random_problem_shape(self):
+        problem = random_acp_problem(num_variables=16, domain_size=8, seed=1)
+        assert problem.num_variables == 16
+        assert all(len(d) == 8 for d in problem.domains)
+        assert len(problem.constraints) >= 15  # at least the backbone chain
+
+    def test_neighbours_and_involvement(self):
+        problem = AcpProblem(
+            domains=(frozenset({1, 2}), frozenset({1, 2}), frozenset({1, 2})),
+            constraints=(Constraint(0, 1, 1), Constraint(1, 2, 1)),
+        )
+        assert problem.neighbours(1) == [0, 2]
+        assert len(problem.constraints_involving(0)) == 1
+
+    def test_revise_removes_unsupported_values(self):
+        constraint = Constraint(0, 1, 1)  # V0 + 1 <= V1
+        domain_a = frozenset({1, 2, 3})
+        domain_b = frozenset({2, 3})
+        revised, checks = revise(domain_a, domain_b, constraint, 0)
+        assert revised == frozenset({1, 2})
+        assert checks > 0
+
+    def test_revise_other_side(self):
+        constraint = Constraint(0, 1, 1)
+        domain_b = frozenset({1, 2, 3})
+        domain_a = frozenset({2, 3})
+        revised, _ = revise(domain_b, domain_a, constraint, 1)
+        assert revised == frozenset({3})
+
+
+class TestSequentialAc3:
+    def test_chain_constraints_prune_domains(self):
+        # V0+1<=V1, V1+1<=V2 over {0..3}: V0 in {0,1}, V1 in {1,2}, V2 in {2,3}.
+        problem = AcpProblem(
+            domains=tuple(frozenset(range(4)) for _ in range(3)),
+            constraints=(Constraint(0, 1, 1), Constraint(1, 2, 1)),
+        )
+        result = solve_sequential_ac3(problem)
+        assert result.consistent
+        assert result.domains[0] == frozenset({0, 1})
+        assert result.domains[1] == frozenset({1, 2})
+        assert result.domains[2] == frozenset({2, 3})
+
+    def test_infeasible_chain_detected(self):
+        # A chain of length 5 over a domain of 3 values cannot be satisfied.
+        problem = AcpProblem(
+            domains=tuple(frozenset(range(3)) for _ in range(5)),
+            constraints=tuple(Constraint(i, i + 1, 1) for i in range(4)),
+        )
+        result = solve_sequential_ac3(problem)
+        assert not result.consistent
+
+    def test_fixed_point_is_arc_consistent(self):
+        problem = random_acp_problem(num_variables=12, domain_size=6, seed=3)
+        result = solve_sequential_ac3(problem)
+        if not result.consistent:
+            pytest.skip("instance happens to be infeasible")
+        # Every remaining value must have support in every constraint.
+        for constraint in problem.constraints:
+            for value in result.domains[constraint.var_a]:
+                assert any(constraint.allows(value, other)
+                           for other in result.domains[constraint.var_b])
+            for value in result.domains[constraint.var_b]:
+                assert any(constraint.allows(other, value)
+                           for other in result.domains[constraint.var_a])
+
+
+class TestOrcaAcp:
+    def test_parallel_matches_sequential_domains(self):
+        problem = random_acp_problem(num_variables=16, domain_size=8, seed=5)
+        sequential = solve_sequential_ac3(problem)
+        result = run_acp_program(problem, num_procs=4)
+        assert result.value.consistent == sequential.consistent
+        if sequential.consistent:
+            assert result.value.domain_sizes == sequential.domain_sizes()
+
+    def test_same_answer_for_different_processor_counts(self):
+        problem = random_acp_problem(num_variables=16, domain_size=8, seed=8)
+        sizes = set()
+        for procs in (2, 3, 5):
+            result = run_acp_program(problem, num_procs=procs)
+            sizes.add(tuple(result.value.domain_sizes))
+        assert len(sizes) == 1
+
+    def test_infeasible_instance_detected_in_parallel(self):
+        problem = AcpProblem(
+            domains=tuple(frozenset(range(3)) for _ in range(6)),
+            constraints=tuple(Constraint(i, i + 1, 1) for i in range(5)),
+        )
+        result = run_acp_program(problem, num_procs=3)
+        assert not result.value.consistent
+
+    def test_replication_overhead_is_visible(self):
+        """ACP's updates are broadcast to every node: overhead grows with nodes."""
+        problem = random_acp_problem(num_variables=16, domain_size=8, seed=2)
+        small = run_acp_program(problem, num_procs=2)
+        large = run_acp_program(problem, num_procs=8)
+        assert large.overhead_time > small.overhead_time
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=5, deadline=None)
+    def test_parallel_equals_sequential_property(self, seed):
+        problem = random_acp_problem(num_variables=10, domain_size=5, seed=seed,
+                                     constraints_per_variable=1.5)
+        sequential = solve_sequential_ac3(problem)
+        result = run_acp_program(problem, num_procs=3)
+        assert result.value.consistent == sequential.consistent
+        if sequential.consistent:
+            assert result.value.domain_sizes == sequential.domain_sizes()
+
+
+class TestPartitioning:
+    def test_partition_covers_all_variables(self):
+        parts = partition_variables(64, 7)
+        flattened = [v for part in parts for v in part]
+        assert sorted(flattened) == list(range(64))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_variables(self):
+        parts = partition_variables(3, 5)
+        assert len(parts) == 5
+        assert sum(len(p) for p in parts) == 3

@@ -1,0 +1,184 @@
+"""Tests for the ATPG application (circuits, PODEM, fault simulation, parallel)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.atpg.circuit import (
+    Circuit,
+    D,
+    DB,
+    Gate,
+    ONE,
+    X,
+    ZERO,
+    evaluate_gate,
+    random_circuit,
+)
+from repro.apps.atpg.faults import Fault, all_faults, complete_pattern, detects, fault_simulate
+from repro.apps.atpg.orca_atpg import partition_faults, run_atpg_program
+from repro.apps.atpg.podem import podem
+from repro.apps.atpg.sequential import solve_sequential_atpg
+from repro.errors import ApplicationError
+
+
+def small_circuit() -> Circuit:
+    """A tiny two-gate circuit: out = NOT(a AND b)."""
+    return Circuit(
+        primary_inputs=["a", "b"],
+        gates=[Gate("n1", "AND", ("a", "b")), Gate("out", "NOT", ("n1",))],
+        primary_outputs=["out"],
+    )
+
+
+class TestGateEvaluation:
+    def test_and_gate_truth_table(self):
+        assert evaluate_gate("AND", [ONE, ONE]) == ONE
+        assert evaluate_gate("AND", [ONE, ZERO]) == ZERO
+        assert evaluate_gate("AND", [ZERO, X]) == ZERO
+        assert evaluate_gate("AND", [ONE, X]) == X
+
+    def test_d_propagation(self):
+        assert evaluate_gate("AND", [D, ONE]) == D
+        assert evaluate_gate("AND", [D, ZERO]) == ZERO
+        assert evaluate_gate("NOT", [D]) == DB
+        assert evaluate_gate("OR", [DB, ZERO]) == DB
+        assert evaluate_gate("XOR", [D, ONE]) == DB
+
+    def test_nor_nand(self):
+        assert evaluate_gate("NAND", [ONE, ONE]) == ZERO
+        assert evaluate_gate("NOR", [ZERO, ZERO]) == ONE
+
+
+class TestCircuit:
+    def test_simulation_of_small_circuit(self):
+        circuit = small_circuit()
+        values, work = circuit.simulate({"a": ONE, "b": ONE})
+        assert values["out"] == ZERO
+        assert work == 2
+
+    def test_cycle_detection(self):
+        with pytest.raises(ApplicationError):
+            Circuit(
+                primary_inputs=["a"],
+                gates=[Gate("g1", "AND", ("a", "g2")), Gate("g2", "AND", ("a", "g1"))],
+                primary_outputs=["g1"],
+            ).topological_gates()
+
+    def test_undefined_line_rejected(self):
+        with pytest.raises(ApplicationError):
+            Circuit(primary_inputs=["a"],
+                    gates=[Gate("g", "AND", ("a", "zz"))],
+                    primary_outputs=["g"])
+
+    def test_random_circuit_is_well_formed(self):
+        circuit = random_circuit(num_inputs=6, num_gates=30, num_outputs=4, seed=2)
+        assert len(circuit.topological_gates()) == 30
+        values, _ = circuit.simulate({pi: ZERO for pi in circuit.primary_inputs})
+        assert all(values[po] in (ZERO, ONE) for po in circuit.primary_outputs)
+
+    def test_fanout_map(self):
+        circuit = small_circuit()
+        assert circuit.fanout()["n1"] == ["out"]
+        assert circuit.fanout()["a"] == ["n1"]
+
+
+class TestFaults:
+    def test_fault_list_covers_every_line_twice(self):
+        circuit = small_circuit()
+        faults = all_faults(circuit)
+        assert len(faults) == 2 * len(circuit.lines)
+
+    def test_detects_simple_fault(self):
+        circuit = small_circuit()
+        # out stuck-at-0 is detected by any input making out=1 in the good circuit.
+        pattern = {"a": ZERO, "b": ZERO}
+        detected, _ = detects(circuit, pattern, Fault("out", ZERO))
+        assert detected
+
+    def test_pattern_completion(self):
+        circuit = small_circuit()
+        filled = complete_pattern(circuit, {"a": ONE})
+        assert filled == {"a": ONE, "b": ZERO}
+
+    def test_fault_simulation_finds_extra_faults(self):
+        circuit = random_circuit(num_inputs=5, num_gates=20, num_outputs=3, seed=4)
+        faults = all_faults(circuit)
+        pattern = {pi: ONE for pi in circuit.primary_inputs}
+        detected, work = fault_simulate(circuit, pattern, faults)
+        assert work > 0
+        assert len(detected) > 1
+
+
+class TestPodem:
+    def test_generates_test_for_testable_fault(self):
+        circuit = small_circuit()
+        result = podem(circuit, Fault("n1", ZERO))
+        assert result.testable
+        detected, _ = detects(circuit, result.pattern, Fault("n1", ZERO))
+        assert detected
+
+    def test_untestable_fault_reported(self):
+        # out = a OR (NOT a) is always 1: out stuck-at-1 is untestable.
+        circuit = Circuit(
+            primary_inputs=["a"],
+            gates=[Gate("na", "NOT", ("a",)), Gate("out", "OR", ("a", "na"))],
+            primary_outputs=["out"],
+        )
+        result = podem(circuit, Fault("out", ONE))
+        assert not result.testable
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_generated_patterns_really_detect_their_faults(self, seed):
+        circuit = random_circuit(num_inputs=5, num_gates=15, num_outputs=3, seed=seed)
+        faults = all_faults(circuit)[:10]
+        for fault in faults:
+            result = podem(circuit, fault, max_backtracks=100)
+            if result.testable:
+                detected, _ = detects(circuit, result.pattern, fault)
+                assert detected
+
+
+class TestSequentialAtpg:
+    def test_coverage_reported(self):
+        circuit = random_circuit(num_inputs=6, num_gates=25, num_outputs=3, seed=1)
+        result = solve_sequential_atpg(circuit)
+        assert 0.5 < result.coverage <= 1.0
+        assert result.patterns
+
+    def test_fault_simulation_reduces_pattern_count(self):
+        circuit = random_circuit(num_inputs=6, num_gates=25, num_outputs=3, seed=1)
+        plain = solve_sequential_atpg(circuit, use_fault_simulation=False)
+        with_sim = solve_sequential_atpg(circuit, use_fault_simulation=True)
+        assert len(with_sim.patterns) < len(plain.patterns)
+        assert with_sim.covered == plain.covered or len(with_sim.covered) >= len(plain.covered) * 0.95
+
+
+class TestOrcaAtpg:
+    def test_partition_is_balanced_and_complete(self):
+        faults = [Fault(f"l{i}", ZERO) for i in range(10)]
+        parts = partition_faults(faults, 3)
+        assert sum(len(p) for p in parts) == 10
+        assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 1
+
+    def test_parallel_coverage_matches_sequential(self):
+        circuit = random_circuit(num_inputs=6, num_gates=20, num_outputs=3, seed=3)
+        sequential = solve_sequential_atpg(circuit)
+        result = run_atpg_program(circuit, num_procs=4)
+        assert result.value.covered == len(sequential.covered)
+        assert result.value.total_faults == len(all_faults(circuit))
+
+    def test_parallel_speedup_is_close_to_linear_without_fault_sim(self):
+        circuit = random_circuit(num_inputs=7, num_gates=40, num_outputs=4, seed=5)
+        t1 = run_atpg_program(circuit, num_procs=1)
+        t8 = run_atpg_program(circuit, num_procs=8)
+        assert t1.elapsed / t8.elapsed > 3.0
+
+    def test_fault_simulation_is_faster_in_absolute_terms(self):
+        circuit = random_circuit(num_inputs=7, num_gates=40, num_outputs=4, seed=5)
+        plain = run_atpg_program(circuit, num_procs=4, use_fault_simulation=False)
+        with_sim = run_atpg_program(circuit, num_procs=4, use_fault_simulation=True)
+        assert with_sim.elapsed < plain.elapsed
+        assert with_sim.value.covered >= plain.value.covered * 0.95

@@ -1,0 +1,181 @@
+"""Tests for the chess application (board, search, parallel Oracol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.chess.board import (
+    EMPTY,
+    KING,
+    KNIGHT,
+    PAWN,
+    QUEEN,
+    ROOK,
+    SIZE,
+    Board,
+    Move,
+    initial_board,
+    random_tactical_position,
+    square,
+)
+from repro.apps.chess.evaluate import MATE_SCORE, evaluate, material_balance
+from repro.apps.chess.orca_chess import run_chess_program
+from repro.apps.chess.search import SearchTables, iterative_deepening
+from repro.apps.chess.sequential import solve_position_sequential, solve_positions_sequential
+from repro.apps.chess.tables import LocalKillerTable, LocalTranspositionTable
+
+
+def empty_board(side=1):
+    return Board([EMPTY] * (SIZE * SIZE), side_to_move=side)
+
+
+class TestBoard:
+    def test_initial_board_setup(self):
+        board = initial_board()
+        assert board.squares[square(0, 3)] == KING
+        assert board.squares[square(SIZE - 1, 3)] == -KING
+        assert board.squares.count(PAWN) == SIZE
+        assert board.squares.count(-PAWN) == SIZE
+
+    def test_initial_position_has_legal_moves(self):
+        board = initial_board()
+        moves = board.legal_moves()
+        assert len(moves) > 5
+        assert all(move.captured == EMPTY for move in moves)
+
+    def test_make_unmake_round_trip(self):
+        board = initial_board()
+        snapshot = (list(board.squares), board.side_to_move, board.zobrist())
+        for move in board.legal_moves():
+            board.make(move)
+            board.unmake(move)
+        assert (list(board.squares), board.side_to_move, board.zobrist()) == snapshot
+
+    def test_zobrist_changes_with_position(self):
+        board = initial_board()
+        h0 = board.zobrist()
+        move = board.legal_moves()[0]
+        board.make(move)
+        assert board.zobrist() != h0
+        board.unmake(move)
+        assert board.zobrist() == h0
+
+    def test_pawn_promotion(self):
+        board = empty_board()
+        board.squares[square(SIZE - 2, 0)] = PAWN
+        board.squares[square(0, 5)] = KING
+        board.squares[square(SIZE - 1, 5)] = -KING
+        moves = [m for m in board.legal_moves() if m.promotion]
+        assert moves
+        board.make(moves[0])
+        assert board.squares[moves[0].dst] == QUEEN
+
+    def test_check_detection(self):
+        board = empty_board()
+        board.squares[square(0, 0)] = KING
+        board.squares[square(5, 0)] = -ROOK
+        board.squares[square(5, 5)] = -KING
+        assert board.in_check(1)
+        assert not board.in_check(-1)
+
+    def test_moves_leaving_king_in_check_are_illegal(self):
+        board = empty_board()
+        board.squares[square(0, 0)] = KING
+        board.squares[square(1, 0)] = ROOK   # pinned against the king
+        board.squares[square(5, 0)] = -ROOK
+        board.squares[square(5, 5)] = -KING
+        legal = board.legal_moves()
+        # The pinned rook may only move along the a-file.
+        rook_moves = [m for m in legal if m.src == square(1, 0)]
+        assert all(m.dst % SIZE == 0 for m in rook_moves)
+
+    def test_random_tactical_position_is_playable(self):
+        for seed in range(5):
+            board = random_tactical_position(seed=seed)
+            assert board.legal_moves()
+            assert board.king_square(1) is not None
+            assert board.king_square(-1) is not None
+
+
+class TestEvaluation:
+    def test_material_balance_symmetry(self):
+        assert material_balance(initial_board()) == 0
+
+    def test_evaluation_prefers_extra_material(self):
+        board = empty_board()
+        board.squares[square(0, 0)] = KING
+        board.squares[square(5, 5)] = -KING
+        board.squares[square(2, 2)] = QUEEN
+        assert evaluate(board) > 0
+        board.side_to_move = -1
+        assert evaluate(board) < 0
+
+
+class TestSearch:
+    def test_finds_mate_in_one(self):
+        board = empty_board()
+        # White: Qb4(?), Kc1-ish; black king cornered on a6-file corner.
+        board.squares[square(3, 1)] = QUEEN
+        board.squares[square(3, 2)] = KING
+        board.squares[square(5, 0)] = -KING
+        board.side_to_move = 1
+        result = iterative_deepening(board, 3)
+        assert result.score >= MATE_SCORE - 10
+
+    def test_search_prefers_winning_capture(self):
+        board = empty_board()
+        board.squares[square(0, 0)] = KING
+        board.squares[square(5, 5)] = -KING
+        board.squares[square(2, 2)] = ROOK
+        board.squares[square(4, 2)] = -QUEEN  # undefended queen on the rook's file
+        board.side_to_move = 1
+        result = iterative_deepening(board, 3)
+        assert result.best_move is not None
+        assert result.best_move.dst == square(4, 2)
+
+    def test_transposition_table_reduces_nodes(self):
+        board = random_tactical_position(seed=3)
+        without_tt = iterative_deepening(board.copy(), 3, tables=SearchTables(
+            transposition=LocalTranspositionTable(capacity=0),
+            killers=LocalKillerTable()))
+        with_tt = iterative_deepening(board.copy(), 3)
+        assert with_tt.stats.total_nodes <= without_tt.stats.total_nodes
+        assert with_tt.score == without_tt.score
+
+    def test_sequential_batch_counts_nodes(self):
+        boards = [random_tactical_position(seed=s) for s in range(2)]
+        result = solve_positions_sequential(boards, depth=2)
+        assert result.total_nodes > 0
+        assert len(result.results) == 2
+
+
+class TestOrcaChess:
+    def test_parallel_best_scores_match_sequential(self):
+        positions = [random_tactical_position(seed=s, plies=6) for s in (1, 2)]
+        depth = 2
+        sequential_scores = [
+            solve_position_sequential(board, depth).score for board in positions
+        ]
+        result = run_chess_program(positions, num_procs=4, depth=depth)
+        assert result.value.scores == sequential_scores
+
+    def test_parallel_search_has_overhead_but_still_speeds_up(self):
+        positions = [random_tactical_position(seed=7, plies=6)]
+        depth = 3
+        t1 = run_chess_program(positions, num_procs=1, depth=depth)
+        t6 = run_chess_program(positions, num_procs=6, depth=depth)
+        speedup = t1.elapsed / t6.elapsed
+        assert speedup > 1.2          # it does get faster...
+        assert speedup < 6.0          # ...but nowhere near linearly (search overhead)
+        # The parallel run searches at least as many nodes as the sequential one.
+        assert t6.value.total_nodes >= t1.value.total_nodes
+
+    def test_shared_vs_local_tables_same_best_scores(self):
+        positions = [random_tactical_position(seed=11, plies=6)]
+        # Depth 3 so that sub-trees deep enough to be worth sharing exist
+        # (the run-time heuristic only shares entries of depth >= 2).
+        shared = run_chess_program(positions, num_procs=3, depth=3, shared_tables=True)
+        local = run_chess_program(positions, num_procs=3, depth=3, shared_tables=False)
+        assert shared.value.scores == local.value.scores
+        # Shared tables generate communication; local ones generate none for the TT.
+        assert shared.rts["broadcast_writes"] > local.rts["broadcast_writes"]

@@ -1,0 +1,104 @@
+"""Tests for the history recorder and sequential-consistency checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConsistencyViolationError
+from repro.rts.consistency import ConsistencyChecker, HistoryRecorder
+from repro.rts.object_model import ObjectSpec, operation
+
+
+class Register(ObjectSpec):
+    def init(self, value=0):
+        self.value = value
+
+    @operation(write=False)
+    def read(self):
+        return self.value
+
+    @operation(write=True)
+    def assign(self, value):
+        self.value = value
+        return value
+
+
+def record_write_everywhere(history, nodes, obj_id, seqno, op_name, args):
+    for node_id in nodes:
+        history.record_write(node_id, obj_id, op_name, args, seqno, seqno)
+
+
+class TestHistoryRecorder:
+    def test_disabled_recorder_collects_nothing(self):
+        history = HistoryRecorder(enabled=False)
+        history.record_write(0, 1, "assign", (1,), 1, 1)
+        history.record_read("p", 0, 1, "read", (), 1, 1)
+        assert history.writes == {}
+        assert history.reads == []
+
+    def test_checker_requires_enabled_history(self):
+        with pytest.raises(ConsistencyViolationError):
+            ConsistencyChecker(HistoryRecorder(enabled=False))
+
+
+class TestWriteOrderAgreement:
+    def test_identical_orders_pass(self):
+        history = HistoryRecorder(enabled=True)
+        for seqno, value in enumerate([5, 9, 2], start=1):
+            record_write_everywhere(history, [0, 1, 2], 1, seqno, "assign", (value,))
+        ConsistencyChecker(history).check_write_order_agreement()
+
+    def test_diverging_orders_detected(self):
+        history = HistoryRecorder(enabled=True)
+        history.record_write(0, 1, "assign", (5,), 1, 1)
+        history.record_write(0, 1, "assign", (9,), 2, 2)
+        history.record_write(1, 1, "assign", (9,), 1, 1)
+        history.record_write(1, 1, "assign", (5,), 2, 2)
+        with pytest.raises(ConsistencyViolationError):
+            ConsistencyChecker(history).check_write_order_agreement()
+
+
+class TestProcessMonotonicity:
+    def test_monotonic_reads_pass(self):
+        history = HistoryRecorder(enabled=True)
+        history.record_read("p1", 0, 1, "read", (), 0, 0)
+        history.record_read("p1", 0, 1, "read", (), 5, 1)
+        history.record_read("p1", 0, 1, "read", (), 5, 2)
+        ConsistencyChecker(history).check_process_monotonicity()
+
+    def test_backwards_read_detected(self):
+        history = HistoryRecorder(enabled=True)
+        history.record_read("p1", 0, 1, "read", (), 9, 3)
+        history.record_read("p1", 0, 1, "read", (), 5, 1)
+        with pytest.raises(ConsistencyViolationError):
+            ConsistencyChecker(history).check_process_monotonicity()
+
+    def test_independent_processes_are_not_compared(self):
+        history = HistoryRecorder(enabled=True)
+        history.record_read("p1", 0, 1, "read", (), 9, 3)
+        history.record_read("p2", 1, 1, "read", (), 5, 1)
+        ConsistencyChecker(history).check_process_monotonicity()
+
+
+class TestReplayValidation:
+    def test_matching_read_values_pass(self):
+        history = HistoryRecorder(enabled=True)
+        record_write_everywhere(history, [0, 1], 1, 1, "assign", (10,))
+        record_write_everywhere(history, [0, 1], 1, 2, "assign", (20,))
+        history.record_read("p", 0, 1, "read", (), 10, 1)
+        history.record_read("p", 1, 1, "read", (), 20, 2)
+        ConsistencyChecker(history).check_read_values(1, Register, (0,))
+
+    def test_wrong_read_value_detected(self):
+        history = HistoryRecorder(enabled=True)
+        record_write_everywhere(history, [0, 1], 1, 1, "assign", (10,))
+        history.record_read("p", 0, 1, "read", (), 999, 1)
+        with pytest.raises(ConsistencyViolationError):
+            ConsistencyChecker(history).check_read_values(1, Register, (0,))
+
+    def test_version_beyond_writes_detected(self):
+        history = HistoryRecorder(enabled=True)
+        record_write_everywhere(history, [0], 1, 1, "assign", (10,))
+        history.record_read("p", 0, 1, "read", (), 10, 7)
+        with pytest.raises(ConsistencyViolationError):
+            ConsistencyChecker(history).check_read_values(1, Register, (0,))

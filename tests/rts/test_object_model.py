@@ -1,0 +1,125 @@
+"""Tests for the shared-object type model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RtsError, UnknownOperationError
+from repro.rts.object_model import (
+    RETRY,
+    ObjectSpec,
+    execute_operation,
+    operation,
+    validate_spec,
+)
+
+
+class Counter(ObjectSpec):
+    def init(self, start=0):
+        self.value = start
+        self.history = []
+
+    @operation(write=False)
+    def read(self):
+        return self.value
+
+    @operation(write=True)
+    def increment(self, by=1):
+        self.value += by
+        self.history.append(by)
+        return self.value
+
+
+class BoundedCounter(Counter):
+    @operation(write=True, guard=lambda self, by=1: self.value + by <= self.limit)
+    def bounded_increment(self, by=1):
+        self.value += by
+        return self.value
+
+    def init(self, start=0, limit=10):
+        super().init(start)
+        self.limit = limit
+
+
+class TestOperationRegistry:
+    def test_operations_collected(self):
+        ops = Counter.operations()
+        assert set(ops) == {"read", "increment"}
+        assert not ops["read"].is_write
+        assert ops["increment"].is_write
+
+    def test_inherited_operations(self):
+        ops = BoundedCounter.operations()
+        assert set(ops) == {"read", "increment", "bounded_increment"}
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(UnknownOperationError):
+            Counter.operation_def("nope")
+
+    def test_validate_spec_rejects_non_spec(self):
+        class NotASpec:
+            pass
+
+        with pytest.raises(RtsError):
+            validate_spec(NotASpec)
+
+    def test_validate_spec_rejects_empty(self):
+        class Empty(ObjectSpec):
+            pass
+
+        with pytest.raises(RtsError):
+            validate_spec(Empty)
+
+    def test_validate_spec_accepts_counter(self):
+        validate_spec(Counter)
+
+
+class TestLifecycle:
+    def test_create_runs_init(self):
+        counter = Counter.create((5,))
+        assert counter.value == 5
+
+    def test_clone_is_independent(self):
+        counter = Counter.create((1,))
+        counter.increment(2)
+        replica = counter.clone()
+        assert replica.value == 3
+        counter.increment(10)
+        assert replica.value == 3
+        assert replica.history == [2]
+
+    def test_marshal_unmarshal_round_trip(self):
+        counter = Counter.create((7,))
+        counter.increment(1)
+        state = counter.marshal_state()
+        other = Counter.create((0,))
+        other.unmarshal_state(state)
+        assert other.value == 8
+        assert other.history == [1]
+        # Mutating the snapshot afterwards must not affect the object.
+        state["value"] = 999
+        assert other.value == 8
+
+    def test_state_size_positive(self):
+        assert Counter.create((3,)).state_size() > 0
+
+
+class TestExecuteOperation:
+    def test_read_and_write(self):
+        counter = Counter.create((0,))
+        inc = Counter.operation_def("increment")
+        read = Counter.operation_def("read")
+        assert execute_operation(counter, inc, (4,)) == 4
+        assert execute_operation(counter, read, ()) == 4
+
+    def test_guard_blocks_with_retry(self):
+        counter = BoundedCounter.create((9, 10))
+        op = BoundedCounter.operation_def("bounded_increment")
+        assert execute_operation(counter, op, (1,)) == 10
+        assert execute_operation(counter, op, (1,)) is RETRY
+        assert counter.value == 10  # state untouched by the rejected call
+
+    def test_retry_is_singleton(self):
+        from repro.rts.object_model import _RetryType
+
+        assert _RetryType() is RETRY

@@ -1,0 +1,109 @@
+"""Unit tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+def make_event(queue: EventQueue, time: float) -> Event:
+    return Event(time, queue.next_seq(), lambda: None)
+
+
+class TestEventQueue:
+    def test_empty_queue_is_falsy(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+        assert queue.peek_time() is None
+
+    def test_pop_from_empty_raises(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.pop()
+
+    def test_pop_returns_earliest(self):
+        queue = EventQueue()
+        late = make_event(queue, 5.0)
+        early = make_event(queue, 1.0)
+        queue.push(late)
+        queue.push(early)
+        assert queue.pop() is early
+        assert queue.pop() is late
+
+    def test_fifo_order_for_equal_times(self):
+        queue = EventQueue()
+        events = [make_event(queue, 1.0) for _ in range(10)]
+        for event in events:
+            queue.push(event)
+        popped = [queue.pop() for _ in range(10)]
+        assert popped == events
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        first = make_event(queue, 1.0)
+        second = make_event(queue, 2.0)
+        queue.push(first)
+        queue.push(second)
+        first.cancel()
+        queue.note_cancelled()
+        assert len(queue) == 1
+        assert queue.pop() is second
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = make_event(queue, 1.0)
+        second = make_event(queue, 2.0)
+        queue.push(first)
+        queue.push(second)
+        first.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 2.0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(make_event(queue, 1.0))
+        queue.clear()
+        assert not queue
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+    def test_pop_order_is_sorted_and_stable(self, times):
+        queue = EventQueue()
+        events = []
+        for t in times:
+            event = make_event(queue, t)
+            events.append(event)
+            queue.push(event)
+        popped = [queue.pop() for _ in range(len(events))]
+        # Times must come out non-decreasing.
+        popped_times = [e.time for e in popped]
+        assert popped_times == sorted(popped_times)
+        # Equal times must preserve insertion order (stability).
+        expected = sorted(events, key=lambda e: (e.time, e.seq))
+        assert popped == expected
+
+
+class TestEvent:
+    def test_fire_invokes_callback(self):
+        calls = []
+        event = Event(0.0, 0, lambda x: calls.append(x), args=(42,))
+        event.fire()
+        assert calls == [42]
+        assert event.fired
+
+    def test_cancelled_event_does_not_fire(self):
+        calls = []
+        event = Event(0.0, 0, lambda: calls.append(1))
+        event.cancel()
+        event.fire()
+        assert calls == []
+        assert not event.fired
+
+    def test_pending_property(self):
+        event = Event(0.0, 0, lambda: None)
+        assert event.pending
+        event.fire()
+        assert not event.pending

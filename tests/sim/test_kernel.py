@@ -1,0 +1,296 @@
+"""Unit tests for the simulator run loop and scheduling API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, ProcessError, SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_equal_time_events_fire_in_schedule_order(self, sim):
+        order = []
+        for i in range(20):
+            sim.schedule(1.0, order.append, i)
+        sim.run()
+        assert order == list(range(20))
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_before_now_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel_prevents_firing(self, sim):
+        calls = []
+        event = sim.schedule(1.0, lambda: calls.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert calls == []
+
+    def test_run_until_stops_clock(self, sim):
+        calls = []
+        sim.schedule(1.0, lambda: calls.append(1))
+        sim.schedule(10.0, lambda: calls.append(2))
+        sim.run(until=5.0)
+        assert calls == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert calls == [1, 2]
+
+    def test_run_max_events(self, sim):
+        calls = []
+        for i in range(10):
+            sim.schedule(float(i), calls.append, i)
+        sim.run(max_events=3)
+        assert calls == [0, 1, 2]
+
+    def test_events_scheduled_during_run_are_processed(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "nested"]
+        assert sim.now == 2.0
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestProcesses:
+    def test_process_runs_and_returns_result(self, sim):
+        def body(proc):
+            proc.hold(2.0)
+            return "done"
+
+        proc = sim.spawn(lambda: body(proc_holder[0]))
+        proc_holder = [proc]
+        sim.run()
+        assert proc.finished
+        assert proc.result == "done"
+        assert sim.now == 2.0
+
+    def test_spawn_passes_arguments(self, sim):
+        results = []
+
+        def body(a, b, c=0):
+            results.append(a + b + c)
+
+        sim.spawn(body, 1, 2, c=3)
+        sim.run()
+        assert results == [6]
+
+    def test_hold_advances_virtual_time(self, sim):
+        times = []
+
+        def body():
+            proc = sim.current_process
+            proc.hold(1.5)
+            times.append(sim.now)
+            proc.hold(2.5)
+            times.append(sim.now)
+
+        sim.spawn(body)
+        sim.run()
+        assert times == [1.5, 4.0]
+
+    def test_compute_is_lazy_until_flush(self, sim):
+        observed = []
+
+        def body():
+            proc = sim.current_process
+            proc.compute(100, unit_time=0.01)
+            observed.append(sim.now)           # global clock not yet advanced
+            observed.append(proc.local_time)   # but local time reflects the work
+            proc.flush()
+            observed.append(sim.now)
+
+        sim.spawn(body)
+        sim.run()
+        assert observed[0] == 0.0
+        assert observed[1] == pytest.approx(1.0)
+        assert observed[2] == pytest.approx(1.0)
+
+    def test_two_processes_interleave_in_virtual_time(self, sim):
+        log = []
+
+        def body(name, step):
+            proc = sim.current_process
+            for _ in range(3):
+                proc.hold(step)
+                log.append((name, sim.now))
+
+        sim.spawn(body, "fast", 1.0)
+        sim.spawn(body, "slow", 2.0)
+        sim.run()
+        assert log == [
+            ("fast", 1.0),
+            ("slow", 2.0),
+            ("fast", 2.0),
+            ("fast", 3.0),
+            ("slow", 4.0),
+            ("slow", 6.0),
+        ]
+
+    def test_process_exception_propagates(self, sim):
+        def body():
+            raise ValueError("boom")
+
+        sim.spawn(body)
+        with pytest.raises(ProcessError, match="boom"):
+            sim.run()
+
+    def test_join_returns_result(self, sim):
+        results = []
+
+        def child():
+            sim.current_process.hold(3.0)
+            return 99
+
+        def parent():
+            proc = sim.current_process
+            child_proc = sim.spawn(child)
+            results.append(proc.join(child_proc))
+            results.append(sim.now)
+
+        sim.spawn(parent)
+        sim.run()
+        assert results == [99, 3.0]
+
+    def test_join_already_finished_process(self, sim):
+        results = []
+
+        def child():
+            return 7
+
+        def parent():
+            proc = sim.current_process
+            child_proc = sim.spawn(child)
+            proc.hold(10.0)
+            results.append(proc.join(child_proc))
+
+        sim.spawn(parent)
+        sim.run()
+        assert results == [7]
+
+    def test_suspend_and_wake(self, sim):
+        log = []
+
+        def sleeper():
+            proc = sim.current_process
+            value = proc.suspend()
+            log.append((value, sim.now))
+
+        sleeper_proc = sim.spawn(sleeper)
+        sim.schedule(5.0, lambda: sleeper_proc.wake("hello"))
+        sim.run()
+        assert log == [("hello", 5.0)]
+
+    def test_deadlock_detection(self, sim):
+        def stuck():
+            sim.current_process.suspend()
+
+        sim.spawn(stuck)
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_daemon_processes_do_not_trigger_deadlock(self, sim):
+        def stuck():
+            sim.current_process.suspend()
+
+        sim.spawn(stuck, daemon=True)
+        sim.run()  # should not raise
+
+    def test_shutdown_kills_blocked_processes(self):
+        with Simulator() as sim:
+            def stuck():
+                sim.current_process.suspend()
+
+            proc = sim.spawn(stuck, daemon=True)
+            sim.run()
+            assert proc.state == "blocked"
+        assert proc.state == "killed"
+
+    def test_run_until_complete_raises_for_live_processes(self, sim):
+        def stuck():
+            sim.current_process.suspend()
+
+        proc = sim.spawn(stuck, daemon=True)
+        with pytest.raises(DeadlockError):
+            sim.run_until_complete([proc])
+
+    def test_on_completion_callback(self, sim):
+        seen = []
+
+        def body():
+            sim.current_process.hold(1.0)
+            return 5
+
+        proc = sim.spawn(body)
+        proc.on_completion(lambda p: seen.append(p.result))
+        sim.run()
+        assert seen == [5]
+
+    def test_determinism_across_runs(self):
+        """The same program produces an identical event interleaving every run."""
+
+        def run_once():
+            log = []
+            with Simulator(seed=3) as sim:
+                def body(name, step, count):
+                    proc = sim.current_process
+                    for i in range(count):
+                        proc.hold(step)
+                        log.append((name, round(sim.now, 9), i))
+
+                sim.spawn(body, "a", 0.3, 5)
+                sim.spawn(body, "b", 0.5, 4)
+                sim.spawn(body, "c", 0.2, 6)
+                sim.run()
+            return log
+
+        assert run_once() == run_once()
+
+
+class TestRng:
+    def test_streams_are_independent_and_reproducible(self):
+        sim1 = Simulator(seed=99)
+        sim2 = Simulator(seed=99)
+        a1 = [sim1.rng.stream("a").random() for _ in range(5)]
+        # Interleave another stream in sim2 before drawing from "a".
+        [sim2.rng.stream("b").random() for _ in range(5)]
+        a2 = [sim2.rng.stream("a").random() for _ in range(5)]
+        assert a1 == a2
+
+    def test_different_seeds_give_different_streams(self):
+        sim1 = Simulator(seed=1)
+        sim2 = Simulator(seed=2)
+        assert sim1.rng.stream("x").random() != sim2.rng.stream("x").random()
+
+    def test_reset_restores_streams(self):
+        sim = Simulator(seed=5)
+        first = [sim.rng.stream("x").random() for _ in range(3)]
+        sim.rng.reset()
+        second = [sim.rng.stream("x").random() for _ in range(3)]
+        assert first == second

@@ -1,0 +1,118 @@
+"""Tests for the comparison baselines (central server, Ivy-style DSM)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amoeba.cluster import Cluster
+from repro.baselines.central_server import CentralServerRts
+from repro.baselines.ivy_dsm import IvyDsm, run_ivy_workload
+from repro.config import ClusterConfig
+from repro.orca.builtin_objects import IntObject
+from repro.orca.process import OrcaProcess
+from repro.orca.program import OrcaProgram
+
+
+def counter_main(proc, read_fraction=0.9, ops=30):
+    shared = proc.new_object(IntObject, 0)
+
+    def worker(wproc, obj, worker_id=0):
+        state = worker_id * 31 + 7
+        for _ in range(ops):
+            wproc.compute(100)
+            state = (state * 1103515245 + 12345) % 2**31
+            if (state % 100) / 100.0 < read_fraction:
+                obj.read()
+            else:
+                obj.add(1)
+
+    proc.join_all(proc.fork_workers(worker, shared))
+    return shared.read()
+
+
+class TestCentralServer:
+    def _run(self, read_fraction):
+        program = OrcaProgram(counter_main, ClusterConfig(num_nodes=6, seed=4), rts="p2p")
+        program._build_runtime = lambda cluster: CentralServerRts(cluster)  # type: ignore[method-assign]
+        return program.run(read_fraction)
+
+    def test_computes_correct_value(self):
+        result = self._run(0.0)
+        assert result.value == 6 * 30
+
+    def test_never_replicates(self):
+        program = OrcaProgram(counter_main, ClusterConfig(num_nodes=6, seed=4), rts="p2p")
+        program._build_runtime = lambda cluster: CentralServerRts(cluster)  # type: ignore[method-assign]
+        result = program.run(0.9, keep_cluster=True)
+        runtime = program.runtime
+        try:
+            assert result.value >= 0
+            assert runtime.stats.replicas_created == 1  # just the primary copy
+            # All reads from other machines went remote.
+            assert runtime.stats.remote_reads > 0
+        finally:
+            program.cluster.shutdown()
+
+    def test_slower_than_replication_for_read_mostly(self):
+        central = self._run(0.95)
+        replicated = OrcaProgram(counter_main, ClusterConfig(num_nodes=6, seed=4),
+                                 rts="broadcast").run(0.95)
+        assert replicated.elapsed < central.elapsed
+
+
+class TestIvyDsm:
+    def test_read_write_round_trip(self):
+        cluster = Cluster(ClusterConfig(num_nodes=3, seed=2))
+        try:
+            dsm = IvyDsm(cluster)
+            observed = []
+
+            def writer():
+                proc = cluster.sim.current_process
+                dsm.write(proc, 1, "k", 41)
+                dsm.write(proc, 1, "k", 42)
+
+            def reader():
+                proc = cluster.sim.current_process
+                proc.hold(0.1)
+                observed.append(dsm.read(proc, 2, "k"))
+
+            cluster.node(1).kernel.spawn_thread(writer)
+            cluster.node(2).kernel.spawn_thread(reader)
+            cluster.run()
+            assert observed == [42]
+            assert dsm.write_faults >= 1
+            assert dsm.read_faults >= 1
+        finally:
+            cluster.shutdown()
+
+    def test_writes_invalidate_other_copies(self):
+        cluster = Cluster(ClusterConfig(num_nodes=3, seed=2))
+        try:
+            dsm = IvyDsm(cluster)
+            log = []
+
+            def scenario():
+                proc = cluster.sim.current_process
+                dsm.read(proc, 1, "k")          # node 1 gets a read copy
+                dsm.write(proc, 1, "k", 5)      # node 1 becomes the writer
+                proc.hold(0.05)
+                log.append(dsm.read(proc, 1, "k"))
+
+            def other():
+                proc = cluster.sim.current_process
+                proc.hold(0.01)
+                dsm.read(proc, 2, "k")          # node 2 caches a copy
+                proc.hold(0.05)
+                dsm.write(proc, 2, "k", 9)      # invalidates node 1's copy
+
+            cluster.node(1).kernel.spawn_thread(scenario)
+            cluster.node(2).kernel.spawn_thread(other)
+            cluster.run()
+            assert dsm.invalidations >= 1
+        finally:
+            cluster.shutdown()
+
+    def test_workload_wrapper_returns_positive_time(self):
+        elapsed = run_ivy_workload(num_nodes=4, ops_per_worker=10, read_fraction=0.8)
+        assert elapsed > 0

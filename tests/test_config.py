@@ -1,0 +1,97 @@
+"""Tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    BroadcastParams,
+    ClusterConfig,
+    CostModel,
+    CpuParams,
+    NetworkParams,
+    ReplicationParams,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNetworkParams:
+    def test_defaults_match_paper_testbed(self):
+        params = NetworkParams()
+        assert params.bandwidth_bps == 10_000_000.0
+        assert params.supports_broadcast
+
+    def test_transmit_time_scales_with_size(self):
+        params = NetworkParams(bandwidth_bps=10_000_000.0, packet_overhead_bytes=0)
+        assert params.transmit_time(1250) == pytest.approx(0.001)  # 10 kbit at 10 Mb/s
+
+    def test_packets_for(self):
+        params = NetworkParams(packet_size=1500)
+        assert params.packets_for(0) == 1
+        assert params.packets_for(1) == 1
+        assert params.packets_for(1500) == 1
+        assert params.packets_for(1501) == 2
+        assert params.packets_for(4500) == 3
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkParams(bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            NetworkParams(latency=-1)
+        with pytest.raises(ConfigurationError):
+            NetworkParams(loss_rate=1.5)
+
+
+class TestCpuParams:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CpuParams(work_unit_time=-1.0)
+
+
+class TestBroadcastParams:
+    def test_method_validation(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastParams(method="xyz")
+        assert BroadcastParams(method="pb").method == "pb"
+
+    def test_pb_max_packets_validation(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastParams(pb_max_packets=0)
+
+
+class TestReplicationParams:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationParams(replicate_threshold=1.0, drop_threshold=2.0)
+
+    def test_defaults_have_hysteresis(self):
+        params = ReplicationParams()
+        assert params.replicate_threshold > params.drop_threshold
+
+
+class TestCostModel:
+    def test_with_overrides(self):
+        model = CostModel()
+        updated = model.with_overrides(network={"bandwidth_bps": 1e8},
+                                       cpu={"work_unit_time": 1e-6})
+        assert updated.network.bandwidth_bps == 1e8
+        assert updated.cpu.work_unit_time == 1e-6
+        # The original is unchanged (frozen dataclasses).
+        assert model.network.bandwidth_bps == 1e7
+
+    def test_with_overrides_unknown_section(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().with_overrides(gpu={"x": 1})
+
+
+class TestClusterConfig:
+    def test_with_nodes_and_seed(self):
+        config = ClusterConfig(num_nodes=4, seed=1)
+        assert config.with_nodes(8).num_nodes == 8
+        assert config.with_seed(9).seed == 9
+        # Original untouched.
+        assert config.num_nodes == 4
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(num_nodes=0)

@@ -1,0 +1,140 @@
+"""Tests for the metrics and harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import ClusterConfig
+from repro.errors import ReproError
+from repro.harness.experiment import ScalingExperiment
+from repro.harness.figures import render_speedup_figure
+from repro.harness.sweeps import ParameterSweep
+from repro.metrics.collectors import RunCollection, RunRecord
+from repro.metrics.report import ascii_plot, format_table
+from repro.metrics.speedup import SpeedupCurve, speedup_from_times
+from repro.orca.builtin_objects import IntObject
+from repro.orca.program import OrcaProgram
+
+
+class TestSpeedupCurve:
+    def test_basic_speedups(self):
+        curve = SpeedupCurve({1: 10.0, 2: 5.0, 4: 2.5}, base_procs=1)
+        assert curve.speedup(1) == pytest.approx(1.0)
+        assert curve.speedup(2) == pytest.approx(2.0)
+        assert curve.speedup(4) == pytest.approx(4.0)
+        assert curve.efficiency(4) == pytest.approx(1.0)
+
+    def test_baseline_other_than_one(self):
+        curve = SpeedupCurve({2: 8.0, 4: 4.0}, base_procs=2)
+        assert curve.speedup(2) == pytest.approx(2.0)
+        assert curve.speedup(4) == pytest.approx(4.0)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ReproError):
+            SpeedupCurve({2: 1.0}, base_procs=1)
+
+    def test_non_positive_times_rejected(self):
+        with pytest.raises(ReproError):
+            SpeedupCurve({1: 0.0}, base_procs=1)
+
+    def test_speedup_from_times_defaults_to_smallest(self):
+        curve = speedup_from_times({4: 3.0, 2: 5.0})
+        assert curve.base_procs == 2
+
+    def test_as_rows(self):
+        rows = SpeedupCurve({1: 4.0, 2: 2.0}, base_procs=1).as_rows()
+        assert rows[0][0] == "1"
+        assert rows[1][2] == "2.00"
+
+    @given(st.dictionaries(st.integers(min_value=1, max_value=64),
+                           st.floats(min_value=0.001, max_value=1e3,
+                                     allow_nan=False, allow_infinity=False),
+                           min_size=1, max_size=10))
+    def test_speedup_at_baseline_equals_baseline(self, times):
+        curve = speedup_from_times(times)
+        assert curve.speedup(curve.base_procs) == pytest.approx(curve.base_procs)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "column"], [["1", "x"], ["22", "yy"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "column" in lines[1]
+        assert len(lines) == 5
+
+    def test_ascii_plot_contains_markers_and_legend(self):
+        text = ascii_plot({"measured": {1: 1.0, 4: 3.0}, "perfect": {1: 1.0, 4: 4.0}},
+                          title="demo")
+        assert "demo" in text
+        assert "*" in text and "o" in text
+        assert "measured" in text and "perfect" in text
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot({"s": {}}) == "(no data)"
+
+    def test_render_speedup_figure(self):
+        curve = SpeedupCurve({1: 8.0, 2: 4.0, 4: 2.0}, base_procs=1)
+        text = render_speedup_figure("Fig X", curve)
+        assert "Fig X" in text
+        assert "speedup" in text
+        assert "CPUs" in text
+
+
+class TestRunCollection:
+    def _records(self):
+        return RunCollection([
+            RunRecord("a", {"procs": 1, "variant": "x"}, 4.0),
+            RunRecord("a", {"procs": 2, "variant": "x"}, 2.0),
+            RunRecord("a", {"procs": 2, "variant": "y"}, 3.0),
+        ])
+
+    def test_filter(self):
+        runs = self._records()
+        assert len(runs.filter(variant="x")) == 2
+        assert len(runs.filter(variant="x", procs=2)) == 1
+
+    def test_times_by(self):
+        runs = self._records().filter(variant="x")
+        assert runs.times_by("procs") == {1: 4.0, 2: 2.0}
+
+    def test_column(self):
+        runs = self._records()
+        assert runs.column("procs") == [1, 2, 2]
+
+
+class TestScalingExperiment:
+    def test_experiment_runs_program_per_processor_count(self):
+        def main(proc):
+            counter = proc.new_object(IntObject, 0)
+            work_per_worker = 24_000 // proc.num_nodes  # fixed total work
+
+            def worker(wproc, obj, worker_id=0):
+                wproc.compute(work_per_worker)
+                obj.add(1)
+
+            proc.join_all(proc.fork_workers(worker, counter))
+            return counter.read()
+
+        def run(procs):
+            return OrcaProgram(main, ClusterConfig(num_nodes=procs, seed=3)).run()
+
+        experiment = ScalingExperiment("counter", run, [1, 2, 4])
+        outcome = experiment.execute()
+        assert outcome.curve.processor_counts == [1, 2, 4]
+        assert not outcome.consistent_values()  # value == worker count here
+        assert len(outcome.runs) == 3
+        assert outcome.curve.speedup(4) > 1.0
+
+
+class TestParameterSweep:
+    def test_cartesian_product_and_rows(self):
+        def measure(a, b):
+            return {"sum": a + b}
+
+        sweep = ParameterSweep("s", measure, {"a": [1, 2], "b": [10, 20]})
+        points = sweep.execute()
+        assert len(points) == 4
+        rows = ParameterSweep.to_rows(points, ["a", "b"], ["sum"])
+        assert ["1", "10", "11"] in rows
