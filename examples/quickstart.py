@@ -69,3 +69,14 @@ if __name__ == "__main__":
     print(f"  network messages    : {result.network['messages']}")
     print(f"  receive interrupts  : {result.network['interrupts']}")
     assert result.value["final_value"] == 8 * 20
+
+    # The same stack can also be driven by synthetic traffic: five lines get
+    # a named scenario with throughput and tail-latency percentiles
+    # (see examples/workloads_demo.py for the full sweep).
+    from repro import WorkloadRunner
+
+    report = WorkloadRunner("hot-spot", runtime="broadcast",
+                            num_nodes=8, seed=42).run()
+    p99 = report.percentile_row()["p99"]
+    print(f"  hot-spot workload   : {report.throughput:.0f} ops/s, "
+          f"p99 latency {p99 * 1000:.2f} ms")

@@ -81,6 +81,10 @@ __all__ = [
     "OrcaProgram",
     "OrcaProcess",
     "ProgramResult",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "WorkloadReport",
+    "ScenarioRegistry",
 ]
 
 
@@ -99,4 +103,8 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         from .orca import program as _program
 
         return getattr(_program, name)
+    if name in ("WorkloadRunner", "WorkloadSpec", "WorkloadReport", "ScenarioRegistry"):
+        from . import workloads
+
+        return getattr(workloads, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
@@ -59,6 +60,9 @@ class GroupMember:
         self.node_id = node.node_id
         self.engine = OrderingEngine()
         self.delivery_handler: Optional[DeliveryHandler] = None
+        #: Recently delivered messages, retained so this member can seed a
+        #: sequencer history if it wins an election after a crash.
+        self._delivered_history: "OrderedDict[int, HistoryEntry]" = OrderedDict()
         self._send_counter = itertools.count(1)
         self._pending_sends: Dict[MessageId, SendRecord] = {}
         self._gap_timers: Dict[int, int] = {}
@@ -183,8 +187,23 @@ class GroupMember:
         self._deliver_ready()
         self._schedule_gap_requests()
 
+    def recovery_entries(self) -> List[HistoryEntry]:
+        """Everything this member could serve as sequencer history: its
+        retained delivered messages plus sequenced-but-undelivered buffers."""
+        entries = list(self._delivered_history.values())
+        entries.extend(
+            HistoryEntry(m.seqno, m.origin, m.uid, m.payload, m.size)
+            for m in self.engine.buffered_messages()
+        )
+        return entries
+
     def _deliver_ready(self) -> None:
         for delivered in self.engine.pop_deliverable():
+            self._delivered_history[delivered.seqno] = HistoryEntry(
+                delivered.seqno, delivered.origin, delivered.uid,
+                delivered.payload, delivered.size)
+            while len(self._delivered_history) > self.group.params.history_size:
+                self._delivered_history.popitem(last=False)
             timer = self._gap_timers.pop(delivered.seqno, None)
             if timer is not None:
                 self.node.kernel.cancel_timer(timer)
@@ -352,10 +371,20 @@ class BroadcastGroup:
     # ------------------------------------------------------------------ #
 
     def install_sequencer(self, node_id: int, next_seq: int) -> None:
-        """Make ``node_id`` the sequencer, continuing numbering at ``next_seq``."""
+        """Make ``node_id`` the sequencer, continuing numbering at ``next_seq``.
+
+        The new sequencer's history buffer is seeded from the hosting
+        member's local state (delivered plus buffered messages), so it can
+        keep serving retransmissions for messages ordered before the old
+        sequencer crashed.  The election winner is the member with the
+        highest known sequence number, i.e. the best-informed seed.
+        """
         node = self.cluster.node(node_id)
         self.sequencer_node_id = node_id
         self.sequencer = Sequencer(self, node)
+        member = self.members.get(node_id)
+        if member is not None:
+            self.sequencer.adopt_history(member.recovery_entries())
         self.sequencer.adopt_state(next_seq)
 
     def note_new_sequencer(self, node_id: int, next_seq: int) -> None:

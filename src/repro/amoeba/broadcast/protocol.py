@@ -179,3 +179,7 @@ class OrderingEngine:
     @property
     def buffered_count(self) -> int:
         return len(self._ordered_buffer)
+
+    def buffered_messages(self) -> List[DeliveredMessage]:
+        """Sequenced-but-undelivered messages (used for sequencer recovery)."""
+        return list(self._ordered_buffer.values())

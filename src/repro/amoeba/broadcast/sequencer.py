@@ -191,6 +191,25 @@ class Sequencer:
         """Called on a newly elected sequencer to continue the numbering."""
         self.next_seq = max(self.next_seq, next_seq)
 
+    def adopt_history(self, entries) -> None:
+        """Seed the history buffer from the winning member's local state.
+
+        Installed after an election so retransmit requests for messages the
+        *old* sequencer ordered can still be answered.  Also re-primes
+        duplicate suppression: a sender retrying a message that was already
+        sequenced gets the original sequence number rebroadcast instead of a
+        second one.
+        """
+        for entry in sorted(entries, key=lambda e: e.seqno):
+            self._history[entry.seqno] = entry
+            self._assigned[entry.uid] = entry.seqno
+            self.next_seq = max(self.next_seq, entry.seqno + 1)
+        while len(self._history) > self.history_size:
+            _, old_entry = self._history.popitem(last=False)
+            self._assigned.pop(old_entry.uid, None)
+        if self._history:
+            self._arm_sync()
+
     @property
     def highest_assigned(self) -> int:
         return self.next_seq - 1

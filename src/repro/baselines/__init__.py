@@ -4,10 +4,12 @@
   (every remote access is an RPC), the "no replication" end of the spectrum;
 * :mod:`repro.baselines.ivy_dsm` — a small page-based distributed shared
   memory in the style of Li & Hudak's Ivy, which the paper contrasts with
-  object-based sharing in §1-2.
+  object-based sharing in §1-2, plus :class:`IvyObjectRuntime`, an adapter
+  exposing the DSM through the common RuntimeSystem interface so workloads
+  can sweep it alongside the object runtimes.
 """
 
 from .central_server import CentralServerRts
-from .ivy_dsm import IvyDsm, run_ivy_workload
+from .ivy_dsm import IvyDsm, IvyObjectRuntime, run_ivy_workload
 
-__all__ = ["CentralServerRts", "IvyDsm", "run_ivy_workload"]
+__all__ = ["CentralServerRts", "IvyDsm", "IvyObjectRuntime", "run_ivy_workload"]

@@ -52,3 +52,25 @@ class ParameterSweep:
             row.extend(str(point.measurement.get(k)) for k in measure_keys)
             rows.append(row)
         return rows
+
+
+def workload_run_collection(reports: Iterable[Any]) -> RunCollection:
+    """Adapt :class:`~repro.workloads.runner.WorkloadReport` objects to the
+    harness's :class:`RunCollection`, so workload sweeps can reuse the same
+    filtering/column machinery as the speedup benchmarks."""
+    collection = RunCollection()
+    for report in reports:
+        collection.add(RunRecord(
+            label=f"{report.scenario}/{report.runtime}",
+            params={"scenario": report.scenario, "runtime": report.runtime,
+                    "workload": report.workload, "num_nodes": report.num_nodes,
+                    "num_clients": report.num_clients},
+            elapsed=report.elapsed,
+            value=report.total_ops,
+            network=dict(report.network),
+            rts=dict(report.rts_summary),
+            extra={"throughput": report.throughput,
+                   "latency": report.percentile_row(),
+                   "facts": dict(report.scenario_facts)},
+        ))
+    return collection

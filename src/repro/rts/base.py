@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Type
 from ..errors import RtsError
 from .manager import ObjectManager
 from .object_model import ObjectSpec, validate_spec
+from .stats import LatencyProbe
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..amoeba.cluster import Cluster
@@ -75,6 +76,8 @@ class RuntimeSystem(ABC):
         self.sim = cluster.sim
         self.cost_model = cluster.cost_model
         self.stats = RtsStats()
+        #: Invocation-latency hook; inert until a recorder is attached.
+        self.latency_probe = LatencyProbe()
         self._object_ids = itertools.count(1)
         self._handles: Dict[int, ObjectHandle] = {}
         #: One object manager per machine.
@@ -119,9 +122,32 @@ class RuntimeSystem(ABC):
         """Create a shared object from the given process; returns its handle."""
 
     @abstractmethod
+    def _invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
+                args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
+        """Runtime-specific invocation of an operation on a shared object."""
+
     def invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
                args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
-        """Invoke an operation on a shared object from the given process."""
+        """Invoke an operation on a shared object from the given process.
+
+        When a latency recorder is attached to :attr:`latency_probe`, the
+        invocation's virtual-time latency (including any blocking on
+        broadcasts, RPCs or guards) is recorded under ``"read"`` or
+        ``"write"`` according to the operation's declared class.
+        """
+        probe = self.latency_probe
+        if not probe.enabled:
+            return self._invoke(proc, handle, op_name, args, kwargs)
+        start = probe.start(proc)
+        result = self._invoke(proc, handle, op_name, args, kwargs)
+        kind = "write" if handle.spec_class.operation_def(op_name).is_write else "read"
+        probe.finish(kind, proc, start)
+        return result
+
+    def attach_latency_recorder(self, recorder: Any) -> Any:
+        """Attach a latency recorder to every subsequent invocation; returns it."""
+        self.latency_probe.recorder = recorder
+        return recorder
 
     # ------------------------------------------------------------------ #
     # Helpers shared by implementations

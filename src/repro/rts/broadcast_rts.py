@@ -84,8 +84,8 @@ class BroadcastRts(RuntimeSystem):
         self._pending.pop(invocation_id, None)
         return handle
 
-    def invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
-               args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
+    def _invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
+                args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
         """Invoke ``op_name`` on the shared object referenced by ``handle``."""
         node = self._node_of(proc)
         op = handle.spec_class.operation_def(op_name)

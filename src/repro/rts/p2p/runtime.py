@@ -149,8 +149,8 @@ class PointToPointRts(RuntimeSystem):
         self.directory.add_copy(handle.obj_id, node_id)
         self.stats.replicas_created += 1
 
-    def invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
-               args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
+    def _invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
+                args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
         node = self._node_of(proc)
         nid = node.node_id
         op = handle.spec_class.operation_def(op_name)

@@ -1,0 +1,235 @@
+"""The workload runner: simulated clients driving scenarios on any runtime.
+
+:class:`WorkloadRunner` assembles a cluster, builds one of the four runtime
+systems (broadcast RTS, point-to-point RTS, central-server baseline, Ivy DSM
+baseline), runs a scenario's setup, then spawns ``clients_per_node``
+simulated client processes on every node.  Each client issues the request
+stream its :class:`~repro.workloads.spec.WorkloadSpec` describes — closed
+loop with think times, or open loop with Poisson arrivals — and records the
+virtual-time latency of every request.
+
+Latency is collected at two levels:
+
+* **request latency** — what a client observed, measured from the *intended*
+  arrival time under the open-loop model (so queueing delay counts);
+* **runtime latency** — per-invocation latency recorded inside the runtime
+  system via :class:`~repro.rts.stats.LatencyProbe`.
+
+Everything is deterministic under a fixed seed: clients draw keys, mixes,
+think times and arrival gaps from per-client named rng streams, so two runs
+of the same configuration produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..amoeba.cluster import Cluster
+from ..baselines.central_server import CentralServerRts
+from ..baselines.ivy_dsm import IvyObjectRuntime
+from ..config import ClusterConfig
+from ..errors import ConfigurationError
+from ..metrics.latency import LatencyRecorder
+from ..rts.base import RuntimeSystem
+from ..rts.broadcast_rts import BroadcastRts
+from ..rts.p2p.runtime import PointToPointRts
+from .scenarios import Scenario, ScenarioRegistry
+from .spec import WorkloadSpec, request_stream
+
+#: Every runtime kind the runner can sweep.
+RUNTIME_KINDS = ("broadcast", "p2p", "central", "ivy")
+
+
+def build_runtime(cluster: Cluster, kind: str,
+                  options: Optional[Dict[str, Any]] = None) -> RuntimeSystem:
+    """Instantiate one of the four runtime systems on ``cluster``."""
+    options = dict(options or {})
+    if kind == "broadcast":
+        return BroadcastRts(cluster, **options)
+    if kind == "p2p":
+        return PointToPointRts(cluster, **options)
+    if kind == "central":
+        return CentralServerRts(cluster, **options)
+    if kind == "ivy":
+        return IvyObjectRuntime(cluster, **options)
+    raise ConfigurationError(
+        f"unknown runtime kind {kind!r} (use one of {RUNTIME_KINDS})")
+
+
+def network_type_for(kind: str) -> str:
+    """Broadcast needs the shared Ethernet; the rest run point-to-point."""
+    return "ethernet" if kind == "broadcast" else "switched"
+
+
+@dataclass
+class WorkloadReport:
+    """Everything measured during one scenario x runtime workload run."""
+
+    scenario: str
+    runtime: str
+    workload: str
+    num_nodes: int
+    num_clients: int
+    total_ops: int
+    reads: int
+    writes: int
+    #: Virtual seconds from first client start to last client completion.
+    elapsed: float
+    #: Requests per virtual second over the measurement window.
+    throughput: float
+    #: Client-observed request latency summaries (read / write / overall).
+    request_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Runtime-level invocation latency summaries.
+    rts_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    network: Dict[str, Any] = field(default_factory=dict)
+    rts_summary: Dict[str, Any] = field(default_factory=dict)
+    #: Scenario-specific post-run facts (counter totals, queue backlog, ...).
+    scenario_facts: Dict[str, Any] = field(default_factory=dict)
+
+    def percentile_row(self, kind: str = "overall") -> Dict[str, float]:
+        """p50/p95/p99/mean (seconds) of one request-latency class."""
+        summary = self.request_latency.get(kind, {})
+        return {key: summary.get(key, 0.0) for key in ("p50", "p95", "p99", "mean")}
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """A stable, rounded digest used by determinism checks and tests."""
+        overall = self.percentile_row()
+        return {
+            "scenario": self.scenario,
+            "runtime": self.runtime,
+            "ops": self.total_ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "elapsed": round(self.elapsed, 9),
+            "throughput": round(self.throughput, 6),
+            "p50": round(overall["p50"], 9),
+            "p95": round(overall["p95"], 9),
+            "p99": round(overall["p99"], 9),
+            "messages": self.network.get("messages"),
+            "facts": dict(sorted(self.scenario_facts.items())),
+        }
+
+
+class WorkloadRunner:
+    """Run one scenario under one workload spec on one runtime system."""
+
+    def __init__(self, scenario: str, workload: Optional[WorkloadSpec] = None,
+                 runtime: str = "broadcast", num_nodes: int = 8,
+                 clients_per_node: int = 1, seed: int = 42,
+                 rts_options: Optional[Dict[str, Any]] = None,
+                 config: Optional[ClusterConfig] = None) -> None:
+        if runtime not in RUNTIME_KINDS:
+            raise ConfigurationError(
+                f"unknown runtime kind {runtime!r} (use one of {RUNTIME_KINDS})")
+        self.scenario_kind = scenario
+        scenario_class = ScenarioRegistry.get(scenario)
+        self.workload = workload or scenario_class.default_spec()
+        self.runtime_kind = runtime
+        self.num_nodes = num_nodes
+        self.clients_per_node = clients_per_node
+        self.seed = seed
+        self.rts_options = dict(rts_options or {})
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> WorkloadReport:
+        """Execute the workload to completion; returns the full report."""
+        config = self.config or ClusterConfig(num_nodes=self.num_nodes, seed=self.seed)
+        cluster = Cluster(config, network_type=network_type_for(self.runtime_kind))
+        try:
+            return self._run_on(cluster)
+        finally:
+            cluster.shutdown()
+
+    def _run_on(self, cluster: Cluster) -> WorkloadReport:
+        sim = cluster.sim
+        rts = build_runtime(cluster, self.runtime_kind, self.rts_options)
+        rts_recorder = LatencyRecorder()
+        request_recorder = LatencyRecorder()
+        scenario = ScenarioRegistry.create(self.scenario_kind, self.workload)
+        spec = scenario.spec
+        phases = spec.resolved_phases()
+        counts = {"reads": 0, "writes": 0}
+        window = {"start": 0.0, "end": 0.0}
+        facts: Dict[str, Any] = {}
+
+        def client_body(node_id: int, client_id: int) -> None:
+            proc = sim.current_process
+            rng = sim.rng.stream(f"workload.client.{node_id}.{client_id}")
+            open_loop = spec.client_model == "open"
+            next_arrival = proc.local_time
+            for request in request_stream(spec, rng):
+                phase = phases[request.phase]
+                if open_loop:
+                    next_arrival += rng.expovariate(phase.arrival_rate)
+                    if proc.local_time < next_arrival:
+                        proc.hold(next_arrival - proc.local_time)
+                    # Intended arrival, not actual issue time: queueing delay
+                    # counts toward latency (no coordinated omission).
+                    issued_at = next_arrival
+                else:
+                    if phase.think_time > 0.0:
+                        proc.hold(rng.expovariate(1.0 / phase.think_time))
+                    issued_at = proc.local_time
+                scenario.perform(rts, proc, request)
+                kind = "write" if request.is_write else "read"
+                request_recorder.record(kind, proc.local_time - issued_at)
+                counts["writes" if request.is_write else "reads"] += 1
+
+        def orchestrator() -> None:
+            proc = sim.current_process
+            scenario.setup(rts, proc)
+            proc.flush()
+            # Record runtime-level latencies only over the measurement
+            # window: setup and post-run validation stay out of the stats.
+            rts.attach_latency_recorder(rts_recorder)
+            window["start"] = proc.local_time
+            clients = []
+            for node in cluster.nodes:
+                for client_id in range(self.clients_per_node):
+                    clients.append(node.kernel.spawn_thread(
+                        client_body, node.node_id, client_id,
+                        name=f"client{client_id}"))
+            for client in clients:
+                proc.join(client)
+            window["end"] = proc.local_time
+            rts.latency_probe.recorder = None
+            facts.update(scenario.validate(rts, proc, counts))
+
+        cluster.node(0).kernel.spawn_thread(orchestrator, name="workload")
+        cluster.run()
+
+        total_ops = counts["reads"] + counts["writes"]
+        elapsed = max(window["end"] - window["start"], 1e-12)
+        return WorkloadReport(
+            scenario=self.scenario_kind,
+            runtime=rts.name,
+            workload=spec.name,
+            num_nodes=cluster.num_nodes,
+            num_clients=cluster.num_nodes * self.clients_per_node,
+            total_ops=total_ops,
+            reads=counts["reads"],
+            writes=counts["writes"],
+            elapsed=elapsed,
+            throughput=total_ops / elapsed,
+            request_latency=request_recorder.summaries(),
+            rts_latency=rts_recorder.summaries(),
+            network=cluster.network_summary(),
+            rts_summary=rts.read_write_summary(),
+            scenario_facts=facts,
+        )
+
+
+def run_scenario_matrix(scenarios: List[str], runtimes: List[str],
+                        workload: Optional[WorkloadSpec] = None,
+                        **runner_kwargs: Any) -> List[WorkloadReport]:
+    """Sweep scenarios x runtimes; returns one report per combination."""
+    reports = []
+    for scenario_kind in scenarios:
+        for runtime_kind in runtimes:
+            runner = WorkloadRunner(scenario_kind, workload=workload,
+                                    runtime=runtime_kind, **runner_kwargs)
+            reports.append(runner.run())
+    return reports

@@ -1,0 +1,286 @@
+"""Shared-object scenario kinds: what objects exist and what requests do.
+
+A :class:`Scenario` binds an abstract :class:`~repro.workloads.spec.Request`
+stream to concrete shared objects and operations, via the common
+:class:`~repro.rts.base.RuntimeSystem` interface — so the same scenario runs
+unchanged on the broadcast RTS, the point-to-point RTS, the central-server
+baseline and the Ivy DSM baseline.
+
+The built-in kinds cover the access patterns the paper's evaluation and the
+cluster-benchmark literature care about:
+
+* ``counter-farm``   — many independent counters; requests spread over them;
+* ``kv-table``       — one shared dictionary with get/put traffic;
+* ``fifo-queue``     — a producer/consumer job queue (writes produce, reads
+  consume via a non-blocking poll — both are RTS-level writes, which makes
+  this the broadcast-heaviest scenario);
+* ``read-mostly-catalog`` — a preloaded dictionary served almost exclusively
+  to readers (replication's best case);
+* ``hot-spot``       — every request hits one cell (contention's worst case).
+
+New kinds register themselves with :class:`ScenarioRegistry` via the
+:func:`scenario` class decorator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Dict, List, Type
+
+from ..errors import ConfigurationError
+from ..orca.builtin_objects import DictObject, IntObject
+from ..rts.base import ObjectHandle, RuntimeSystem
+from ..rts.object_model import ObjectSpec, operation
+from .spec import Request, WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.process import SimProcess
+
+
+class PollableQueue(ObjectSpec):
+    """A FIFO queue whose dequeue never blocks (workload-friendly consume).
+
+    The classic Orca :class:`~repro.orca.builtin_objects.JobQueue` blocks
+    consumers on a guard while the queue is empty; synthetic traffic instead
+    wants a bounded-time ``poll`` that returns ``None`` on empty, so client
+    loops always terminate.
+    """
+
+    def init(self) -> None:
+        self.items: List[Any] = []
+        self.enqueued = 0
+        self.dequeued = 0
+        self.empty_polls = 0
+
+    @operation(write=True)
+    def put(self, item: Any) -> int:
+        self.items.append(item)
+        self.enqueued += 1
+        return len(self.items)
+
+    @operation(write=True)
+    def poll(self) -> Any:
+        """Dequeue the oldest item, or return ``None`` when empty."""
+        if self.items:
+            self.dequeued += 1
+            return self.items.pop(0)
+        self.empty_polls += 1
+        return None
+
+    @operation(write=False)
+    def size(self) -> int:
+        return len(self.items)
+
+    @operation(write=False)
+    def totals(self) -> Dict[str, int]:
+        return {"enqueued": self.enqueued, "dequeued": self.dequeued,
+                "empty_polls": self.empty_polls}
+
+
+class Scenario(ABC):
+    """One shared-object traffic scenario, runnable against any runtime."""
+
+    #: Registry key; subclasses set it via the :func:`scenario` decorator.
+    kind = "abstract"
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.handles: List[ObjectHandle] = []
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        """The workload this scenario is usually driven with."""
+        return WorkloadSpec(name=cls.kind)
+
+    @abstractmethod
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        """Create the scenario's shared objects (runs once, before clients)."""
+
+    @abstractmethod
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        """Execute one request against the shared objects."""
+
+    def validate(self, rts: RuntimeSystem, proc: "SimProcess",
+                 totals: Dict[str, int]) -> Dict[str, Any]:
+        """Post-run consistency check; returns scenario-specific facts.
+
+        ``totals`` carries the runner's request counts (``reads``/``writes``).
+        The default implementation returns an empty dict; scenario kinds
+        override it to assert invariants like "the counters add up".
+        """
+        return {}
+
+
+class ScenarioRegistry:
+    """Name -> scenario-class registry with creation helpers."""
+
+    _kinds: Dict[str, Type[Scenario]] = {}
+
+    @classmethod
+    def register(cls, kind: str, scenario_class: Type[Scenario]) -> None:
+        if kind in cls._kinds:
+            raise ConfigurationError(f"scenario kind {kind!r} already registered")
+        scenario_class.kind = kind
+        cls._kinds[kind] = scenario_class
+
+    @classmethod
+    def names(cls) -> List[str]:
+        return sorted(cls._kinds)
+
+    @classmethod
+    def get(cls, kind: str) -> Type[Scenario]:
+        try:
+            return cls._kinds[kind]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scenario kind {kind!r} (known: {', '.join(cls.names())})"
+            ) from None
+
+    @classmethod
+    def create(cls, kind: str, spec: "WorkloadSpec | None" = None) -> Scenario:
+        """Instantiate ``kind`` with ``spec`` (default: the kind's own spec)."""
+        scenario_class = cls.get(kind)
+        return scenario_class(spec or scenario_class.default_spec())
+
+
+def scenario(kind: str):
+    """Class decorator registering a :class:`Scenario` subclass under ``kind``."""
+
+    def decorate(scenario_class: Type[Scenario]) -> Type[Scenario]:
+        ScenarioRegistry.register(kind, scenario_class)
+        return scenario_class
+
+    return decorate
+
+
+# ---------------------------------------------------------------------- #
+# Built-in scenario kinds
+# ---------------------------------------------------------------------- #
+
+
+@scenario("counter-farm")
+class CounterFarm(Scenario):
+    """``num_keys`` independent counters; key popularity picks which one."""
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.handles = [
+            rts.create_object(proc, IntObject, (0,), name=f"counter[{i}]")
+            for i in range(self.spec.num_keys)
+        ]
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        handle = self.handles[request.key]
+        if request.is_write:
+            return rts.invoke(proc, handle, "add", (1,))
+        return rts.invoke(proc, handle, "read")
+
+    def validate(self, rts, proc, totals):
+        total = sum(rts.invoke(proc, handle, "read") for handle in self.handles)
+        assert total == totals["writes"], (
+            f"counter farm lost updates: {total} != {totals['writes']}")
+        return {"counter_total": total}
+
+
+@scenario("kv-table")
+class KVTable(Scenario):
+    """One shared dictionary; reads look keys up, writes overwrite them."""
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.handles = [rts.create_object(proc, DictObject, name="kv-table")]
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        handle = self.handles[0]
+        key = f"k{request.key}"
+        if request.is_write:
+            return rts.invoke(proc, handle, "store", (key, request.seq))
+        return rts.invoke(proc, handle, "lookup", (key,))
+
+    def validate(self, rts, proc, totals):
+        size = rts.invoke(proc, self.handles[0], "size")
+        assert size <= min(self.spec.num_keys, max(1, totals["writes"])), (
+            f"kv table grew beyond its key space: {size}")
+        return {"kv_size": size}
+
+
+@scenario("fifo-queue")
+class FifoJobQueue(Scenario):
+    """Producer/consumer traffic on a FIFO queue.
+
+    Write requests produce (``put``); read requests consume (``poll``).  Note
+    that at the RTS level *both* are write operations — a dequeue mutates
+    state on every replica — so this scenario stresses the write path of
+    whichever coherence protocol runs it.
+    """
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        # Balanced produce/consume keeps the queue short but never starved.
+        return WorkloadSpec(name=cls.kind, read_fraction=0.5)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.handles = [rts.create_object(proc, PollableQueue, name="job-queue")]
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        handle = self.handles[0]
+        if request.is_write:
+            return rts.invoke(proc, handle, "put", (request.seq,))
+        return rts.invoke(proc, handle, "poll")
+
+    def validate(self, rts, proc, totals):
+        queue_totals = rts.invoke(proc, self.handles[0], "totals")
+        backlog = rts.invoke(proc, self.handles[0], "size")
+        assert queue_totals["enqueued"] == totals["writes"]
+        assert queue_totals["enqueued"] - queue_totals["dequeued"] == backlog
+        return {"backlog": backlog, **queue_totals}
+
+
+@scenario("read-mostly-catalog")
+class ReadMostlyCatalog(Scenario):
+    """A preloaded catalog served to readers, with rare in-place updates."""
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(name=cls.kind, read_fraction=0.98, num_keys=32,
+                            popularity="zipfian", zipf_s=1.2)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.handles = [rts.create_object(proc, DictObject, name="catalog")]
+        for key in range(self.spec.num_keys):
+            rts.invoke(proc, self.handles[0], "store", (f"k{key}", 0))
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        handle = self.handles[0]
+        key = f"k{request.key}"
+        if request.is_write:
+            return rts.invoke(proc, handle, "store", (key, request.seq))
+        return rts.invoke(proc, handle, "lookup", (key,))
+
+    def validate(self, rts, proc, totals):
+        size = rts.invoke(proc, self.handles[0], "size")
+        assert size == self.spec.num_keys, (
+            f"catalog size changed: {size} != {self.spec.num_keys}")
+        return {"catalog_size": size}
+
+
+@scenario("hot-spot")
+class HotSpotCell(Scenario):
+    """Every request, read or write, hits one shared cell (max contention)."""
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(name=cls.kind, num_keys=1, read_fraction=0.5)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.handles = [rts.create_object(proc, IntObject, (0,), name="hot-cell")]
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        handle = self.handles[0]
+        if request.is_write:
+            return rts.invoke(proc, handle, "add", (1,))
+        return rts.invoke(proc, handle, "read")
+
+    def validate(self, rts, proc, totals):
+        value = rts.invoke(proc, self.handles[0], "read")
+        assert value == totals["writes"], (
+            f"hot cell lost updates: {value} != {totals['writes']}")
+        return {"cell_value": value}

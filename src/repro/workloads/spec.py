@@ -1,0 +1,211 @@
+"""Workload specifications: who asks for what, how often, and in what mix.
+
+A :class:`WorkloadSpec` describes synthetic shared-object traffic abstractly,
+independent of the scenario (which objects) and the runtime (which coherence
+protocol).  It has three axes:
+
+* **key popularity** — which of the scenario's keys a request touches:
+  uniform, or Zipfian with configurable skew (the classic hot-key model);
+* **read/write mix** — the probability that a request is a read;
+* **client model** — *closed-loop* clients issue a request, wait for its
+  completion, think, and repeat; *open-loop* clients draw Poisson arrival
+  times in advance and issue on schedule.  Open-loop latencies are measured
+  from the **intended** arrival time, so queueing delay is charged to the
+  operation rather than silently absorbed (avoiding coordinated omission).
+
+Multi-phase schedules (:class:`PhaseSpec`) let one workload shift mix or rate
+mid-run — e.g. a write-heavy load phase followed by a read-mostly serve
+phase, or a bursty open-loop arrival pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+POPULARITY_KINDS = ("uniform", "zipfian")
+CLIENT_MODELS = ("closed", "open")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a workload: a request count with its own mix and pacing.
+
+    Fields left at ``None`` inherit the workload-level value, so a phase list
+    can express just the deltas ("same traffic, but write-heavy for a burst").
+    """
+
+    ops_per_client: int
+    read_fraction: float = None  # type: ignore[assignment]
+    think_time: float = None  # type: ignore[assignment]
+    arrival_rate: float = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ResolvedPhase:
+    """A phase with every inherited field filled in (what clients execute)."""
+
+    ops_per_client: int
+    read_fraction: float
+    think_time: float
+    arrival_rate: float
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete description of one synthetic traffic pattern.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    num_keys:
+        Size of the scenario's key space (number of counters, catalog
+        entries, ...).  Scenario kinds decide what a "key" maps to.
+    popularity:
+        ``"uniform"`` or ``"zipfian"`` key selection.
+    zipf_s:
+        Zipf exponent; larger values concentrate traffic on fewer keys.
+    read_fraction:
+        Probability that a request is a read (scenario kinds map read/write
+        requests onto concrete operations).
+    client_model:
+        ``"closed"`` (think-time loop) or ``"open"`` (Poisson arrivals).
+    ops_per_client:
+        Requests each simulated client issues (per phase when phases are
+        given explicitly).
+    think_time:
+        Closed-loop mean think time between requests, in seconds of virtual
+        time (exponentially distributed; 0 disables thinking).
+    arrival_rate:
+        Open-loop mean arrival rate per client, in requests/second.
+    phases:
+        Optional multi-phase schedule; empty means one phase built from the
+        top-level fields.
+    """
+
+    name: str = "workload"
+    num_keys: int = 16
+    popularity: str = "uniform"
+    zipf_s: float = 1.1
+    read_fraction: float = 0.9
+    client_model: str = "closed"
+    ops_per_client: int = 50
+    think_time: float = 0.0
+    arrival_rate: float = 200.0
+    phases: Tuple[PhaseSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.popularity not in POPULARITY_KINDS:
+            raise ConfigurationError(
+                f"unknown popularity {self.popularity!r} (use one of {POPULARITY_KINDS})")
+        if self.client_model not in CLIENT_MODELS:
+            raise ConfigurationError(
+                f"unknown client model {self.client_model!r} (use one of {CLIENT_MODELS})")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}")
+        if self.num_keys < 1:
+            raise ConfigurationError(f"num_keys must be >= 1, got {self.num_keys}")
+        if self.client_model == "open" and self.arrival_rate <= 0:
+            raise ConfigurationError("open-loop workloads need arrival_rate > 0")
+
+    # ------------------------------------------------------------------ #
+
+    def resolved_phases(self) -> List[ResolvedPhase]:
+        """The phase schedule with workload-level defaults filled in."""
+        if not self.phases:
+            return [ResolvedPhase(self.ops_per_client, self.read_fraction,
+                                  self.think_time, self.arrival_rate)]
+        resolved = []
+        for phase in self.phases:
+            resolved.append(ResolvedPhase(
+                ops_per_client=phase.ops_per_client,
+                read_fraction=(self.read_fraction if phase.read_fraction is None
+                               else phase.read_fraction),
+                think_time=(self.think_time if phase.think_time is None
+                            else phase.think_time),
+                arrival_rate=(self.arrival_rate if phase.arrival_rate is None
+                              else phase.arrival_rate),
+            ))
+        return resolved
+
+    @property
+    def total_ops_per_client(self) -> int:
+        return sum(phase.ops_per_client for phase in self.resolved_phases())
+
+    def with_overrides(self, **changes) -> "WorkloadSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def bursty(name: str, ops_per_phase: int, base_rate: float, burst_rate: float,
+           read_fraction: float = 0.9, num_keys: int = 16,
+           bursts: int = 2, **overrides) -> WorkloadSpec:
+    """An open-loop workload alternating calm and burst arrival phases."""
+    phases: List[PhaseSpec] = []
+    for _ in range(bursts):
+        phases.append(PhaseSpec(ops_per_client=ops_per_phase, arrival_rate=base_rate))
+        phases.append(PhaseSpec(ops_per_client=ops_per_phase, arrival_rate=burst_rate))
+    return WorkloadSpec(name=name, num_keys=num_keys, read_fraction=read_fraction,
+                        client_model="open", arrival_rate=base_rate,
+                        phases=tuple(phases), **overrides)
+
+
+class KeySampler:
+    """Draws key indices in ``[0, num_keys)`` under the configured popularity."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.num_keys = spec.num_keys
+        self.kind = spec.popularity
+        self._cdf: List[float] = []
+        if self.kind == "zipfian":
+            weights = [1.0 / ((rank + 1) ** spec.zipf_s) for rank in range(self.num_keys)]
+            total = sum(weights)
+            running = 0.0
+            for weight in weights:
+                running += weight / total
+                self._cdf.append(running)
+            self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self, rng: random.Random) -> int:
+        if self.kind == "uniform":
+            return rng.randrange(self.num_keys)
+        return bisect_left(self._cdf, rng.random())
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generated client request, before the scenario maps it to an op."""
+
+    seq: int
+    key: int
+    is_write: bool
+    phase: int
+
+
+def request_stream(spec: WorkloadSpec, rng: random.Random) -> Iterator[Request]:
+    """Generate the request sequence one client issues (deterministic per rng).
+
+    The stream interleaves key sampling and mix decisions in a fixed order so
+    that, for a given seeded ``rng``, two runs observe identical requests.
+    """
+    sampler = KeySampler(spec)
+    seq = 0
+    for phase_index, phase in enumerate(spec.resolved_phases()):
+        for _ in range(phase.ops_per_client):
+            key = sampler.sample(rng)
+            is_write = rng.random() >= phase.read_fraction
+            yield Request(seq=seq, key=key, is_write=is_write, phase=phase_index)
+            seq += 1
+
+
+def observed_mix(requests: Sequence[Request]) -> float:
+    """Fraction of reads in a generated request sequence (test helper)."""
+    if not requests:
+        return 0.0
+    return sum(1 for request in requests if not request.is_write) / len(requests)

@@ -6,7 +6,8 @@ import pytest
 
 from repro.amoeba.cluster import Cluster
 from repro.baselines.central_server import CentralServerRts
-from repro.baselines.ivy_dsm import IvyDsm, run_ivy_workload
+from repro.baselines.ivy_dsm import IvyDsm, IvyObjectRuntime, run_ivy_workload
+from repro.errors import ProcessError
 from repro.config import ClusterConfig
 from repro.orca.builtin_objects import IntObject
 from repro.orca.process import OrcaProcess
@@ -116,3 +117,63 @@ class TestIvyDsm:
     def test_workload_wrapper_returns_positive_time(self):
         elapsed = run_ivy_workload(num_nodes=4, ops_per_worker=10, read_fraction=0.8)
         assert elapsed > 0
+
+
+class TestIvyObjectRuntime:
+    def test_remote_reads_counted_on_page_faults(self):
+        """A read without a valid local copy is a remote (faulting) access."""
+        with Cluster(ClusterConfig(num_nodes=3, seed=4)) as cluster:
+            rts = IvyObjectRuntime(cluster)
+            observed = []
+
+            def scenario():
+                proc = cluster.sim.current_process
+                handle = rts.create_object(proc, IntObject, (5,))
+                observed.append(rts.invoke(proc, handle, "read"))  # faults
+                observed.append(rts.invoke(proc, handle, "read"))  # cached
+
+            cluster.node(1).kernel.spawn_thread(scenario)
+            cluster.run()
+            assert observed == [5, 5]
+            assert rts.stats.remote_reads == 1
+            assert rts.stats.local_reads == 1
+
+    def test_failed_write_operation_does_not_wedge_the_page(self):
+        """An operation raising mid-write must release the page transfer so
+        other nodes can still fault it in afterwards."""
+        with Cluster(ClusterConfig(num_nodes=3, seed=4)) as cluster:
+            rts = IvyObjectRuntime(cluster)
+            handles = {}
+
+            def creator():
+                proc = cluster.sim.current_process
+                handles["h"] = rts.create_object(proc, IntObject, (0,))
+
+            def bad_writer():
+                proc = cluster.sim.current_process
+                proc.hold(0.01)
+                # Missing required argument -> TypeError inside the operation.
+                rts.invoke(proc, handles["h"], "assign")
+
+            def good_writer():
+                proc = cluster.sim.current_process
+                proc.hold(0.05)
+                rts.invoke(proc, handles["h"], "add", (3,))
+
+            cluster.node(0).kernel.spawn_thread(creator)
+            cluster.node(1).kernel.spawn_thread(bad_writer)
+            cluster.node(2).kernel.spawn_thread(good_writer)
+            with pytest.raises(ProcessError):
+                cluster.run()
+            # The failed writer released the transfer: the good writer's
+            # fault went through and its update took effect.
+            reader = {}
+
+            def check():
+                proc = cluster.sim.current_process
+                proc.hold(0.5)  # after the good writer's update
+                reader["value"] = rts.invoke(proc, handles["h"], "read")
+
+            cluster.node(0).kernel.spawn_thread(check)
+            cluster.run()
+            assert reader["value"] == 3

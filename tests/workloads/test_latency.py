@@ -1,0 +1,110 @@
+"""Tests for the latency histogram / recorder in repro.metrics.latency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.latency import (
+    LatencyHistogram,
+    LatencyRecorder,
+    format_latency_row,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_reports_zeros(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.99) == 0.0
+        summary = histogram.summary()
+        assert summary["count"] == 0.0 and summary["p95"] == 0.0
+
+    def test_single_sample(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.005)
+        assert histogram.count == 1
+        assert histogram.min == histogram.max == 0.005
+        # With one sample every percentile is that sample (within bucket error).
+        assert histogram.percentile(0.5) == pytest.approx(0.005, rel=0.05)
+        assert histogram.percentile(0.99) == pytest.approx(0.005, rel=0.05)
+
+    def test_percentiles_ordered_and_bounded(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 1001):
+            histogram.record(i * 1e-5)  # 10us .. 10ms
+        p50 = histogram.percentile(0.50)
+        p95 = histogram.percentile(0.95)
+        p99 = histogram.percentile(0.99)
+        assert p50 <= p95 <= p99 <= histogram.max
+        assert p50 == pytest.approx(0.005, rel=0.05)
+        assert p99 == pytest.approx(0.0099, rel=0.05)
+
+    def test_negative_samples_clamp_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(-1.0)
+        assert histogram.min == 0.0
+        assert histogram.percentile(1.0) == 0.0
+
+    def test_merge_combines_counts_and_extremes(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for value in (0.001, 0.002):
+            a.record(value)
+        for value in (0.01, 0.0001):
+            b.record(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.min == 0.0001
+        assert a.max == 0.01
+        assert a.mean == pytest.approx((0.001 + 0.002 + 0.01 + 0.0001) / 4)
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+    def test_deterministic_across_runs(self):
+        def build():
+            histogram = LatencyHistogram()
+            for i in range(500):
+                histogram.record((i % 37) * 3.1e-5)
+            return histogram.summary()
+
+        assert build() == build()
+
+
+class TestLatencyRecorder:
+    def test_per_kind_histograms(self):
+        recorder = LatencyRecorder()
+        recorder.record("read", 0.001)
+        recorder.record("read", 0.002)
+        recorder.record("write", 0.01)
+        assert recorder.kinds() == ["read", "write"]
+        assert recorder.histogram("read").count == 2
+        assert recorder.histogram("write").count == 1
+        assert recorder.histogram("missing").count == 0
+
+    def test_merged_folds_all_kinds(self):
+        recorder = LatencyRecorder()
+        recorder.record("read", 0.001)
+        recorder.record("write", 0.01)
+        merged = recorder.merged()
+        assert merged.count == 2
+        assert merged.max == 0.01
+
+    def test_summaries_include_overall(self):
+        recorder = LatencyRecorder()
+        recorder.record("read", 0.001)
+        summaries = recorder.summaries()
+        assert set(summaries) == {"read", "overall"}
+        assert summaries["overall"]["count"] == 1.0
+        for key in ("p50", "p95", "p99", "mean", "min", "max"):
+            assert key in summaries["read"]
+
+    def test_format_latency_row_in_milliseconds(self):
+        recorder = LatencyRecorder()
+        recorder.record("read", 0.002)
+        p50, p95, p99, mean = format_latency_row(recorder.summaries()["read"])
+        assert float(p50) == pytest.approx(2.0, rel=0.05)
+        assert float(mean) == pytest.approx(2.0, rel=0.05)
