@@ -21,8 +21,13 @@ class BBStrategy:
 
     name = "bb"
 
-    def send(self, member: "GroupMember", record: SendRecord) -> None:
-        """Broadcast ``record`` to the whole group (unordered until Accepted)."""
+    def send(self, member: "GroupMember", record: SendRecord) -> bool:
+        """Broadcast ``record`` to the whole group (unordered until Accepted).
+
+        Returns True when the retry timer will be armed by the network's
+        ``on_sent`` callback (once the data has left the wire), False when
+        the caller must arm it itself.
+        """
         record.attempts += 1
         group = member.group
         if member.node_id == group.sequencer_node_id:
@@ -32,13 +37,14 @@ class BBStrategy:
             group.sequencer.handle_pb_request(
                 member.node_id, record.uid, record.payload, record.size
             )
-            return
+            return False
         msg = member.node.make_message(
-            None, KIND_BB_DATA,
+            None, group.wire_kind(KIND_BB_DATA),
             payload=record.payload, size=record.size,
             uid=(record.uid.origin, record.uid.counter),
         )
-        member.node.send(msg)
+        member.node.send(msg, on_sent=lambda _msg: member._arm_retry(record))
         # The sender keeps its own copy; it will be sequenced when the
         # sequencer's Accept arrives.
         member.engine.offer_bb_data(member.node_id, record.uid, record.payload, record.size)
+        return True

@@ -44,6 +44,9 @@ class GroupStats:
     pb_sends: int = 0
     bb_sends: int = 0
     retransmit_requests: int = 0
+    #: Gap requests answered by an ordinary member (not the sequencer) out of
+    #: its local delivered history — the cross-member recovery path.
+    peer_retransmissions: int = 0
     elections: int = 0
     deliveries: int = 0
     data_bytes_sent: int = 0
@@ -61,18 +64,26 @@ class GroupMember:
         self.engine = OrderingEngine()
         self.delivery_handler: Optional[DeliveryHandler] = None
         #: Recently delivered messages, retained so this member can seed a
-        #: sequencer history if it wins an election after a crash.
+        #: sequencer history if it wins an election after a crash, and so it
+        #: can answer broadcast gap requests from lagging peers.
         self._delivered_history: "OrderedDict[int, HistoryEntry]" = OrderedDict()
         self._send_counter = itertools.count(1)
         self._pending_sends: Dict[MessageId, SendRecord] = {}
         self._gap_timers: Dict[int, int] = {}
+        #: Gap-request attempts per missing seqno; after the first unanswered
+        #: unicast to the sequencer, requests fall back to a group broadcast.
+        self._gap_attempts: Dict[int, int] = {}
         #: Election round bookkeeping: candidate -> highest known seqno.
         self._election_votes: Dict[int, int] = {}
         self._election_timer: Optional[int] = None
+        #: When this member last delivered a sequenced message: deliveries
+        #: prove the sequencer is alive (merely backlogged), so send retries
+        #: keep backing off instead of escalating to an election.
+        self._last_delivery_time = node.sim.now
         for kind in (KIND_REQUEST, KIND_DATA, KIND_BB_DATA, KIND_ACCEPT,
                      KIND_RETRANSMIT_REQ, KIND_RETRANSMIT, KIND_SYNC,
                      KIND_ELECTION, KIND_COORDINATOR):
-            node.register_handler(kind, self._on_message)
+            node.register_handler(group.wire_kind(kind), self._on_message)
 
     # ------------------------------------------------------------------ #
     # Sending
@@ -107,27 +118,42 @@ class GroupMember:
 
     def _transmit(self, record: SendRecord) -> None:
         strategy = self.group.strategy(record.method)
-        strategy.send(self, record)
-        self._arm_retry(record)
+        if not strategy.send(self, record):
+            # No network transmission to wait for (sequencer-local fast
+            # path): arm the retry immediately.
+            self._arm_retry(record)
 
     def _arm_retry(self, record: SendRecord) -> None:
+        """(Re)arm the send-retry timer with linear backoff.
+
+        Called when the message has actually left the wire (via the send
+        strategies' ``on_sent``), not when it was queued — a bulk sender's
+        NIC backlog must not look like a dead sequencer.
+        """
         if record.retry_timer is not None:
             self.node.kernel.cancel_timer(record.retry_timer)
+        backoff = min(record.attempts, 4)
         record.retry_timer = self.node.kernel.set_timer(
-            self.group.retry_timeout, self._on_retry_timeout, record.uid
+            self.group.retry_timeout * max(1, backoff),
+            self._on_retry_timeout, record.uid
         )
 
     def _on_retry_timeout(self, uid: MessageId) -> None:
         record = self._pending_sends.get(uid)
         if record is None or record.delivered:
             return
-        if record.attempts >= self.group.max_send_attempts:
-            # The sequencer is probably gone; try to elect a new one and keep
-            # the record pending so it is resent after the election.
+        progressing = (self.node.sim.now - self._last_delivery_time
+                       < self.group.params.election_timeout)
+        if record.attempts >= self.group.max_send_attempts and not progressing:
+            # No deliveries either: the sequencer is probably gone; try to
+            # elect a new one and keep the record pending so it is resent
+            # after the election.
             self._start_election()
             record.attempts = 0
             self._arm_retry(record)
             return
+        # A busy-but-alive sequencer dedups the retry and rebroadcasts only
+        # what was really lost.
         self.group.stats.retransmit_requests += 1
         self._transmit(record)
 
@@ -136,7 +162,7 @@ class GroupMember:
     # ------------------------------------------------------------------ #
 
     def _on_message(self, msg: Message) -> None:
-        kind = msg.kind
+        kind = self.group.base_kind(msg.kind)
         if kind == KIND_REQUEST:
             if self.group.sequencer_node_id == self.node_id:
                 uid = MessageId(*msg.headers["uid"])
@@ -166,10 +192,23 @@ class GroupMember:
             self._after_arrival()
             return
         if kind == KIND_RETRANSMIT_REQ:
+            seqno = msg.headers["seqno"]
+            served = False
             if self.group.sequencer_node_id == self.node_id:
-                self.group.sequencer.handle_retransmit_request(
-                    msg.src, msg.headers["seqno"]
-                )
+                served = self.group.sequencer.handle_retransmit_request(
+                    msg.src, seqno)
+            if msg.is_broadcast and not served:
+                # A broadcast gap request: the sequencer could not help (it
+                # is newly elected, its history evicted the message, or the
+                # requester *is* the sequencer's node).  One member per
+                # salvo — rotated by the request's attempt counter so every
+                # member is eventually tried — answers from local state.
+                # (The designated peer cannot observe whether a *remote*
+                # sequencer served the same salvo, so a request can draw at
+                # most two replies — sequencer plus designee; duplicates are
+                # discarded by the ordering engine.)
+                if self._gap_responder(seqno, msg.headers.get("salvo", 0)):
+                    self._answer_gap_request(msg.src, seqno)
             return
         if kind == KIND_ELECTION:
             self._on_election_message(msg)
@@ -197,6 +236,44 @@ class GroupMember:
         )
         return entries
 
+    def lookup_entry(self, seqno: int) -> Optional[HistoryEntry]:
+        """This member's local copy of sequenced message ``seqno``, if any."""
+        entry = self._delivered_history.get(seqno)
+        if entry is not None:
+            return entry
+        for buffered in self.engine.buffered_messages():
+            if buffered.seqno == seqno:
+                return HistoryEntry(buffered.seqno, buffered.origin,
+                                    buffered.uid, buffered.payload,
+                                    buffered.size)
+        return None
+
+    def _gap_responder(self, seqno: int, salvo: int) -> bool:
+        """Whether this member should answer the given broadcast gap request.
+
+        Exactly one member is designated per salvo; the designation rotates
+        with the requester's retry counter, so a crashed or equally lagging
+        designee only costs one retry interval before the next member is
+        tried.  This caps recovery traffic at one reply per request instead
+        of one per holder.
+        """
+        ids = sorted(self.group.members)
+        return ids[(seqno + salvo) % len(ids)] == self.node_id
+
+    def _answer_gap_request(self, requester: int, seqno: int) -> None:
+        """Serve a peer's broadcast gap request from local delivered state."""
+        entry = self.lookup_entry(seqno)
+        if entry is None or requester == self.node_id:
+            return
+        self.group.stats.peer_retransmissions += 1
+        msg = self.node.make_message(
+            requester, self.group.wire_kind(KIND_RETRANSMIT),
+            payload=entry.payload, size=entry.size,
+            seqno=entry.seqno, origin=entry.origin,
+            uid=(entry.uid.origin, entry.uid.counter),
+        )
+        self.node.send(msg)
+
     def _deliver_ready(self) -> None:
         for delivered in self.engine.pop_deliverable():
             self._delivered_history[delivered.seqno] = HistoryEntry(
@@ -207,6 +284,8 @@ class GroupMember:
             timer = self._gap_timers.pop(delivered.seqno, None)
             if timer is not None:
                 self.node.kernel.cancel_timer(timer)
+            self._gap_attempts.pop(delivered.seqno, None)
+            self._last_delivery_time = self.node.sim.now
             record = self._pending_sends.get(delivered.uid)
             if record is not None and delivered.origin == self.node_id:
                 record.delivered = True
@@ -236,14 +315,26 @@ class GroupMember:
     def _request_retransmit(self, seqno: int) -> None:
         self._gap_timers.pop(seqno, None)
         if seqno < self.engine.next_expected:
+            self._gap_attempts.pop(seqno, None)
             return  # it arrived in the meantime
         self.group.stats.retransmit_requests += 1
         self.group.stats.control_bytes_sent += CONTROL_MESSAGE_SIZE
+        attempts = self._gap_attempts.get(seqno, 0) + 1
+        self._gap_attempts[seqno] = attempts
         sequencer_node = self.group.sequencer_node_id
-        if sequencer_node == self.node_id:
-            return
-        msg = self.node.make_message(sequencer_node, KIND_RETRANSMIT_REQ,
-                                     size=CONTROL_MESSAGE_SIZE, seqno=seqno)
+        if sequencer_node == self.node_id or attempts > 1:
+            # The sequencer cannot help — it is hosted here (and its history
+            # lacks the message) or it already failed to answer a unicast
+            # request — so ask the whole group; the attempt counter rotates
+            # which member (holding the message in its retained history)
+            # answers.
+            destination = None
+        else:
+            destination = sequencer_node
+        msg = self.node.make_message(destination,
+                                     self.group.wire_kind(KIND_RETRANSMIT_REQ),
+                                     size=CONTROL_MESSAGE_SIZE, seqno=seqno,
+                                     salvo=attempts)
         self.node.send(msg)
         # Re-arm in case the retransmission is lost too.
         self._gap_timers[seqno] = self.node.kernel.set_timer(
@@ -260,7 +351,7 @@ class GroupMember:
         self.group.stats.elections += 1
         self._election_votes = {self.node_id: self.engine.highest_known_seqno}
         msg = self.node.make_message(
-            None, KIND_ELECTION, size=CONTROL_MESSAGE_SIZE,
+            None, self.group.wire_kind(KIND_ELECTION), size=CONTROL_MESSAGE_SIZE,
             candidate=self.node_id, high=self.engine.highest_known_seqno,
         )
         self.node.send(msg)
@@ -276,7 +367,7 @@ class GroupMember:
             # Join the round: announce ourselves as well.
             self._election_votes = {self.node_id: self.engine.highest_known_seqno}
             reply = self.node.make_message(
-                None, KIND_ELECTION, size=CONTROL_MESSAGE_SIZE,
+                None, self.group.wire_kind(KIND_ELECTION), size=CONTROL_MESSAGE_SIZE,
                 candidate=self.node_id, high=self.engine.highest_known_seqno,
             )
             self.node.send(reply)
@@ -300,7 +391,7 @@ class GroupMember:
         next_seq = max(votes.values()) + 1
         self.group.install_sequencer(self.node_id, next_seq)
         msg = self.node.make_message(
-            None, KIND_COORDINATOR, size=CONTROL_MESSAGE_SIZE,
+            None, self.group.wire_kind(KIND_COORDINATOR), size=CONTROL_MESSAGE_SIZE,
             sequencer=self.node_id, next_seq=next_seq,
         )
         self.node.send(msg)
@@ -322,21 +413,34 @@ class GroupMember:
 
 
 class BroadcastGroup:
-    """A totally-ordered broadcast group spanning every node of a cluster."""
+    """A totally-ordered broadcast group spanning every node of a cluster.
 
-    def __init__(self, cluster: "Cluster", params: Optional[BroadcastParams] = None) -> None:
+    Several groups can coexist on one cluster (the sharding layer runs one
+    per shard): each group gets a ``group_id`` that namespaces its wire
+    message kinds, so the groups' protocol traffic — sequencing, gap
+    recovery, elections — is fully independent.  The initial sequencer seat
+    is configurable so shards can spread their sequencers over the machines.
+    """
+
+    def __init__(self, cluster: "Cluster", params: Optional[BroadcastParams] = None,
+                 group_id: int = 0,
+                 sequencer_node_id: Optional[int] = None) -> None:
         if not cluster.network.supports_broadcast:
             raise BroadcastError(
                 "the broadcast group requires a network with hardware broadcast"
             )
         self.cluster = cluster
+        self.group_id = group_id
         self.params = params or cluster.cost_model.broadcast
         self.stats = GroupStats()
         self._pb = PBStrategy()
         self._bb = BBStrategy()
-        #: Elected sequencer (initially the lowest-numbered machine).
-        self.sequencer_node_id = cluster.nodes[0].node_id
-        self.sequencer = Sequencer(self, cluster.nodes[0])
+        #: Elected sequencer (initially the configured seat, defaulting to
+        #: the lowest-numbered machine).
+        initial = (cluster.nodes[0].node_id if sequencer_node_id is None
+                   else sequencer_node_id)
+        self.sequencer_node_id = initial
+        self.sequencer = Sequencer(self, cluster.node(initial))
         self.members: Dict[int, GroupMember] = {
             node.node_id: GroupMember(self, node) for node in cluster.nodes
         }
@@ -348,6 +452,20 @@ class BroadcastGroup:
     # ------------------------------------------------------------------ #
     # Lookup / configuration
     # ------------------------------------------------------------------ #
+
+    def wire_kind(self, base: str) -> str:
+        """The on-wire message kind for ``base`` in this group.
+
+        Group 0 keeps the plain protocol kinds (so single-group traffic and
+        traces look exactly as before); other groups suffix their id, which
+        keeps every group's registrations and dispatch disjoint.
+        """
+        return base if self.group_id == 0 else f"{base}#g{self.group_id}"
+
+    @staticmethod
+    def base_kind(wire: str) -> str:
+        """Invert :meth:`wire_kind`: strip the group suffix, if any."""
+        return wire.partition("#")[0]
 
     def member(self, node_id: int) -> GroupMember:
         return self.members[node_id]
@@ -380,8 +498,14 @@ class BroadcastGroup:
         highest known sequence number, i.e. the best-informed seed.
         """
         node = self.cluster.node(node_id)
+        old = self.sequencer
         self.sequencer_node_id = node_id
         self.sequencer = Sequencer(self, node)
+        if old is not None and old is not self.sequencer:
+            # A dethroned sequencer that is still alive must stop serving its
+            # queue, or its stale broadcasts would collide with the seqnos
+            # the successor hands out.
+            old.retire()
         member = self.members.get(node_id)
         if member is not None:
             self.sequencer.adopt_history(member.recovery_entries())

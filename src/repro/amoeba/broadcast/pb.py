@@ -22,8 +22,13 @@ class PBStrategy:
 
     name = "pb"
 
-    def send(self, member: "GroupMember", record: SendRecord) -> None:
-        """Transmit ``record`` toward the sequencer."""
+    def send(self, member: "GroupMember", record: SendRecord) -> bool:
+        """Transmit ``record`` toward the sequencer.
+
+        Returns True when the retry timer will be armed by the network's
+        ``on_sent`` callback (i.e. once the request has left the wire), False
+        when the caller must arm it itself.
+        """
         record.attempts += 1
         group = member.group
         sequencer_node = group.sequencer_node_id
@@ -32,10 +37,11 @@ class PBStrategy:
             group.sequencer.handle_pb_request(
                 member.node_id, record.uid, record.payload, record.size
             )
-            return
+            return False
         msg = member.node.make_message(
-            sequencer_node, KIND_REQUEST,
+            sequencer_node, group.wire_kind(KIND_REQUEST),
             payload=record.payload, size=record.size,
             uid=(record.uid.origin, record.uid.counter),
         )
-        member.node.send(msg)
+        member.node.send(msg, on_sent=lambda _msg: member._arm_retry(record))
+        return True

@@ -10,9 +10,9 @@ from which missing messages are retransmitted point-to-point on request.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Deque, Dict, Optional, Tuple
 
 from .protocol import (
     CONTROL_MESSAGE_SIZE,
@@ -54,6 +54,13 @@ class Sequencer:
         self.retransmissions = 0
         self.duplicates_suppressed = 0
         self.sync_broadcasts = 0
+        #: FIFO of sequenced messages awaiting their ordered (re)broadcast:
+        #: the sequencer is a queueing server with ``sequencing_cost`` service
+        #: time per message, which is what gives a lone sequencer a hard
+        #: throughput ceiling (and sharding something real to break).
+        self._service_queue: Deque[Tuple[HistoryEntry, bool]] = deque()
+        self._service_timer: Optional[int] = None
+        self.max_queue_depth = 0
         self._sync_timer: Optional[int] = None
         self._sync_remaining = 0
         #: Number of idle-time sync heartbeats sent after the last sequenced
@@ -74,10 +81,10 @@ class Sequencer:
             self.duplicates_suppressed += 1
             entry = self._history.get(existing)
             if entry is not None:
-                self._broadcast_data(entry)
+                self._dispatch_broadcast(entry, accept=False)
             return
         entry = self._record(origin, uid, payload, size)
-        self._broadcast_data(entry)
+        self._dispatch_broadcast(entry, accept=False)
 
     def handle_bb_data(self, origin: int, uid: MessageId, payload: Any, size: int) -> None:
         """BB path: the data was broadcast by the sender; assign a number and Accept it."""
@@ -87,10 +94,83 @@ class Sequencer:
             self.duplicates_suppressed += 1
             entry = self._history.get(existing)
             if entry is not None:
-                self._broadcast_accept(entry)
+                self._dispatch_broadcast(entry, accept=True)
             return
         entry = self._record(origin, uid, payload, size)
-        self._broadcast_accept(entry)
+        self._dispatch_broadcast(entry, accept=True)
+
+    # ------------------------------------------------------------------ #
+    # Service queue (the sequencer's own processing capacity)
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_broadcast(self, entry: HistoryEntry, accept: bool) -> None:
+        """Send — or queue — the ordered (re)broadcast of ``entry``.
+
+        With ``sequencing_cost`` at 0 (the calibrated default) the broadcast
+        leaves immediately.  Otherwise sequence numbers are still assigned
+        at arrival (the order is fixed), but the broadcast leaves only
+        after the sequencer has *worked* on the message for
+        ``sequencing_cost`` virtual seconds; messages arriving faster than
+        that rate queue up — the single-sequencer throughput ceiling the
+        sharding layer exists to break.
+
+        The same ``sequencing_cost`` is also charged to the node as CPU
+        overhead (see :meth:`_record`): one unit of ordering work both
+        delays the message pipeline *and* steals CPU from co-located
+        application processes.  That approximates a single CPU shared by
+        the protocol and the applications without a full scheduler model;
+        it is applied identically at every shard count, so cross-shard
+        comparisons remain apples-to-apples.
+        """
+        if self.node.cost_model.cpu.sequencing_cost <= 0.0:
+            if accept:
+                self._broadcast_accept(entry)
+            else:
+                self._broadcast_data(entry)
+            return
+        self._service_queue.append((entry, accept))
+        depth = len(self._service_queue)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        if self._service_timer is None:
+            self._service_timer = self.node.kernel.set_timer(
+                self.node.cost_model.cpu.sequencing_cost, self._serve_next)
+
+    def retire(self) -> None:
+        """Stop serving: another sequencer has taken over this group.
+
+        A dethroned-but-alive sequencer must not keep broadcasting queued
+        entries — their sequence numbers get reassigned by the successor,
+        and two payloads under one seqno would break total order.  Senders
+        whose messages die with the queue recover through their own
+        retries against the new sequencer.
+        """
+        if self._service_timer is not None:
+            self.node.kernel.cancel_timer(self._service_timer)
+            self._service_timer = None
+        self._service_queue.clear()
+        if self._sync_timer is not None:
+            self.node.kernel.cancel_timer(self._sync_timer)
+            self._sync_timer = None
+
+    def _serve_next(self) -> None:
+        self._service_timer = None
+        if self.group.sequencer is not self:
+            # Superseded while the timer was in flight.
+            self._service_queue.clear()
+            return
+        if self._service_queue:
+            entry, accept = self._service_queue.popleft()
+            if accept:
+                self._broadcast_accept(entry)
+            else:
+                self._broadcast_data(entry)
+        # The broadcast's local delivery can re-enter _enqueue_broadcast
+        # (e.g. a batcher flushing on delivery), which may have re-armed the
+        # service timer already.
+        if self._service_queue and self._service_timer is None:
+            self._service_timer = self.node.kernel.set_timer(
+                self.node.cost_model.cpu.sequencing_cost, self._serve_next)
 
     def _record(self, origin: int, uid: MessageId, payload: Any, size: int) -> HistoryEntry:
         seqno = self.next_seq
@@ -101,8 +181,15 @@ class Sequencer:
         while len(self._history) > self.history_size:
             old_seq, old_entry = self._history.popitem(last=False)
             self._assigned.pop(old_entry.uid, None)
-        # Charge the sequencer CPU for ordering work beyond the plain receive.
-        self.node.charge_overhead(self.node.cost_model.cpu.operation_dispatch_cost)
+        # Charge the sequencer CPU for ordering work beyond the plain receive:
+        # number assignment, history-buffer retention, flow control.  Under
+        # the queueing model (sequencing_cost > 0) this is the service time
+        # that makes a lone sequencer the cluster-wide write ceiling (and
+        # what sharding over several groups spreads out).
+        cpu = self.node.cost_model.cpu
+        self.node.charge_overhead(cpu.sequencing_cost
+                                  if cpu.sequencing_cost > 0.0
+                                  else cpu.operation_dispatch_cost)
         self._arm_sync()
         return entry
 
@@ -133,7 +220,8 @@ class Sequencer:
             return
         self.sync_broadcasts += 1
         msg = self.node.make_message(
-            None, KIND_SYNC, size=CONTROL_MESSAGE_SIZE, seqno=self.highest_assigned
+            None, self.group.wire_kind(KIND_SYNC), size=CONTROL_MESSAGE_SIZE,
+            seqno=self.highest_assigned
         )
         self.node.send(msg)
         self._sync_remaining -= 1
@@ -148,7 +236,8 @@ class Sequencer:
 
     def _broadcast_data(self, entry: HistoryEntry) -> None:
         msg = self.node.make_message(
-            None, KIND_DATA, payload=entry.payload, size=entry.size,
+            None, self.group.wire_kind(KIND_DATA),
+            payload=entry.payload, size=entry.size,
             seqno=entry.seqno, origin=entry.origin,
             uid=(entry.uid.origin, entry.uid.counter),
         )
@@ -158,30 +247,38 @@ class Sequencer:
 
     def _broadcast_accept(self, entry: HistoryEntry) -> None:
         msg = self.node.make_message(
-            None, KIND_ACCEPT, payload=None, size=CONTROL_MESSAGE_SIZE,
+            None, self.group.wire_kind(KIND_ACCEPT),
+            payload=None, size=CONTROL_MESSAGE_SIZE,
             seqno=entry.seqno, origin=entry.origin,
             uid=(entry.uid.origin, entry.uid.counter),
         )
         self.node.send(msg)
         self.group.member(self.node.node_id).local_sequenced_data(entry)
 
-    def handle_retransmit_request(self, requester: int, seqno: int) -> None:
-        """Unicast a missing message back to the member that asked for it."""
+    def handle_retransmit_request(self, requester: int, seqno: int) -> bool:
+        """Unicast a missing message back to the member that asked for it.
+
+        Returns True when the request was served from the history buffer,
+        False when the message fell outside the (bounded) window — in which
+        case a broadcast gap request can still be answered by an ordinary
+        member's delivered history.
+        """
         entry = self._history.get(seqno)
         if entry is None:
-            # Outside the history window; nothing we can do (the paper's
-            # protocol bounds the window by flow control, which group
-            # benchmarks never exceed).
-            return
+            # Outside the history window; nothing *we* can do (the paper's
+            # protocol bounds the window by flow control).
+            return False
         # Someone is lagging: keep heartbeating so further tail losses heal.
         self._arm_sync()
         self.retransmissions += 1
         msg = self.node.make_message(
-            requester, KIND_RETRANSMIT, payload=entry.payload, size=entry.size,
+            requester, self.group.wire_kind(KIND_RETRANSMIT),
+            payload=entry.payload, size=entry.size,
             seqno=entry.seqno, origin=entry.origin,
             uid=(entry.uid.origin, entry.uid.counter),
         )
         self.node.send(msg)
+        return True
 
     # ------------------------------------------------------------------ #
     # Election support

@@ -48,7 +48,9 @@ class Cluster:
         self.rpc: Dict[int, RpcEndpoint] = {
             node.node_id: RpcEndpoint(node) for node in self.nodes
         }
-        self._broadcast_group = None
+        #: Every broadcast group created on this cluster, by group id.  Group
+        #: 0 is the classic cluster-wide group; the sharding layer adds more.
+        self.broadcast_groups: Dict[int, Any] = {}
 
     def _build_network(self, network_type: str) -> BaseNetwork:
         if network_type == "ethernet":
@@ -74,11 +76,26 @@ class Cluster:
     @property
     def broadcast_group(self):
         """The cluster-wide totally-ordered broadcast group (created lazily)."""
-        if self._broadcast_group is None:
-            from .broadcast.group import BroadcastGroup  # deferred import
+        if 0 not in self.broadcast_groups:
+            self.new_broadcast_group()
+        return self.broadcast_groups[0]
 
-            self._broadcast_group = BroadcastGroup(self)
-        return self._broadcast_group
+    def new_broadcast_group(self, sequencer_node_id: Optional[int] = None,
+                            params: Any = None):
+        """Create an additional totally-ordered broadcast group.
+
+        Each group gets the next free group id; its wire traffic is
+        namespaced by that id, so groups order, recover and elect
+        independently.  ``sequencer_node_id`` picks the initial sequencer
+        seat (the sharding layer spreads seats round-robin over the nodes).
+        """
+        from .broadcast.group import BroadcastGroup  # deferred import
+
+        group_id = len(self.broadcast_groups)
+        group = BroadcastGroup(self, params=params, group_id=group_id,
+                               sequencer_node_id=sequencer_node_id)
+        self.broadcast_groups[group_id] = group
+        return group
 
     # ------------------------------------------------------------------ #
     # Running

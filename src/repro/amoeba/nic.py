@@ -9,7 +9,7 @@ dispatcher.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from .message import Message
 from .network import Packet
@@ -40,11 +40,18 @@ class NetworkInterface:
         self.stats = NicStats()
         #: Partially reassembled messages keyed by message id.
         self._partial: Dict[int, int] = {}
+        #: Failure-injection hook: when set, packets for which it returns
+        #: True are silently dropped before reaching the node (targeted loss,
+        #: unlike the network's probabilistic ``loss_rate``).
+        self.drop_filter: Optional[Callable[[Packet], bool]] = None
 
     def receive_packet(self, packet: Packet) -> None:
         """Handle one packet arriving from the network (kernel context)."""
         node = self.node
         if not node.alive:
+            self.stats.packets_discarded += 1
+            return
+        if self.drop_filter is not None and self.drop_filter(packet):
             self.stats.packets_discarded += 1
             return
         cpu = node.cost_model.cpu

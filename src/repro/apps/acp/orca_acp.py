@@ -4,9 +4,12 @@ Shared objects, mirroring the paper's description:
 
 * ``domain`` — an array of value sets, one per variable, with operations to
   read a variable's set and to shrink it;
-* ``work`` — an array of Booleans saying which variables must be rechecked;
-* ``result`` — an array of Booleans, one per worker, set when a worker has no
-  more work (used, together with ``work``, for distributed termination);
+* ``work`` — the Booleans saying which variables must be rechecked, plus the
+  per-worker idle flags the paper keeps in its ``result`` object.  Both live
+  in one shared object so the distributed-termination check ("every worker
+  idle and nothing flagged") is a single operation evaluated in the object's
+  total write order — keeping them separate is racy, because all-idle and
+  no-pending can then be observed from two different points in the order;
 * ``failed`` — a Boolean set when some variable's set becomes empty (no
   solution exists).
 
@@ -55,10 +58,23 @@ class DomainObject(ObjectSpec):
 
 
 class WorkObject(ObjectSpec):
-    """The shared array of 'needs rechecking' flags, one per variable."""
+    """The shared 'needs rechecking' flags plus the termination state.
 
-    def init(self, num_variables: int = 0) -> None:
+    Distributed termination needs to see "every worker is idle AND no
+    variable is flagged" *atomically*.  Reading those from two separate
+    shared objects is racy: a worker can observe all-ready before another
+    worker's busy-announcement arrives, and no-pending after that worker's
+    ``take`` but before its re-``flag`` — and exit while work for its
+    partition is still in flight.  Folding both into one object makes the
+    check a single operation in the object's total write order, which every
+    replica evaluates at the same point: once ``done`` is set, no later
+    operation can ever flag new work.
+    """
+
+    def init(self, num_variables: int = 0, num_workers: int = 0) -> None:
         self.flags = [True] * num_variables
+        self.ready = [False] * num_workers
+        self.done = False
 
     @operation(write=False)
     def pending_in(self, variables: Tuple[int, ...]) -> List[int]:
@@ -70,11 +86,18 @@ class WorkObject(ObjectSpec):
         return any(self.flags)
 
     @operation(write=True)
-    def take(self, variables: Tuple[int, ...]) -> List[int]:
-        """Atomically fetch-and-clear the flags of ``variables``."""
+    def take(self, variables: Tuple[int, ...], worker: int) -> List[int]:
+        """Atomically fetch-and-clear the flags of ``variables``.
+
+        Taking work also marks the worker busy, in the same totally-ordered
+        operation, so the termination check can never see a stale idle flag
+        for a worker that is about to generate more work.
+        """
         taken = [v for v in variables if self.flags[v]]
         for v in taken:
             self.flags[v] = False
+        if taken:
+            self.ready[worker] = False
         return taken
 
     @operation(write=True)
@@ -87,20 +110,22 @@ class WorkObject(ObjectSpec):
                 newly += 1
         return newly
 
-
-class ReadyObject(ObjectSpec):
-    """The shared per-worker 'willing to terminate' flags."""
-
-    def init(self, num_workers: int = 0) -> None:
-        self.ready = [False] * num_workers
-
     @operation(write=True)
-    def set_ready(self, worker: int, value: bool) -> None:
-        self.ready[worker] = value
+    def offer_termination(self, worker: int) -> bool:
+        """Declare ``worker`` idle and test the termination condition.
+
+        Applied in the object's total order, so "all workers idle and
+        nothing flagged" is evaluated against the same state on every
+        replica; the verdict is latched in ``done``.
+        """
+        self.ready[worker] = True
+        if not self.done and all(self.ready) and not any(self.flags):
+            self.done = True
+        return self.done
 
     @operation(write=False)
-    def all_ready(self) -> bool:
-        return all(self.ready)
+    def finished(self) -> bool:
+        return self.done
 
 
 @dataclass
@@ -125,25 +150,24 @@ def partition_variables(num_variables: int, num_workers: int) -> List[Tuple[int,
     return partitions
 
 
-def acp_worker(proc: OrcaProcess, problem: AcpProblem, domain, work, ready, failed,
+def acp_worker(proc: OrcaProcess, problem: AcpProblem, domain, work, failed,
                my_vars: Tuple[int, ...], poll_interval: float = 0.002,
                worker_id: int = 0) -> Dict[str, int]:
     """One ACP worker, responsible for the variables in ``my_vars``."""
     revisions = 0
     am_ready = False
     while True:
-        if failed.read():
+        if failed.read() or work.finished():
             break
         # Cheap local read first; only pay for the fetch-and-clear write when
-        # there is something to take.
+        # there is something to take (taking also marks this worker busy).
         if work.pending_in(my_vars):
-            pending = work.take(my_vars)
+            pending = work.take(my_vars, worker_id)
+            if pending:
+                am_ready = False
         else:
             pending = []
         if pending:
-            if am_ready:
-                ready.set_ready(worker_id, False)
-                am_ready = False
             stop = False
             for var in pending:
                 for constraint in problem.constraints_involving(var):
@@ -168,14 +192,17 @@ def acp_worker(proc: OrcaProcess, problem: AcpProblem, domain, work, ready, fail
             if stop:
                 break
             continue
-        # No local work: declare readiness and test the termination condition.
+        # No local work: offer termination once per idle episode.  The offer
+        # is a totally-ordered write that declares this worker idle and
+        # evaluates "all idle and nothing flagged" atomically inside the
+        # work object, so no freshly flagged work can slip past the check.
+        # While idle, the cheap local ``finished()`` read at the loop head
+        # observes a verdict latched by whichever worker went idle last;
+        # only ``take`` (our own action) can clear our idle flag again.
         if not am_ready:
-            ready.set_ready(worker_id, True)
+            if work.offer_termination(worker_id):
+                break
             am_ready = True
-        # Read order matters: all_ready first, then any_pending (sequential
-        # consistency then guarantees we cannot miss freshly flagged work).
-        if ready.all_ready() and not work.any_pending():
-            break
         proc.hold(poll_interval)
     return {"revisions": revisions}
 
@@ -195,8 +222,8 @@ def acp_main(proc: OrcaProcess, problem: AcpProblem,
         workers_wanted = max(1, proc.num_nodes - 1) if proc.num_nodes > 1 else 1
 
     domain = proc.new_object(DomainObject, tuple(problem.domains), name="acp-domain")
-    work = proc.new_object(WorkObject, problem.num_variables, name="acp-work")
-    ready = proc.new_object(ReadyObject, workers_wanted, name="acp-ready")
+    work = proc.new_object(WorkObject, problem.num_variables, workers_wanted,
+                           name="acp-work")
     failed = proc.new_object(BoolObject, False, name="acp-failed")
 
     partitions = partition_variables(problem.num_variables, workers_wanted)
@@ -205,7 +232,7 @@ def acp_main(proc: OrcaProcess, problem: AcpProblem,
     for worker_id, my_vars in enumerate(partitions):
         node = (start_node + worker_id) % proc.num_nodes if proc.num_nodes > 1 else 0
         workers.append(
-            proc.fork(acp_worker, problem, domain, work, ready, failed, my_vars,
+            proc.fork(acp_worker, problem, domain, work, failed, my_vars,
                       poll_interval, on_node=node, worker_id=worker_id,
                       name=f"acp-worker[{worker_id}]")
         )

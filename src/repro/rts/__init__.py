@@ -18,7 +18,14 @@ programming layer and the applications are agnostic of which RTS is in use.
 
 from .object_model import ObjectSpec, OperationDef, operation
 from .manager import ObjectManager, Replica
-from .stats import AccessStats
+from .sharding import (
+    BatchingParams,
+    ExplicitPlacement,
+    HashPlacement,
+    ShardRouter,
+    ShardingPolicy,
+)
+from .stats import AccessStats, ShardStats
 
 __all__ = [
     "ObjectSpec",
@@ -27,4 +34,10 @@ __all__ = [
     "ObjectManager",
     "Replica",
     "AccessStats",
+    "ShardStats",
+    "BatchingParams",
+    "ShardingPolicy",
+    "HashPlacement",
+    "ExplicitPlacement",
+    "ShardRouter",
 ]

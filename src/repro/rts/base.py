@@ -45,6 +45,9 @@ class RtsStats:
     remote_reads: int = 0
     local_writes: int = 0
     broadcast_writes: int = 0
+    #: Ordered broadcasts that carried a write batch (so
+    #: ``broadcast_writes / batches_sent`` is the overall batching factor).
+    batches_sent: int = 0
     rpc_writes: int = 0
     guard_retries: int = 0
     replicas_created: int = 0
@@ -165,7 +168,7 @@ class RuntimeSystem(ABC):
 
     def read_write_summary(self) -> Dict[str, Any]:
         """Compact summary used by benchmark reports."""
-        return {
+        summary = {
             "rts": self.name,
             "objects": self.stats.objects_created,
             "local_reads": self.stats.local_reads,
@@ -174,3 +177,6 @@ class RuntimeSystem(ABC):
             "rpc_writes": self.stats.rpc_writes,
             "guard_retries": self.stats.guard_retries,
         }
+        if self.stats.batches_sent:
+            summary["batches_sent"] = self.stats.batches_sent
+        return summary

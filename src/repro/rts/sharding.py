@@ -1,0 +1,201 @@
+"""Sharding the shared-object space over multiple broadcast groups.
+
+The classic broadcast RTS funnels every write through one sequencer, which
+makes that machine the system-wide throughput ceiling.  Total order, however,
+is only needed *per object* (per shard), not per cluster: this module splits
+the object space into N shards, each backed by its own
+:class:`~repro.amoeba.broadcast.group.BroadcastGroup` with its own sequencer,
+placed round-robin over the machines so the sequencing load spreads.
+
+Placement policies decide which shard an object lives on:
+
+* :class:`HashPlacement` — deterministic hash of the object id (uniform for
+  the sequentially assigned ids) or of the object name;
+* :class:`ExplicitPlacement` — a name -> shard map with a fallback policy,
+  for pinning known-hot objects onto dedicated shards.
+
+:class:`ShardRouter` owns the groups and per-shard counters;
+:class:`BatchingParams` configures the per-node write batching that rides on
+top (see :mod:`repro.rts.broadcast_rts`), flushing a shard's queued writes
+into one ordered broadcast on a size or time threshold.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+
+from ..errors import ConfigurationError
+from .stats import ShardStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..amoeba.broadcast.group import BroadcastGroup
+    from ..amoeba.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class BatchingParams:
+    """Knobs of the per-node, per-shard write batching.
+
+    Attributes
+    ----------
+    max_batch:
+        Size threshold: a batch is flushed as soon as it holds this many
+        operations.
+    flush_delay:
+        Time threshold, in seconds of virtual time.  Zero means "flush
+        immediately when no batch is in flight"; writes arriving while a
+        batch is on the wire still coalesce into the next one (group-commit
+        style), which is what amortises the sequencer round trip under
+        contention without adding latency when the node is idle.
+    """
+
+    max_batch: int = 8
+    flush_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.flush_delay < 0:
+            raise ConfigurationError("flush_delay must be non-negative")
+
+
+def batching_params(value: Any) -> Optional[BatchingParams]:
+    """Coerce ``value`` (None / bool / dict / params) into batching config."""
+    if value is None or value is False:
+        return None
+    if value is True:
+        return BatchingParams()
+    if isinstance(value, BatchingParams):
+        return value
+    if isinstance(value, Mapping):
+        return BatchingParams(**dict(value))
+    raise ConfigurationError(
+        f"cannot interpret {value!r} as batching configuration "
+        "(use None, True, a dict of fields, or BatchingParams)")
+
+
+class ShardingPolicy(ABC):
+    """Maps objects to shard indices in ``[0, num_shards)``."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    @abstractmethod
+    def shard_of(self, obj_id: int, name: str) -> int:
+        """The shard holding object ``obj_id`` (named ``name``)."""
+
+
+class HashPlacement(ShardingPolicy):
+    """Deterministic hash placement.
+
+    ``by="id"`` (the default) spreads the sequentially assigned object ids
+    uniformly over the shards; ``by="name"`` hashes the stable object name
+    with CRC-32, so placement survives id renumbering between runs.
+    """
+
+    def __init__(self, num_shards: int, by: str = "id") -> None:
+        super().__init__(num_shards)
+        if by not in ("id", "name"):
+            raise ConfigurationError("HashPlacement by must be 'id' or 'name'")
+        self.by = by
+
+    def shard_of(self, obj_id: int, name: str) -> int:
+        if self.by == "id":
+            return (obj_id - 1) % self.num_shards
+        return zlib.crc32(name.encode("utf-8")) % self.num_shards
+
+
+class ExplicitPlacement(ShardingPolicy):
+    """Pin named objects to chosen shards; everything else falls back."""
+
+    def __init__(self, num_shards: int, assignments: Mapping[str, int],
+                 fallback: Optional[ShardingPolicy] = None) -> None:
+        super().__init__(num_shards)
+        for name, shard in assignments.items():
+            if not 0 <= shard < num_shards:
+                raise ConfigurationError(
+                    f"object {name!r} pinned to shard {shard}, but only "
+                    f"{num_shards} shards exist")
+        self.assignments = dict(assignments)
+        self.fallback = fallback or HashPlacement(num_shards)
+        if self.fallback.num_shards != num_shards:
+            raise ConfigurationError(
+                "fallback policy must use the same shard count")
+
+    def shard_of(self, obj_id: int, name: str) -> int:
+        shard = self.assignments.get(name)
+        if shard is not None:
+            return shard
+        return self.fallback.shard_of(obj_id, name)
+
+
+def make_policy(num_shards: int, placement: Any) -> ShardingPolicy:
+    """Coerce ``placement`` into a policy for ``num_shards`` shards.
+
+    Accepts a ready policy, the string ``"hash"``, or a name -> shard dict
+    (explicit placement with hash fallback).
+    """
+    if isinstance(placement, ShardingPolicy):
+        if placement.num_shards != num_shards:
+            raise ConfigurationError(
+                f"placement policy is for {placement.num_shards} shards, "
+                f"but {num_shards} were requested")
+        return placement
+    if placement in (None, "hash"):
+        return HashPlacement(num_shards)
+    if isinstance(placement, Mapping):
+        return ExplicitPlacement(num_shards, placement)
+    raise ConfigurationError(
+        f"cannot interpret {placement!r} as a sharding policy "
+        "(use 'hash', a name->shard dict, or a ShardingPolicy)")
+
+
+class ShardRouter:
+    """Owns one broadcast group per shard and routes objects onto them.
+
+    Shard 0 reuses the cluster's classic group (so a one-shard router is
+    wire-identical to the unsharded runtime); further shards get fresh
+    groups whose initial sequencer seats rotate round-robin over the
+    machines, which is what actually spreads the sequencing load.
+    """
+
+    def __init__(self, cluster: "Cluster", num_shards: int = 1,
+                 placement: Any = None) -> None:
+        self.cluster = cluster
+        self.policy = make_policy(num_shards, placement)
+        self.num_shards = num_shards
+        self.groups: List["BroadcastGroup"] = [cluster.broadcast_group]
+        for shard in range(1, num_shards):
+            self.groups.append(cluster.new_broadcast_group(
+                sequencer_node_id=cluster.nodes[shard % cluster.num_nodes].node_id))
+        self.shard_stats: Dict[int, ShardStats] = {
+            shard: ShardStats() for shard in range(num_shards)
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def shard_of(self, obj_id: int, name: str) -> int:
+        return self.policy.shard_of(obj_id, name)
+
+    def group_for(self, shard: int) -> "BroadcastGroup":
+        return self.groups[shard]
+
+    def sequencer_nodes(self) -> List[int]:
+        """Current sequencer seat of every shard (for tests and reports)."""
+        return [group.sequencer_node_id for group in self.groups]
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact per-shard digest for benchmark reports."""
+        return {
+            "num_shards": self.num_shards,
+            "sequencer_nodes": self.sequencer_nodes(),
+            "per_shard": {
+                shard: stats.summary()
+                for shard, stats in sorted(self.shard_stats.items())
+            },
+        }

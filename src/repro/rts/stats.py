@@ -50,6 +50,48 @@ class LatencyProbe:
 
 
 @dataclass
+class ShardStats:
+    """Per-shard traffic counters kept by the sharded broadcast runtime.
+
+    ``batches`` counts ordered broadcasts that carried batched writes;
+    ``batched_ops`` counts the operations inside them, so
+    ``batched_ops / batches`` is the achieved batching factor for the shard.
+    """
+
+    creates: int = 0
+    writes: int = 0
+    batches: int = 0
+    batched_ops: int = 0
+    max_batch: int = 0
+
+    def note_create(self) -> None:
+        self.creates += 1
+
+    def note_write(self) -> None:
+        self.writes += 1
+
+    def note_batch(self, ops: int) -> None:
+        self.batches += 1
+        self.batched_ops += ops
+        if ops > self.max_batch:
+            self.max_batch = ops
+
+    @property
+    def mean_batch(self) -> float:
+        return self.batched_ops / self.batches if self.batches else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "creates": self.creates,
+            "writes": self.writes,
+            "batches": self.batches,
+            "batched_ops": self.batched_ops,
+            "max_batch": self.max_batch,
+            "mean_batch": round(self.mean_batch, 3),
+        }
+
+
+@dataclass
 class AccessStats:
     """Read/write counters for one (object, machine) pair."""
 

@@ -32,6 +32,7 @@ from .runner import (
     WorkloadRunner,
     build_runtime,
     run_scenario_matrix,
+    run_shard_sweep,
 )
 from .scenarios import PollableQueue, Scenario, ScenarioRegistry, scenario
 from .spec import (
@@ -49,6 +50,7 @@ __all__ = [
     "WorkloadRunner",
     "build_runtime",
     "run_scenario_matrix",
+    "run_shard_sweep",
     "Scenario",
     "ScenarioRegistry",
     "scenario",

@@ -34,6 +34,7 @@ from ..metrics.latency import LatencyRecorder
 from ..rts.base import RuntimeSystem
 from ..rts.broadcast_rts import BroadcastRts
 from ..rts.p2p.runtime import PointToPointRts
+from ..rts.sharding import batching_params
 from .scenarios import Scenario, ScenarioRegistry
 from .spec import WorkloadSpec, request_stream
 
@@ -86,6 +87,9 @@ class WorkloadReport:
     rts_summary: Dict[str, Any] = field(default_factory=dict)
     #: Scenario-specific post-run facts (counter totals, queue backlog, ...).
     scenario_facts: Dict[str, Any] = field(default_factory=dict)
+    #: Broadcast-RTS scaling knobs this cell ran with (1 / None = classic).
+    num_shards: int = 1
+    batching: Optional[Dict[str, Any]] = None
 
     def percentile_row(self, kind: str = "overall") -> Dict[str, float]:
         """p50/p95/p99/mean (seconds) of one request-latency class."""
@@ -98,6 +102,8 @@ class WorkloadReport:
         return {
             "scenario": self.scenario,
             "runtime": self.runtime,
+            "num_shards": self.num_shards,
+            "batching": self.batching,
             "ops": self.total_ops,
             "reads": self.reads,
             "writes": self.writes,
@@ -117,6 +123,7 @@ class WorkloadRunner:
     def __init__(self, scenario: str, workload: Optional[WorkloadSpec] = None,
                  runtime: str = "broadcast", num_nodes: int = 8,
                  clients_per_node: int = 1, seed: int = 42,
+                 num_shards: int = 1, batching: Optional[Any] = None,
                  rts_options: Optional[Dict[str, Any]] = None,
                  config: Optional[ClusterConfig] = None) -> None:
         if runtime not in RUNTIME_KINDS:
@@ -130,6 +137,17 @@ class WorkloadRunner:
         self.clients_per_node = clients_per_node
         self.seed = seed
         self.rts_options = dict(rts_options or {})
+        # Sharding and batching are sweep axes of the broadcast RTS only.
+        if num_shards != 1 or batching is not None:
+            if runtime != "broadcast":
+                raise ConfigurationError(
+                    "num_shards / batching only apply to the broadcast runtime")
+            if num_shards != 1:
+                self.rts_options.setdefault("num_shards", num_shards)
+            if batching is not None:
+                self.rts_options.setdefault("batching", batching)
+        self.num_shards = int(self.rts_options.get("num_shards", 1))
+        self.batching = self.rts_options.get("batching")
         self.config = config
 
     # ------------------------------------------------------------------ #
@@ -196,6 +214,11 @@ class WorkloadRunner:
                 proc.join(client)
             window["end"] = proc.local_time
             rts.latency_probe.recorder = None
+            # A finished client only proves its writes were delivered at its
+            # own node; broadcasts to the other replicas can still be in
+            # flight at this instant.  Let them land before validation reads
+            # local state.
+            proc.hold(10 * cluster.cost_model.network.latency)
             facts.update(scenario.validate(rts, proc, counts))
 
         cluster.node(0).kernel.spawn_thread(orchestrator, name="workload")
@@ -203,6 +226,10 @@ class WorkloadRunner:
 
         total_ops = counts["reads"] + counts["writes"]
         elapsed = max(window["end"] - window["start"], 1e-12)
+        batch_params = batching_params(self.batching)
+        batching_facts = (None if batch_params is None else
+                          {"max_batch": batch_params.max_batch,
+                           "flush_delay": batch_params.flush_delay})
         return WorkloadReport(
             scenario=self.scenario_kind,
             runtime=rts.name,
@@ -219,6 +246,8 @@ class WorkloadRunner:
             network=cluster.network_summary(),
             rts_summary=rts.read_write_summary(),
             scenario_facts=facts,
+            num_shards=self.num_shards,
+            batching=batching_facts,
         )
 
 
@@ -232,4 +261,23 @@ def run_scenario_matrix(scenarios: List[str], runtimes: List[str],
             runner = WorkloadRunner(scenario_kind, workload=workload,
                                     runtime=runtime_kind, **runner_kwargs)
             reports.append(runner.run())
+    return reports
+
+
+def run_shard_sweep(scenario: str, shard_counts: List[int],
+                    workload: Optional[WorkloadSpec] = None,
+                    batching: Optional[Any] = None,
+                    **runner_kwargs: Any) -> List[WorkloadReport]:
+    """Sweep the broadcast RTS over shard counts for one scenario.
+
+    Every cell runs the identical workload; only the number of broadcast
+    groups (and thus sequencers) changes, which is what isolates the
+    single-sequencer ceiling in the resulting throughput curve.
+    """
+    reports = []
+    for num_shards in shard_counts:
+        runner = WorkloadRunner(scenario, workload=workload,
+                                runtime="broadcast", num_shards=num_shards,
+                                batching=batching, **runner_kwargs)
+        reports.append(runner.run())
     return reports

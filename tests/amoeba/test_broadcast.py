@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.amoeba.broadcast.protocol import MessageId, OrderingEngine
+from repro.amoeba.broadcast.protocol import (
+    KIND_BB_DATA,
+    KIND_RETRANSMIT,
+    MessageId,
+    OrderingEngine,
+)
 from repro.amoeba.cluster import Cluster
 from repro.config import BroadcastParams, ClusterConfig, CostModel
 from repro.errors import BroadcastError
@@ -311,6 +316,154 @@ class TestFailureInjection:
                 assert len(seqnos) == len(set(seqnos)), "sequence number reused"
                 assert log[nid][-1][1] == ("new", 0)
                 assert log[nid][-1][0] > 6
+
+
+class TestCrossMemberRetransmission:
+    """Any member can answer gap requests, not just the sequencer."""
+
+    def test_message_the_election_winner_never_saw_is_recovered(self):
+        """Crash + targeted loss: a message only one surviving member holds.
+
+        BB data from node 2 is dropped at nodes 1 and 3, so only the
+        sequencer (node 0) and the sender hold it; everyone saw the Accept,
+        so everyone knows sequence number 4 exists.  Node 0 then crashes
+        before answering any gap request.  The election winner is node 1 —
+        best-informed by seqno, yet it never saw the data.  Only node 2 can
+        serve it, which requires the broadcast gap-request fallback.
+        """
+        cost_model = CostModel().with_overrides(broadcast={"method": "bb"})
+        cluster = Cluster(ClusterConfig(num_nodes=4, seed=11,
+                                        cost_model=cost_model))
+        with cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            bb_kind = group.wire_kind(KIND_BB_DATA)
+
+            def drop_bb_from_2(packet):
+                return packet.message.kind == bb_kind and packet.message.src == 2
+
+            def scenario():
+                proc = cluster.sim.current_process
+                for i in range(3):
+                    group.broadcast_from(3, payload=("pre", i), size=100)
+                proc.hold(0.1)
+                for nid in (1, 3):
+                    cluster.node(nid).nic.drop_filter = drop_bb_from_2
+                group.broadcast_from(2, payload=("lost", 4), size=100)
+                proc.hold(0.002)  # Accept is out; gap requests still pending
+                group.crash_sequencer()
+                for nid in (1, 3):
+                    cluster.node(nid).nic.drop_filter = None
+                # An unsequenceable send forces retries and an election.
+                group.broadcast_from(3, payload=("post", 5), size=100)
+                proc.hold(3.0)
+
+            cluster.node(3).kernel.spawn_thread(scenario)
+            cluster.run()
+            # Node 1 won despite never receiving the data for seqno 4.
+            assert group.sequencer_node_id == 1
+            assert group.stats.peer_retransmissions > 0
+            reference = [(1, ("pre", 0)), (2, ("pre", 1)), (3, ("pre", 2)),
+                         (4, ("lost", 4)), (5, ("post", 5))]
+            for nid in (1, 2, 3):
+                assert log[nid] == reference
+
+    def test_survivors_converge_under_crash_and_heavy_loss(self):
+        """Randomized stress: sequencer crash plus 20% packet loss still
+        yields an identical, gap-free sequence at every survivor."""
+        with make_cluster(5, loss_rate=0.2, seed=33) as cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+
+            def scenario():
+                proc = cluster.sim.current_process
+                for i in range(10):
+                    group.broadcast_from((i % 4) + 1, payload=("pre", i), size=250)
+                proc.hold(0.4)
+                group.crash_sequencer()
+                for i in range(10):
+                    group.broadcast_from((i % 4) + 1, payload=("post", i), size=250)
+                proc.hold(6.0)
+
+            cluster.node(1).kernel.spawn_thread(scenario)
+            cluster.run()
+            surviving = [nid for nid in log if nid != 0]
+            reference = log[surviving[0]]
+            for nid in surviving:
+                assert log[nid] == reference
+            payloads = [p for _, p in reference]
+            assert sorted(p for p in payloads if p[0] == "pre") == \
+                [("pre", i) for i in range(10)]
+            assert sorted(p for p in payloads if p[0] == "post") == \
+                [("post", i) for i in range(10)]
+            seqnos = [s for s, _ in reference]
+            assert seqnos == list(range(1, len(seqnos) + 1))
+
+    def test_gap_requests_fall_back_to_broadcast_after_unicast_fails(self):
+        """The first gap request is a unicast to the sequencer; once it goes
+        unanswered the member broadcasts, so peers can serve the message."""
+        cost_model = CostModel().with_overrides(broadcast={"method": "bb"})
+        cluster = Cluster(ClusterConfig(num_nodes=3, seed=5,
+                                        cost_model=cost_model))
+        with cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            bb_kind = group.wire_kind(KIND_BB_DATA)
+            retx_kind = group.wire_kind(KIND_RETRANSMIT)
+
+            def drop_bb_from_1(packet):
+                return packet.message.kind == bb_kind and packet.message.src == 1
+
+            # Node 0 (the sequencer) refuses to serve retransmissions, as if
+            # its history were lost; node 2 must recover through a peer.
+            def drop_retx(packet):
+                return packet.message.kind == retx_kind and packet.message.src == 0
+
+            def scenario():
+                proc = cluster.sim.current_process
+                cluster.node(2).nic.drop_filter = drop_bb_from_1
+                group.broadcast_from(1, payload="only-via-peer", size=100)
+                proc.hold(0.001)
+                cluster.node(2).nic.drop_filter = drop_retx
+                proc.hold(2.0)
+
+            cluster.node(1).kernel.spawn_thread(scenario)
+            cluster.run()
+            assert group.stats.peer_retransmissions > 0
+            assert log[2] == [(1, "only-via-peer")]
+
+
+class TestSequencerServiceModel:
+    """The opt-in queueing model of the sequencer's ordering capacity."""
+
+    def test_sequencing_cost_paces_ordered_broadcasts(self):
+        cost_model = CostModel().with_overrides(cpu={"sequencing_cost": 0.001})
+        cluster = Cluster(ClusterConfig(num_nodes=3, seed=4,
+                                        cost_model=cost_model))
+        with cluster:
+            times = []
+            group = cluster.broadcast_group
+            group.set_delivery_handler(
+                2, lambda d: times.append(cluster.sim.now))
+            for i in range(5):
+                group.broadcast_from(1, payload=i, size=50)
+            cluster.run()
+            assert len(times) == 5
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            # One message per service interval, not an instantaneous burst.
+            assert all(gap >= 0.0009 for gap in gaps), gaps
+            assert group.sequencer.max_queue_depth >= 2
+
+    def test_default_cost_model_keeps_sequencing_instantaneous(self):
+        with make_cluster(3, seed=4) as cluster:
+            collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            for i in range(5):
+                group.broadcast_from(1, payload=i, size=50)
+            cluster.run()
+            # No service queue ever forms in the calibrated default regime.
+            assert group.sequencer.max_queue_depth == 0
+            assert group.delivered_counts()[2] == 5
 
 
 class TestSequencerElection:

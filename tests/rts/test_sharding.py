@@ -1,0 +1,158 @@
+"""Unit tests for sharding policies, the router, and batching config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amoeba.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.rts.broadcast_rts import BroadcastRts
+from repro.rts.object_model import ObjectSpec, operation
+from repro.rts.sharding import (
+    BatchingParams,
+    ExplicitPlacement,
+    HashPlacement,
+    ShardRouter,
+    batching_params,
+    make_policy,
+)
+
+
+class Reg(ObjectSpec):
+    def init(self, v=0):
+        self.value = v
+
+    @operation(write=False)
+    def read(self):
+        return self.value
+
+    @operation(write=True)
+    def assign(self, v):
+        self.value = v
+        return v
+
+
+class TestPolicies:
+    def test_hash_by_id_spreads_sequential_ids_uniformly(self):
+        policy = HashPlacement(4)
+        shards = [policy.shard_of(obj_id, f"o{obj_id}")
+                  for obj_id in range(1, 13)]
+        assert shards == [0, 1, 2, 3] * 3
+
+    def test_hash_by_name_is_stable(self):
+        policy = HashPlacement(3, by="name")
+        first = policy.shard_of(1, "job-queue")
+        assert policy.shard_of(99, "job-queue") == first
+        assert 0 <= first < 3
+
+    def test_explicit_placement_pins_and_falls_back(self):
+        policy = ExplicitPlacement(4, {"hot": 3})
+        assert policy.shard_of(17, "hot") == 3
+        fallback = HashPlacement(4).shard_of(17, "cold")
+        assert policy.shard_of(17, "cold") == fallback
+
+    def test_explicit_placement_rejects_out_of_range_shards(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitPlacement(2, {"x": 5})
+
+    def test_make_policy_coercions(self):
+        assert isinstance(make_policy(2, None), HashPlacement)
+        assert isinstance(make_policy(2, "hash"), HashPlacement)
+        explicit = make_policy(2, {"a": 1})
+        assert isinstance(explicit, ExplicitPlacement)
+        assert explicit.shard_of(1, "a") == 1
+        with pytest.raises(ConfigurationError):
+            make_policy(2, HashPlacement(3))
+        with pytest.raises(ConfigurationError):
+            make_policy(2, 42)
+
+    def test_num_shards_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HashPlacement(0)
+
+
+class TestBatchingParams:
+    def test_coercions(self):
+        assert batching_params(None) is None
+        assert batching_params(False) is None
+        assert batching_params(True) == BatchingParams()
+        params = batching_params({"max_batch": 3, "flush_delay": 0.1})
+        assert params.max_batch == 3 and params.flush_delay == 0.1
+        assert batching_params(params) is params
+        with pytest.raises(ConfigurationError):
+            batching_params("yes")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchingParams(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            BatchingParams(flush_delay=-1.0)
+
+
+class TestShardRouter:
+    def test_single_shard_reuses_the_cluster_group(self):
+        with Cluster(ClusterConfig(num_nodes=3, seed=1)) as cluster:
+            router = ShardRouter(cluster)
+            assert router.num_shards == 1
+            assert router.group_for(0) is cluster.broadcast_group
+
+    def test_groups_get_distinct_ids_and_seats(self):
+        with Cluster(ClusterConfig(num_nodes=4, seed=1)) as cluster:
+            router = ShardRouter(cluster, num_shards=3)
+            ids = [group.group_id for group in router.groups]
+            assert ids == [0, 1, 2]
+            assert router.sequencer_nodes() == [0, 1, 2]
+
+    def test_summary_shape(self):
+        with Cluster(ClusterConfig(num_nodes=2, seed=1)) as cluster:
+            router = ShardRouter(cluster, num_shards=2)
+            summary = router.summary()
+            assert summary["num_shards"] == 2
+            assert set(summary["per_shard"]) == {0, 1}
+
+
+class TestShardedRtsDispatch:
+    def test_objects_route_writes_to_their_shard_group(self):
+        with Cluster(ClusterConfig(num_nodes=4, seed=5)) as cluster:
+            rts = BroadcastRts(cluster, num_shards=2)
+            handles = {}
+
+            def main():
+                proc = cluster.sim.current_process
+                a = rts.create_object(proc, Reg, (0,), name="a")  # shard 0
+                b = rts.create_object(proc, Reg, (0,), name="b")  # shard 1
+                handles.update(a=a, b=b)
+                for i in range(5):
+                    rts.invoke(proc, a, "assign", (i,))
+                rts.invoke(proc, b, "assign", (99,))
+
+            cluster.node(0).kernel.spawn_thread(main)
+            cluster.run()
+            assert rts.shard_of(handles["a"]) == 0
+            assert rts.shard_of(handles["b"]) == 1
+            assert rts.router.shard_stats[0].writes == 5
+            assert rts.router.shard_stats[1].writes == 1
+            assert rts.router.shard_stats[0].creates == 1
+            assert rts.router.shard_stats[1].creates == 1
+            # Both groups actually carried sequenced traffic.
+            assert rts.router.group_for(0).stats.deliveries > 0
+            assert rts.router.group_for(1).stats.deliveries > 0
+            # Replicas are everywhere, regardless of shard.
+            for node in cluster.nodes:
+                assert rts.manager(node.node_id).get(
+                    handles["a"].obj_id).instance.value == 4
+                assert rts.manager(node.node_id).get(
+                    handles["b"].obj_id).instance.value == 99
+
+    def test_summary_includes_sharding_when_active(self):
+        with Cluster(ClusterConfig(num_nodes=2, seed=5)) as cluster:
+            rts = BroadcastRts(cluster, num_shards=2, batching=True)
+            summary = rts.read_write_summary()
+            assert summary["sharding"]["num_shards"] == 2
+            assert summary["batching"]["max_batch"] == BatchingParams().max_batch
+
+    def test_summary_stays_classic_when_unsharded(self):
+        with Cluster(ClusterConfig(num_nodes=2, seed=5)) as cluster:
+            rts = BroadcastRts(cluster)
+            assert "sharding" not in rts.read_write_summary()
