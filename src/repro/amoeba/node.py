@@ -55,6 +55,9 @@ class Node:
         self._overhead_pending = 0.0
         #: Application processes pinned to this node (bookkeeping only).
         self.processes: List["SimProcess"] = []
+        #: Callbacks fired (synchronously) when this node crashes; protocol
+        #: layers use them to stop waiting on acknowledgements from the dead.
+        self._crash_listeners: List[Callable[[], None]] = []
         self.network: Optional["BaseNetwork"] = None
         if network is not None:
             network.attach(self.nic)
@@ -145,11 +148,17 @@ class Node:
     # Failure injection
     # ------------------------------------------------------------------ #
 
+    def on_crash(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired when (and each time) this node crashes."""
+        self._crash_listeners.append(callback)
+
     def crash(self) -> None:
         """Simulate a node crash: all subsequent traffic to the node is dropped."""
         self.alive = False
         self.nic.drop_partial_state()
         self.sim.trace("node.crash", f"node {self.node_id} crashed")
+        for callback in list(self._crash_listeners):
+            callback()
 
     def recover(self) -> None:
         """Bring a crashed node back (its volatile protocol state stays lost)."""

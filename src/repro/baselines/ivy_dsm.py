@@ -236,10 +236,17 @@ class IvyObjectRuntime(RuntimeSystem):
         super().__init__(cluster)
         self.dsm = IvyDsm(cluster, manager_node=manager_node)
 
+    object_policy_name = "ivy-pages"
+
     def create_object(self, proc: "SimProcess", spec_class: Type[ObjectSpec],
                       args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
-                      name: Optional[str] = None) -> ObjectHandle:
-        """Create a shared object whose state lives on a fresh DSM page."""
+                      name: Optional[str] = None,
+                      policy: Any = None) -> ObjectHandle:
+        """Create a shared object whose state lives on a fresh DSM page.
+
+        ``policy`` is accepted for interface uniformity and ignored: Ivy
+        manages every object through page ownership.
+        """
         handle = self._new_handle(spec_class, name)
         instance = spec_class.create(args, kwargs)
         self.dsm.create_page(handle.obj_id, instance.marshal_state())

@@ -71,6 +71,7 @@ def workload_run_collection(reports: Iterable[Any]) -> RunCollection:
             rts=dict(report.rts_summary),
             extra={"throughput": report.throughput,
                    "latency": report.percentile_row(),
-                   "facts": dict(report.scenario_facts)},
+                   "facts": dict(report.scenario_facts),
+                   "policies": report.final_policies()},
         ))
     return collection

@@ -47,6 +47,24 @@ class BoundObject:
         """The runtime system managing this object."""
         return self._rts
 
+    @property
+    def policy(self) -> str:
+        """Name of the management policy currently governing this object."""
+        return self._rts.policy_of(self._handle)
+
+    def migrate(self, policy: Any) -> bool:
+        """Move this object under another management policy at run time.
+
+        Only meaningful on the unified runtime; returns ``True`` when a
+        migration was performed (see
+        :meth:`repro.rts.hybrid.HybridRts.migrate`).
+        """
+        migrate = getattr(self._rts, "migrate", None)
+        if migrate is None:
+            raise OrcaError(
+                f"runtime {self._rts.name!r} does not support policy migration")
+        return migrate(self._current_process(), self._handle, policy)
+
     def operations(self):
         """Names of the operations this object supports."""
         return sorted(self._handle.spec_class.operations())

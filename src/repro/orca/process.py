@@ -83,10 +83,18 @@ class OrcaProcess:
     # ------------------------------------------------------------------ #
 
     def new_object(self, spec_class: Type[ObjectSpec], *args: Any,
-                   name: Optional[str] = None, **kwargs: Any) -> BoundObject:
-        """Create a shared object and return a location-transparent reference."""
+                   name: Optional[str] = None, policy: Any = None,
+                   **kwargs: Any) -> BoundObject:
+        """Create a shared object and return a location-transparent reference.
+
+        ``policy`` selects the object's management policy (``"broadcast"``,
+        ``"primary-invalidate"``, ``"primary-update"``, ``"adaptive"``, or a
+        :class:`~repro.rts.policy.ManagementPolicy`); ``None`` uses the
+        runtime's default.
+        """
         proc = self._require_running()
-        handle = self.rts.create_object(proc, spec_class, args, kwargs, name=name)
+        handle = self.rts.create_object(proc, spec_class, args, kwargs,
+                                        name=name, policy=policy)
         return BoundObject(self.rts, handle)
 
     # ------------------------------------------------------------------ #

@@ -18,9 +18,14 @@ from ..amoeba.cluster import Cluster
 from ..config import ClusterConfig
 from ..errors import ConfigurationError
 from ..rts.base import RuntimeSystem
-from ..rts.broadcast_rts import BroadcastRts
-from ..rts.p2p.runtime import PointToPointRts
+from ..rts.hybrid import HybridRts
+from ..rts.policy import DEFAULT_POLICY_FOR_KIND
 from .process import OrcaProcess
+
+#: rts= spellings accepted by :class:`OrcaProgram`, with the default policy
+#: each configures the unified runtime with.  ``"hybrid"`` is the
+#: mixed-per-object spelling; the rest share the cross-layer mapping.
+RTS_KINDS = dict(DEFAULT_POLICY_FOR_KIND, hybrid="broadcast")
 
 
 @dataclass
@@ -71,23 +76,27 @@ class OrcaProgram:
         config:
             Cluster configuration (processor count, cost model, seed).
         rts:
-            ``"broadcast"`` for the broadcast runtime system (the paper's
-            default) or ``"p2p"`` for the point-to-point runtime system.
+            ``"broadcast"`` (every object broadcast replicated — the paper's
+            default), ``"p2p"`` (every object primary copy), ``"hybrid"``
+            (per-object policies via ``rts_options["default_policy"]`` and
+            ``new_object(policy=...)``), or ``"adaptive"`` (objects migrate
+            between policies based on their read/write mix).
         rts_options:
-            Extra keyword arguments for the runtime system constructor
-            (e.g. ``{"protocol": "invalidation"}`` for the p2p RTS).
+            Extra keyword arguments for the unified runtime constructor
+            (e.g. ``{"protocol": "invalidation"}`` for the p2p flavour, or
+            ``{"num_shards": 4, "batching": True}``).
         network_type:
-            ``"ethernet"`` or ``"switched"``; defaults to Ethernet for the
-            broadcast RTS and switched for the p2p RTS.
+            ``"ethernet"`` or ``"switched"``; defaults to Ethernet for every
+            broadcast-capable configuration and switched for the p2p RTS.
         """
         self.main = main
         self.config = config or ClusterConfig()
         self.rts_kind = rts
         self.rts_options = dict(rts_options or {})
-        if rts not in ("broadcast", "p2p"):
+        if rts not in RTS_KINDS:
             raise ConfigurationError(f"unknown runtime system {rts!r}")
         if network_type is None:
-            network_type = "ethernet" if rts == "broadcast" else "switched"
+            network_type = "switched" if rts == "p2p" else "ethernet"
         self.network_type = network_type
         #: Populated by :meth:`run` (useful for post-run inspection in tests).
         self.cluster: Optional[Cluster] = None
@@ -96,9 +105,14 @@ class OrcaProgram:
     # ------------------------------------------------------------------ #
 
     def _build_runtime(self, cluster: Cluster) -> RuntimeSystem:
-        if self.rts_kind == "broadcast":
-            return BroadcastRts(cluster, **self.rts_options)
-        return PointToPointRts(cluster, **self.rts_options)
+        options = dict(self.rts_options)
+        options.setdefault("default_policy", RTS_KINDS[self.rts_kind])
+        runtime = HybridRts(cluster, **options)
+        if self.rts_kind == "hybrid":
+            # Mixed per-object policies: report under the unified name
+            # rather than whatever the default policy happens to be.
+            runtime.name = "hybrid-rts"
+        return runtime
 
     def run(self, *main_args: Any, keep_cluster: bool = False, **main_kwargs: Any) -> ProgramResult:
         """Execute the program to completion and return its measurements.

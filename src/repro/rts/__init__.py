@@ -1,23 +1,41 @@
 """Shared data-object runtime systems (the paper's core contribution).
 
-Two runtime systems manage replicated shared objects:
+One unified runtime — :class:`~repro.rts.hybrid.HybridRts` — manages shared
+objects under per-object, runtime-switchable **management policies** (see
+:mod:`repro.rts.policy`):
 
-* :class:`~repro.rts.broadcast_rts.BroadcastRts` — every object is replicated
-  on every machine; reads are purely local; writes are applied everywhere via
-  the totally-ordered broadcast layer (operation shipping), which directly
-  yields sequential consistency.
-* :class:`~repro.rts.p2p.runtime.PointToPointRts` — objects have a primary
-  copy and dynamically managed secondary copies; writes go to the primary and
-  are propagated either by **invalidation** or by a **two-phase update**
-  protocol; replication decisions are driven by per-machine read/write-ratio
+* ``"broadcast"`` — the object is replicated on every machine; reads are
+  purely local; writes are applied everywhere via the totally-ordered
+  broadcast layer (operation shipping), which directly yields sequential
+  consistency.
+* ``"primary-invalidate"`` / ``"primary-update"`` — the object has a primary
+  copy and dynamically managed secondary copies; writes go to the primary
+  and are propagated by invalidation or by the two-phase update protocol;
+  replication decisions are driven by per-machine read/write-ratio
   statistics.
+* ``"adaptive"`` — an :class:`~repro.rts.policy.AdaptivePolicy` controller
+  watches the object's read/write ratio and migrates it between the fixed
+  policies at run time, in the object's broadcast total order.
 
-Both expose the same :class:`ObjectHandle`-based interface, so the Orca
-programming layer and the applications are agnostic of which RTS is in use.
+The classic :class:`~repro.rts.broadcast_rts.BroadcastRts` and
+:class:`~repro.rts.p2p.runtime.PointToPointRts` remain available as
+deprecated fixed-policy configurations of the unified runtime.  Everything
+exposes the same :class:`ObjectHandle`-based interface, so the Orca
+programming layer and the applications are agnostic of policy choices.
 """
 
 from .object_model import ObjectSpec, OperationDef, operation
 from .manager import ObjectManager, Replica
+from .hybrid import HybridRts, MigrationRecord
+from .policy import (
+    AdaptiveParams,
+    AdaptivePolicy,
+    BroadcastReplicated,
+    ManagementPolicy,
+    PrimaryCopyInvalidate,
+    PrimaryCopyUpdate,
+    management_policy,
+)
 from .sharding import (
     BatchingParams,
     ExplicitPlacement,
@@ -33,6 +51,15 @@ __all__ = [
     "operation",
     "ObjectManager",
     "Replica",
+    "HybridRts",
+    "MigrationRecord",
+    "ManagementPolicy",
+    "BroadcastReplicated",
+    "PrimaryCopyInvalidate",
+    "PrimaryCopyUpdate",
+    "AdaptivePolicy",
+    "AdaptiveParams",
+    "management_policy",
     "AccessStats",
     "ShardStats",
     "BatchingParams",

@@ -54,6 +54,11 @@ class RtsStats:
     replicas_dropped: int = 0
     invalidations_sent: int = 0
     updates_sent: int = 0
+    #: Policy switches performed by the unified runtime (total and per
+    #: direction; protocol-only flips count toward the total only).
+    migrations: int = 0
+    migrations_to_primary: int = 0
+    migrations_to_broadcast: int = 0
     per_object_reads: Dict[int, int] = field(default_factory=dict)
     per_object_writes: Dict[int, int] = field(default_factory=dict)
 
@@ -121,8 +126,14 @@ class RuntimeSystem(ABC):
     @abstractmethod
     def create_object(self, proc: "SimProcess", spec_class: Type[ObjectSpec],
                       args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
-                      name: Optional[str] = None) -> ObjectHandle:
-        """Create a shared object from the given process; returns its handle."""
+                      name: Optional[str] = None,
+                      policy: Any = None) -> ObjectHandle:
+        """Create a shared object from the given process; returns its handle.
+
+        ``policy`` names the management policy for the object (see
+        :mod:`repro.rts.policy`); runtimes that manage every object one way
+        accept and ignore it, so scenarios can pass policies uniformly.
+        """
 
     @abstractmethod
     def _invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
@@ -166,6 +177,35 @@ class RuntimeSystem(ABC):
             )
         return node
 
+    #: Default policy label reported for objects of single-policy runtimes.
+    object_policy_name = "fixed"
+
+    def policy_of(self, handle: ObjectHandle) -> str:
+        """Name of the management policy governing ``handle``.
+
+        Single-policy runtimes report their class-level label; the unified
+        runtime overrides this with the object's current policy.
+        """
+        return self.object_policy_name
+
+    def object_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Reconciled per-object digest: reads, writes and policy by object.
+
+        This is the single source the shard- and runtime-level counters must
+        agree with: reads/writes come from the same per-object dicts that
+        feed :attr:`RtsStats`, keyed by the stable object name, with the
+        object's management policy alongside.
+        """
+        summary: Dict[str, Dict[str, Any]] = {}
+        for handle in sorted(self.handles(), key=lambda h: h.obj_id):
+            summary[handle.name] = {
+                "obj_id": handle.obj_id,
+                "reads": self.stats.per_object_reads.get(handle.obj_id, 0),
+                "writes": self.stats.per_object_writes.get(handle.obj_id, 0),
+                "policy": self.policy_of(handle),
+            }
+        return summary
+
     def read_write_summary(self) -> Dict[str, Any]:
         """Compact summary used by benchmark reports."""
         summary = {
@@ -176,6 +216,7 @@ class RuntimeSystem(ABC):
             "broadcast_writes": self.stats.broadcast_writes,
             "rpc_writes": self.stats.rpc_writes,
             "guard_retries": self.stats.guard_retries,
+            "per_object": self.object_summary(),
         }
         if self.stats.batches_sent:
             summary["batches_sent"] = self.stats.batches_sent

@@ -1,128 +1,34 @@
-"""The broadcast runtime system: full replication, writes by ordered broadcast.
+"""The classic broadcast runtime system, as a fixed-policy configuration.
 
-Every shared object is replicated on every machine.  Read operations execute
-directly on the local replica, bypassing the object manager and generating no
-network traffic.  Write operations are broadcast — operation code plus
-parameters, not the new value — through the totally-ordered group layer; each
-machine's object manager applies incoming writes in strict sequence-number
-order, which is exactly what makes the replicas sequentially consistent.
+.. deprecated::
+    :class:`BroadcastRts` is now a thin shim over
+    :class:`~repro.rts.hybrid.HybridRts` with every object pinned to the
+    ``"broadcast"`` management policy.  Constructing it still works — and
+    behaves exactly as before, including sharding and write batching — but
+    emits a :class:`DeprecationWarning`; new code should build
+    ``HybridRts(cluster, default_policy="broadcast")`` (or pass per-object
+    policies) instead.
 
-Guarded operations that find their guard false are applied as no-ops
-everywhere (all replicas agree, since they evaluate the guard on identical
-state) and the invoking process is blocked until its local replica changes,
-at which point the operation is re-issued.
-
-Two scaling levers sit on top of the classic design (both off by default, in
-which case the runtime is wire-identical to the paper's single-group RTS):
-
-* **Sharding** (``num_shards``) — the object space is split over several
-  broadcast groups, each with its own sequencer placed round-robin over the
-  machines (see :mod:`repro.rts.sharding`).  Total order, and therefore
-  linearizability, holds per object; the cross-object sequential consistency
-  of the single-group design weakens to per-shard order, which none of the
-  Orca-style guarded objects observe.
-* **Write batching** (``batching``) — concurrent writes issued on one node
-  for the same shard ride a single ordered broadcast, encoded as a
-  ``("batch", [...])`` payload and decoded back into individual operations
-  at every member.  Batches are flushed on a size threshold, a time
-  threshold, or as soon as the previous batch is delivered (group-commit);
-  each node has at most one batch per shard in flight, which preserves
-  per-node FIFO write order even across retries.
+The broadcast design itself is unchanged: every shared object is replicated
+on every machine, reads execute on the local replica with no network
+traffic, and writes are broadcast — operation code plus parameters — through
+the totally-ordered group layer, which is what makes the replicas
+sequentially consistent.  See :mod:`repro.rts.hybrid` for the machinery and
+:mod:`repro.rts.sharding` for the sharding/batching scaling levers.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Type
+import warnings
+from typing import TYPE_CHECKING, Any
 
-from ..amoeba.broadcast.protocol import DeliveredMessage
-from ..amoeba.message import estimate_size
-from ..errors import RtsError
-from .base import ObjectHandle, RuntimeSystem
-from .object_model import RETRY, ObjectSpec
-from .consistency import HistoryRecorder
-from .sharding import BatchingParams, ShardRouter, batching_params
+from .hybrid import HybridRts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..amoeba.broadcast.group import BroadcastGroup
     from ..amoeba.cluster import Cluster
-    from ..amoeba.node import Node
-    from ..sim.process import SimProcess
 
 
-@dataclass
-class _PendingWrite:
-    """A write invocation waiting for its own broadcast to come back."""
-
-    proc: "SimProcess"
-    result: Any = None
-    resolved: bool = False
-
-
-class _WriteBatcher:
-    """Per-(node, shard) write combining onto the ordered broadcast.
-
-    Writes enqueue here instead of broadcasting individually.  A batch is
-    flushed when it reaches ``max_batch`` operations, when ``flush_delay``
-    expires, or — with a zero delay — immediately while no batch is in
-    flight.  Only one batch per (node, shard) is outstanding at a time:
-    writes arriving while it is on the wire coalesce into the next batch,
-    which both preserves per-node FIFO order and yields the group-commit
-    effect that amortises the sequencer round trip under contention.
-    """
-
-    def __init__(self, rts: "BroadcastRts", node: "Node",
-                 group: "BroadcastGroup", shard: int,
-                 params: BatchingParams) -> None:
-        self.rts = rts
-        self.node = node
-        self.group = group
-        self.shard = shard
-        self.params = params
-        self._entries: List[Tuple[Any, ...]] = []
-        self._bytes = 0
-        self._in_flight = False
-        self._timer: Optional[int] = None
-
-    def enqueue(self, entry: Tuple[Any, ...], size: int) -> None:
-        self._entries.append(entry)
-        self._bytes += size
-        self._maybe_flush()
-
-    def on_batch_delivered(self) -> None:
-        self._in_flight = False
-        self._maybe_flush()
-
-    def _maybe_flush(self) -> None:
-        if self._in_flight or not self._entries:
-            return
-        if (len(self._entries) >= self.params.max_batch
-                or self.params.flush_delay <= 0.0):
-            self._flush()
-        elif self._timer is None:
-            self._timer = self.node.kernel.set_timer(
-                self.params.flush_delay, self._on_timer)
-
-    def _on_timer(self) -> None:
-        self._timer = None
-        if not self._in_flight and self._entries:
-            self._flush()
-
-    def _flush(self) -> None:
-        if self._timer is not None:
-            self.node.kernel.cancel_timer(self._timer)
-            self._timer = None
-        entries, self._entries = self._entries, []
-        size, self._bytes = self._bytes, 0
-        self._in_flight = True
-        self.rts.stats.batches_sent += 1
-        self.rts.router.shard_stats[self.shard].note_batch(len(entries))
-        self.group.member(self.node.node_id).broadcast(
-            ("batch", entries), size=max(16, size) + 8)
-
-
-class BroadcastRts(RuntimeSystem):
+class BroadcastRts(HybridRts):
     """Fully replicated shared objects on top of totally-ordered broadcast."""
 
     name = "broadcast-rts"
@@ -130,248 +36,12 @@ class BroadcastRts(RuntimeSystem):
     def __init__(self, cluster: "Cluster", record_history: bool = False,
                  num_shards: int = 1, placement: Any = None,
                  batching: Any = None) -> None:
-        super().__init__(cluster)
-        self.router = ShardRouter(cluster, num_shards=num_shards,
-                                  placement=placement)
-        #: Shard-0 group, kept under the classic attribute name.
-        self.group = self.router.group_for(0)
-        self.batching = batching_params(batching)
-        self._batchers: Dict[Tuple[int, int], _WriteBatcher] = {}
-        self._invocation_ids = itertools.count(1)
-        self._pending: Dict[int, _PendingWrite] = {}
-        #: obj_id -> shard, fixed at creation time.
-        self._shard_by_obj: Dict[int, int] = {}
-        #: Processes waiting for a replica of a given object to appear locally:
-        #: (node_id, obj_id) -> [SimProcess, ...]
-        self._replica_waiters: Dict[Tuple[int, int], List["SimProcess"]] = {}
-        self.history = HistoryRecorder(enabled=record_history)
-        for shard, group in enumerate(self.router.groups):
-            for node in cluster.nodes:
-                group.set_delivery_handler(
-                    node.node_id,
-                    lambda delivered, nid=node.node_id, s=shard:
-                        self._on_deliver(nid, s, delivered),
-                )
-
-    # ------------------------------------------------------------------ #
-    # Sharding helpers
-    # ------------------------------------------------------------------ #
-
-    @property
-    def num_shards(self) -> int:
-        return self.router.num_shards
-
-    def shard_of(self, handle: ObjectHandle) -> int:
-        """The shard (and thus broadcast group) holding ``handle``."""
-        shard = self._shard_by_obj.get(handle.obj_id)
-        if shard is None:
-            shard = self.router.shard_of(handle.obj_id, handle.name)
-            self._shard_by_obj[handle.obj_id] = shard
-        return shard
-
-    def _batcher(self, node: "Node", shard: int) -> _WriteBatcher:
-        key = (node.node_id, shard)
-        batcher = self._batchers.get(key)
-        if batcher is None:
-            batcher = _WriteBatcher(self, node, self.router.group_for(shard),
-                                    shard, self.batching)
-            self._batchers[key] = batcher
-        return batcher
-
-    # ------------------------------------------------------------------ #
-    # Public API
-    # ------------------------------------------------------------------ #
-
-    def create_object(self, proc: "SimProcess", spec_class: Type[ObjectSpec],
-                      args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
-                      name: Optional[str] = None) -> ObjectHandle:
-        """Create a shared object, replicated on every machine."""
-        node = self._node_of(proc)
-        handle = self._new_handle(spec_class, name)
-        shard = self.shard_of(handle)
-        self.router.shard_stats[shard].note_create()
-        invocation_id = next(self._invocation_ids)
-        pending = _PendingWrite(proc=proc)
-        self._pending[invocation_id] = pending
-        payload = ("create", handle.obj_id, spec_class, args, kwargs or {},
-                   invocation_id)
-        size = max(32, estimate_size(args) + estimate_size(kwargs or {}))
-        proc.advance(self.cost_model.cpu.operation_dispatch_cost)
-        proc.absorb_overhead(node.drain_overhead())
-        proc.flush()
-        self.router.group_for(shard).member(node.node_id).broadcast(
-            payload, size=size)
-        proc.suspend()
-        self._pending.pop(invocation_id, None)
-        return handle
-
-    def _invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
-                args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
-        """Invoke ``op_name`` on the shared object referenced by ``handle``."""
-        node = self._node_of(proc)
-        op = handle.spec_class.operation_def(op_name)
-        cpu = self.cost_model.cpu
-        proc.advance(cpu.operation_dispatch_cost)
-        if op.work_units:
-            proc.compute(op.work_units)
-        manager = self.managers[node.node_id]
-
-        if not op.is_write:
-            # Reads are purely local: no network traffic, no kernel round trip.
-            if not manager.has_valid_copy(handle.obj_id):
-                self._await_replica(proc, node.node_id, handle.obj_id)
-            proc.absorb_overhead(node.drain_overhead())
-            while True:
-                result = manager.execute_read(handle.obj_id, op, args, kwargs)
-                if result is not RETRY:
-                    break
-                self.stats.guard_retries += 1
-                self._wait_for_change(proc, node.node_id, handle.obj_id)
-            self.stats.note_read(handle.obj_id, local=True)
-            self.history.record_read(proc.name, node.node_id, handle.obj_id,
-                                     op_name, args, result,
-                                     manager.get(handle.obj_id).version)
-            return result
-
-        # Writes: broadcast the operation (directly, or via the node's batch
-        # for the object's shard) and wait for it to be applied locally.
-        self.stats.note_write(handle.obj_id)
-        shard = self.shard_of(handle)
-        group = self.router.group_for(shard)
-        while True:
-            if not manager.has_valid_copy(handle.obj_id):
-                self._await_replica(proc, node.node_id, handle.obj_id)
-            invocation_id = next(self._invocation_ids)
-            pending = _PendingWrite(proc=proc)
-            self._pending[invocation_id] = pending
-            size = max(16, estimate_size(args) + estimate_size(kwargs or {}) + 16)
-            proc.absorb_overhead(node.drain_overhead())
-            proc.flush()
-            self.stats.broadcast_writes += 1
-            self.router.shard_stats[shard].note_write()
-            if self.batching is not None:
-                entry = (handle.obj_id, op_name, args, kwargs or {}, invocation_id)
-                self._batcher(node, shard).enqueue(entry, size)
-            else:
-                payload = ("op", handle.obj_id, op_name, args, kwargs or {},
-                           invocation_id)
-                group.member(node.node_id).broadcast(payload, size=size)
-            result = proc.suspend()
-            self._pending.pop(invocation_id, None)
-            proc.absorb_overhead(node.drain_overhead())
-            if result is not RETRY:
-                return result
-            # Guard rejected the operation everywhere; wait for a change and retry.
-            self.stats.guard_retries += 1
-            self._wait_for_change(proc, node.node_id, handle.obj_id)
-
-    # ------------------------------------------------------------------ #
-    # Delivery handling (runs at every member, in per-shard total order)
-    # ------------------------------------------------------------------ #
-
-    def _on_deliver(self, node_id: int, shard: int,
-                    delivered: DeliveredMessage) -> None:
-        payload = delivered.payload
-        kind = payload[0]
-        manager = self.managers[node_id]
-        node = self.cluster.node(node_id)
-        cpu = self.cost_model.cpu
-        if kind == "create":
-            _, obj_id, spec_class, args, kwargs, invocation_id = payload
-            if not manager.has_valid_copy(obj_id):
-                instance = spec_class.create(args, kwargs)
-                manager.install(obj_id, self.handle(obj_id).name, instance)
-                self.stats.replicas_created += 1
-            node.charge_overhead(cpu.operation_dispatch_cost)
-            self._wake_replica_waiters(node_id, obj_id)
-            if delivered.origin == node_id:
-                self._resolve(invocation_id, None)
-            return
-        if kind == "op":
-            _, obj_id, op_name, args, kwargs, invocation_id = payload
-            self._apply_one(node_id, manager, node, obj_id, op_name, args,
-                            kwargs, invocation_id, delivered.origin,
-                            delivered.seqno)
-            return
-        if kind == "batch":
-            _, entries = payload
-            for obj_id, op_name, args, kwargs, invocation_id in entries:
-                self._apply_one(node_id, manager, node, obj_id, op_name, args,
-                                kwargs, invocation_id, delivered.origin,
-                                delivered.seqno)
-            if delivered.origin == node_id:
-                batcher = self._batchers.get((node_id, shard))
-                if batcher is not None:
-                    batcher.on_batch_delivered()
-            return
-        raise RtsError(f"unknown broadcast RTS payload kind {kind!r}")
-
-    def _apply_one(self, node_id: int, manager, node, obj_id: int,
-                   op_name: str, args, kwargs, invocation_id: int,
-                   origin: int, seqno: int) -> None:
-        """Apply one delivered write (standalone or decoded from a batch)."""
-        handle = self.handle(obj_id)
-        op = handle.spec_class.operation_def(op_name)
-        cpu = self.cost_model.cpu
-        if not manager.has_valid_copy(obj_id):
-            # Per-shard total order guarantees the create precedes every
-            # operation, so a missing replica is a protocol error worth
-            # failing on.
-            raise RtsError(
-                f"node {node_id} received operation {op_name!r} for object "
-                f"{obj_id} before its create message"
-            )
-        result = manager.apply_write(obj_id, op, args, kwargs,
-                                     local_origin=origin == node_id)
-        # Applying the update costs CPU on every machine that holds a
-        # replica: this is the overhead that limits ACP's speedup.
-        node.charge_overhead(cpu.operation_dispatch_cost +
-                             op.work_units * cpu.work_unit_time)
-        if result is not RETRY:
-            self.history.record_write(node_id, obj_id, op_name, args, seqno,
-                                      manager.get(obj_id).version)
-        if origin == node_id:
-            self._resolve(invocation_id, result)
-
-    def _resolve(self, invocation_id: int, result: Any) -> None:
-        pending = self._pending.get(invocation_id)
-        if pending is None or pending.resolved:
-            return
-        pending.resolved = True
-        pending.result = result
-        pending.proc.wake(result)
-
-    # ------------------------------------------------------------------ #
-    # Blocking helpers
-    # ------------------------------------------------------------------ #
-
-    def _await_replica(self, proc: "SimProcess", node_id: int, obj_id: int) -> None:
-        """Block until this node holds a replica of ``obj_id``."""
-        key = (node_id, obj_id)
-        self._replica_waiters.setdefault(key, []).append(proc)
-        proc.suspend()
-
-    def _wake_replica_waiters(self, node_id: int, obj_id: int) -> None:
-        for proc in self._replica_waiters.pop((node_id, obj_id), []):
-            proc.wake()
-
-    def _wait_for_change(self, proc: "SimProcess", node_id: int, obj_id: int) -> None:
-        """Block until the local replica of ``obj_id`` is modified."""
-        replica = self.managers[node_id].get(obj_id)
-        replica.on_next_change(lambda: proc.wake())
-        proc.suspend()
-
-    # ------------------------------------------------------------------ #
-    # Reporting
-    # ------------------------------------------------------------------ #
-
-    def read_write_summary(self) -> Dict[str, Any]:
-        summary = super().read_write_summary()
-        if self.num_shards > 1 or self.batching is not None:
-            summary["sharding"] = self.router.summary()
-            if self.batching is not None:
-                summary["batching"] = {
-                    "max_batch": self.batching.max_batch,
-                    "flush_delay": self.batching.flush_delay,
-                }
-        return summary
+        if type(self) is BroadcastRts:
+            warnings.warn(
+                "BroadcastRts is deprecated; use HybridRts(cluster, "
+                "default_policy='broadcast') — the unified runtime also "
+                "accepts per-object policies and live migration",
+                DeprecationWarning, stacklevel=2)
+        super().__init__(cluster, default_policy="broadcast",
+                         record_history=record_history, num_shards=num_shards,
+                         placement=placement, batching=batching)

@@ -1,0 +1,1397 @@
+"""The unified runtime system: per-object management policies, live migration.
+
+:class:`HybridRts` hosts both of the paper's object-management mechanisms in
+one runtime.  Every shared object runs under a
+:class:`~repro.rts.policy.ManagementPolicy` chosen at creation time
+(``create_object(..., policy=...)``) and changeable while the cluster runs:
+
+* **broadcast** objects are replicated on every machine; reads are local and
+  writes ride the totally-ordered broadcast of the object's shard (exactly
+  the classic :class:`BroadcastRts` machinery, including sharding and write
+  batching);
+* **primary-copy** objects live on one machine with dynamically replicated
+  secondaries; writes go through the primary and propagate by invalidation
+  or two-phase update (exactly the classic :class:`PointToPointRts`
+  machinery);
+* **adaptive** objects carry an :class:`~repro.rts.policy.AdaptivePolicy`
+  controller that watches the object's read/write ratio and migrates it
+  between the fixed policies at run time.
+
+Migration protocol
+------------------
+
+A migration must not lose, duplicate, or reorder writes, so the switch point
+is decided by the same total order that already serialises the object's
+broadcast writes.  Every object keeps a **migration epoch**; broadcast write
+payloads are stamped with the epoch they were issued under, and every member
+tracks, per object, the epoch it has *delivered* up to.
+
+* **broadcast → primary**: the initiator flips the object's global policy
+  and directory entry (new writes head for the chosen primary), then
+  broadcasts a ``switch`` message through the object's shard.  Total order
+  guarantees each member delivers the switch after exactly the same set of
+  writes, so the (identical) replicas simply become the primary/secondary
+  copies — no state transfer.  A write broadcast sequenced *after* the
+  switch is dropped identically at every member and re-issued by its origin
+  through the primary.  The primary refuses to apply writes until it has
+  itself delivered the switch (so it has applied every pre-switch write);
+  coherence traffic reaching a member that has not yet delivered the switch
+  is deferred until it does.
+* **primary → broadcast**: the initiator freezes the object at the primary
+  (in-flight two-phase writes drain first; new writes bounce and retry),
+  snapshots its state, flips the global policy, and broadcasts the switch
+  *carrying the snapshot*.  Each member installs the snapshot when it
+  delivers the switch — the totally-ordered state transfer — after which
+  writes flow as ordered broadcasts.
+
+Both directions inherit the broadcast layer's fault tolerance: a switch in
+flight across a sequencer crash is retried, survives the election, and is
+still delivered exactly once in the same total order everywhere.
+
+Sequential consistency is preserved across a switch because (a) the switch
+point is a single position in the object's write order, (b) no write is
+applied on both sides of it (epoch-mismatched broadcasts are dropped and
+re-issued; primary writes wait for the switch to land), and (c) every
+member's replica passes through the switch state before serving post-switch
+operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple, Type
+
+from ..amoeba.broadcast.protocol import DeliveredMessage
+from ..amoeba.message import estimate_size
+from ..amoeba.rpc import RpcReply, RpcRequest
+from ..errors import ConfigurationError, RtsError
+from .base import ObjectHandle, RuntimeSystem
+from .consistency import HistoryRecorder
+from .object_model import RETRY, ObjectSpec
+from .p2p.directory import ObjectDirectory
+from .p2p.invalidation import KIND_INVALIDATE, InvalidationProtocol
+from .p2p.replication_policy import ReplicationPolicy
+from .p2p.update import KIND_UNLOCK, KIND_UPDATE, TwoPhaseUpdateProtocol
+from .policy import (
+    FIXED_POLICIES,
+    MECHANISM_BROADCAST,
+    MECHANISM_PRIMARY,
+    AdaptivePolicy,
+    BroadcastReplicated,
+    management_policy,
+)
+from .sharding import BatchingParams, ShardRouter, batching_params
+from .stats import AccessStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..amoeba.broadcast.group import BroadcastGroup
+    from ..amoeba.cluster import Cluster
+    from ..amoeba.node import Node
+    from ..sim.process import SimProcess
+
+#: Sentinel returned by a mechanism path when the object's policy changed
+#: under the invocation; the unified dispatch loop re-routes the operation.
+MIGRATED = object()
+
+#: Point-to-point protocol message kinds (unchanged from the classic p2p RTS).
+KIND_ACK = "p2p.ack"
+KIND_DROP = "p2p.drop"
+
+PORT_READ = "orca.obj.read"
+PORT_WRITE = "orca.obj.write"
+PORT_FETCH = "orca.obj.fetch"
+#: Freeze-and-snapshot service used by primary -> broadcast migrations.
+PORT_MIGRATE = "orca.obj.migrate"
+
+#: On-wire retry markers carried in RPC replies (strings, like the classic
+#: ``"__retry__"``, so they survive the payload plumbing untouched).
+MARKER_RETRY = "__retry__"
+MARKER_MIGRATED = "__migrated__"
+MARKER_MIGRATING = "__migrating__"
+
+
+@dataclass
+class _PendingWrite:
+    """An invocation waiting for its own broadcast to come back.
+
+    Ordinary writes also record which object/epoch they were issued under so
+    a policy switch can release them early (see ``_apply_switch``).
+    """
+
+    proc: "SimProcess"
+    result: Any = None
+    resolved: bool = False
+    obj_id: Optional[int] = None
+    origin: Optional[int] = None
+    epoch: int = 0
+
+
+@dataclass
+class _Transaction:
+    """Fan-out bookkeeping: one primary write waiting for acknowledgements."""
+
+    remaining: int
+    proc: Optional["SimProcess"] = None
+    #: Nodes still owing an acknowledgement; a node crash releases its debt
+    #: (a dead machine will never answer, and its copy is gone with it).
+    destinations: Set[int] = None  # type: ignore[assignment]
+
+
+@dataclass
+class MigrationRecord:
+    """One completed (or in-flight) policy switch, for reports and tests."""
+
+    obj_id: int
+    name: str
+    target: str
+    epoch: int
+    primary_node: Optional[int]
+
+
+class _WriteBatcher:
+    """Per-(node, shard) write combining onto the ordered broadcast.
+
+    Writes enqueue here instead of broadcasting individually.  A batch is
+    flushed when it reaches ``max_batch`` operations, when ``flush_delay``
+    expires, or — with a zero delay — immediately while no batch is in
+    flight.  Only one batch per (node, shard) is outstanding at a time:
+    writes arriving while it is on the wire coalesce into the next batch,
+    which both preserves per-node FIFO order and yields the group-commit
+    effect that amortises the sequencer round trip under contention.
+    """
+
+    def __init__(self, rts: "HybridRts", node: "Node",
+                 group: "BroadcastGroup", shard: int,
+                 params: BatchingParams) -> None:
+        self.rts = rts
+        self.node = node
+        self.group = group
+        self.shard = shard
+        self.params = params
+        self._entries: List[Tuple[Any, ...]] = []
+        self._bytes = 0
+        self._in_flight = False
+        self._timer: Optional[int] = None
+
+    def enqueue(self, entry: Tuple[Any, ...], size: int) -> None:
+        self._entries.append(entry)
+        self._bytes += size
+        self._maybe_flush()
+
+    def on_batch_delivered(self) -> None:
+        self._in_flight = False
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self._in_flight or not self._entries:
+            return
+        if (len(self._entries) >= self.params.max_batch
+                or self.params.flush_delay <= 0.0):
+            self._flush()
+        elif self._timer is None:
+            self._timer = self.node.kernel.set_timer(
+                self.params.flush_delay, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        if not self._in_flight and self._entries:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self.node.kernel.cancel_timer(self._timer)
+            self._timer = None
+        entries, self._entries = self._entries, []
+        size, self._bytes = self._bytes, 0
+        self._in_flight = True
+        self.rts.stats.batches_sent += 1
+        self.rts.router.shard_stats[self.shard].note_batch(len(entries))
+        self.group.member(self.node.node_id).broadcast(
+            ("batch", entries), size=max(16, size) + 8)
+
+
+class HybridRts(RuntimeSystem):
+    """Shared objects under per-object, runtime-switchable management."""
+
+    name = "hybrid-rts"
+
+    def __init__(self, cluster: "Cluster", default_policy: Any = "broadcast",
+                 protocol: str = "update", dynamic_replication: bool = True,
+                 replicate_everywhere: bool = False,
+                 record_history: bool = False, num_shards: int = 1,
+                 placement: Any = None, batching: Any = None) -> None:
+        """Create the unified runtime.
+
+        Parameters
+        ----------
+        cluster:
+            The simulated cluster.  Broadcast-managed objects (and
+            migrations) need a broadcast-capable network; a purely
+            primary-copy configuration runs on any network.
+        default_policy:
+            Policy for objects created without an explicit ``policy=``:
+            a name (``"broadcast"``, ``"primary-invalidate"``,
+            ``"primary-update"``, ``"primary"``, ``"adaptive"``), adaptive
+            params, or a :class:`ManagementPolicy`.
+        protocol:
+            Which coherence protocol ``default_policy="primary"`` resolves
+            to (``"update"`` or ``"invalidation"``).
+        dynamic_replication:
+            Enable the read/write-ratio driven secondary-copy policy for
+            primary-managed objects.
+        replicate_everywhere:
+            Eagerly give every machine a secondary copy when a
+            primary-managed object is created.
+        record_history:
+            Record write/read histories for the consistency checker.
+        num_shards / placement / batching:
+            Sharding and write batching of the broadcast mechanism (see
+            :mod:`repro.rts.sharding`).
+        """
+        super().__init__(cluster)
+        if protocol not in ("update", "invalidation"):
+            raise ConfigurationError(
+                f"unknown coherence protocol {protocol!r} (use 'update' or "
+                "'invalidation')")
+        if default_policy == "primary":
+            default_policy = f"primary-{'invalidate' if protocol == 'invalidation' else 'update'}"
+        self.default_policy = management_policy(default_policy,
+                                                default=BroadcastReplicated())
+        self.dynamic_replication = dynamic_replication
+        self.replicate_everywhere = replicate_everywhere
+        self.history = HistoryRecorder(enabled=record_history)
+
+        # -- broadcast mechanism ---------------------------------------- #
+        self._num_shards = num_shards
+        self._placement = placement
+        self.batching = batching_params(batching)
+        self.router: Optional[ShardRouter] = None
+        #: Shard-0 group under the classic attribute name (set with the router).
+        self.group: Optional["BroadcastGroup"] = None
+        self._batchers: Dict[Tuple[int, int], _WriteBatcher] = {}
+        self._invocation_ids = itertools.count(1)
+        self._pending: Dict[int, _PendingWrite] = {}
+        #: obj_id -> shard, fixed at creation time (policy changes never move
+        #: an object off its shard: the shard's total order is what makes the
+        #: policy switch safe).
+        self._shard_by_obj: Dict[int, int] = {}
+        #: (node_id, obj_id) -> [SimProcess, ...] waiting for a local replica.
+        self._replica_waiters: Dict[Tuple[int, int], List["SimProcess"]] = {}
+
+        # -- primary-copy mechanism ------------------------------------- #
+        self.directory = ObjectDirectory()
+        self.replication = ReplicationPolicy(self.cost_model.replication)
+        self.protocols = {
+            "invalidation": InvalidationProtocol(self),
+            "update": TwoPhaseUpdateProtocol(self),
+        }
+        #: Default protocol instance (what ``"primary"`` resolves to).
+        self.protocol = self.protocols[protocol]
+        self._txn_ids = itertools.count(1)
+        self._transactions: Dict[int, _Transaction] = {}
+        #: txn_id -> node that must receive the acknowledgements.
+        self._ack_destinations: Dict[int, int] = {}
+        self._services_installed = False
+
+        # -- per-object policy state ------------------------------------ #
+        #: obj_id -> name of the fixed policy currently managing the object.
+        self._policy_by_obj: Dict[int, str] = {}
+        #: obj_id -> adaptive controller (objects created adaptive only).
+        self._adaptive_by_obj: Dict[int, AdaptivePolicy] = {}
+        #: obj_id -> cluster-wide access window driving adaptive decisions.
+        self._obj_access: Dict[int, AccessStats] = {}
+        self._created_on: Dict[int, int] = {}
+
+        # -- migration state -------------------------------------------- #
+        #: obj_id -> number of policy switches broadcast for the object.
+        self._epoch_by_obj: Dict[int, int] = {}
+        #: (node_id, obj_id) -> epoch that node has delivered up to.
+        self._node_epoch: Dict[Tuple[int, int], int] = {}
+        #: (node_id, obj_id) -> processes waiting for that node to deliver
+        #: the current switch (the primary gating its first post-switch write).
+        self._switch_waiters: Dict[Tuple[int, int], List["SimProcess"]] = {}
+        #: Coherence messages that raced ahead of a switch at some member.
+        self._deferred: Dict[Tuple[int, int], List[Tuple[str, Dict[str, Any]]]] = {}
+        #: Objects frozen at their primary for a state transfer.
+        self._frozen: Set[int] = set()
+        #: Objects with a switch still being delivered somewhere.
+        self._migrating: Set[int] = set()
+        #: Objects inside a migrate() call that has not yet broadcast its
+        #: switch (the freeze/snapshot phase can suspend, during which the
+        #: epoch is still old and ``_migrating`` alone cannot protect).
+        self._migrate_in_progress: Set[int] = set()
+        #: Objects whose adaptive migration thread is spawned but not done.
+        self._migration_pending: Set[int] = set()
+        self.migrations: List[MigrationRecord] = []
+
+        initial = self.default_policy
+        needs_broadcast = (isinstance(initial, AdaptivePolicy)
+                           or initial.mechanism == MECHANISM_BROADCAST)
+        if needs_broadcast:
+            self._ensure_router()
+        else:
+            self._ensure_primary_services()
+        if type(self) is HybridRts:
+            self.name = {
+                MECHANISM_BROADCAST: "broadcast-rts",
+                MECHANISM_PRIMARY: "p2p-rts",
+            }.get(initial.mechanism, "adaptive-rts"
+                  if isinstance(initial, AdaptivePolicy) else "hybrid-rts")
+
+    # ------------------------------------------------------------------ #
+    # Lazy wiring of the two mechanisms
+    # ------------------------------------------------------------------ #
+
+    def _ensure_router(self) -> ShardRouter:
+        """Build the broadcast groups on first need (they require hardware
+        broadcast, which a primary-copy-only configuration does not)."""
+        if self.router is None:
+            if not self.cluster.network.supports_broadcast:
+                raise RtsError(
+                    "broadcast-managed objects (and policy migrations) need "
+                    "a broadcast-capable network; this cluster is "
+                    f"{self.cluster.network.name!r}")
+            self.router = ShardRouter(self.cluster, num_shards=self._num_shards,
+                                      placement=self._placement)
+            self.group = self.router.group_for(0)
+            for shard, group in enumerate(self.router.groups):
+                for node in self.cluster.nodes:
+                    group.set_delivery_handler(
+                        node.node_id,
+                        lambda delivered, nid=node.node_id, s=shard:
+                            self._on_deliver(nid, s, delivered),
+                    )
+        return self.router
+
+    def _ensure_primary_services(self) -> None:
+        """Register the point-to-point handlers and RPC services once."""
+        if self._services_installed:
+            return
+        self._services_installed = True
+        for node in self.cluster.nodes:
+            nid = node.node_id
+            node.on_crash(lambda n=nid: self._on_node_crash(n))
+            node.register_handler(KIND_INVALIDATE,
+                                  lambda m, n=nid: self._on_invalidate(n, m.payload))
+            node.register_handler(KIND_UPDATE,
+                                  lambda m, n=nid: self._on_update(n, m.payload))
+            node.register_handler(KIND_UNLOCK,
+                                  lambda m, n=nid: self._on_unlock(n, m.payload))
+            node.register_handler(KIND_ACK,
+                                  lambda m, n=nid: self._on_ack(n, m.payload))
+            node.register_handler(KIND_DROP,
+                                  lambda m, n=nid: self._on_drop(n, m.payload))
+            rpc = self.cluster.rpc_for(nid)
+            rpc.register_service(PORT_READ,
+                                 lambda req, n=nid: self._serve_read(n, req))
+            rpc.register_service(PORT_WRITE,
+                                 lambda req, n=nid: self._serve_write(n, req),
+                                 may_block=True)
+            rpc.register_service(PORT_FETCH,
+                                 lambda req, n=nid: self._serve_fetch(n, req),
+                                 may_block=True)
+            rpc.register_service(PORT_MIGRATE,
+                                 lambda req, n=nid: self._serve_migrate(n, req),
+                                 may_block=True)
+
+    # ------------------------------------------------------------------ #
+    # Policy bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def policy_of(self, handle: ObjectHandle) -> str:
+        """Name of the fixed policy currently managing ``handle``."""
+        return self._policy_by_obj[handle.obj_id]
+
+    def is_adaptive(self, handle: ObjectHandle) -> bool:
+        return handle.obj_id in self._adaptive_by_obj
+
+    def _mechanism_of(self, obj_id: int) -> str:
+        return FIXED_POLICIES[self._policy_by_obj[obj_id]].mechanism
+
+    def _protocol_for_obj(self, obj_id: int):
+        return self.protocols[FIXED_POLICIES[self._policy_by_obj[obj_id]].protocol]
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards if self.router is not None else 1
+
+    def shard_of(self, handle: ObjectHandle) -> int:
+        """The shard (and thus broadcast group) ordering ``handle``."""
+        shard = self._shard_by_obj.get(handle.obj_id)
+        if shard is None:
+            shard = self._ensure_router().shard_of(handle.obj_id, handle.name)
+            self._shard_by_obj[handle.obj_id] = shard
+        return shard
+
+    def _batcher(self, node: "Node", shard: int) -> _WriteBatcher:
+        key = (node.node_id, shard)
+        batcher = self._batchers.get(key)
+        if batcher is None:
+            batcher = _WriteBatcher(self, node, self.router.group_for(shard),
+                                    shard, self.batching)
+            self._batchers[key] = batcher
+        return batcher
+
+    # ------------------------------------------------------------------ #
+    # Object creation
+    # ------------------------------------------------------------------ #
+
+    def create_object(self, proc: "SimProcess", spec_class: Type[ObjectSpec],
+                      args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
+                      name: Optional[str] = None, policy: Any = None) -> ObjectHandle:
+        """Create a shared object managed by ``policy`` (default: the RTS's)."""
+        node = self._node_of(proc)
+        chosen = management_policy(policy, default=self.default_policy)
+        if isinstance(chosen, AdaptivePolicy):
+            controller: Optional[AdaptivePolicy] = chosen
+            effective = FIXED_POLICIES[chosen.initial]
+        else:
+            controller, effective = None, chosen
+        if effective.mechanism == MECHANISM_BROADCAST or controller is not None:
+            self._ensure_router()
+        if effective.mechanism == MECHANISM_PRIMARY or controller is not None:
+            self._ensure_primary_services()
+
+        handle = self._new_handle(spec_class, name)
+        obj_id = handle.obj_id
+        self._policy_by_obj[obj_id] = effective.name
+        if controller is not None:
+            self._adaptive_by_obj[obj_id] = controller
+            self._obj_access[obj_id] = AccessStats()
+        self._created_on[obj_id] = node.node_id
+
+        if effective.mechanism == MECHANISM_BROADCAST:
+            self._create_broadcast(proc, node, handle, spec_class, args, kwargs)
+        else:
+            self._create_primary(proc, node, handle, spec_class, args, kwargs)
+        return handle
+
+    def _create_broadcast(self, proc: "SimProcess", node: "Node",
+                          handle: ObjectHandle, spec_class: Type[ObjectSpec],
+                          args: Tuple[Any, ...],
+                          kwargs: Optional[Dict[str, Any]]) -> None:
+        """Replicate the new object on every machine via ordered broadcast."""
+        shard = self.shard_of(handle)
+        self.router.shard_stats[shard].note_create()
+        invocation_id = next(self._invocation_ids)
+        pending = _PendingWrite(proc=proc)
+        self._pending[invocation_id] = pending
+        payload = ("create", handle.obj_id, spec_class, args, kwargs or {},
+                   invocation_id)
+        size = max(32, estimate_size(args) + estimate_size(kwargs or {}))
+        proc.advance(self.cost_model.cpu.operation_dispatch_cost)
+        proc.absorb_overhead(node.drain_overhead())
+        proc.flush()
+        self.router.group_for(shard).member(node.node_id).broadcast(
+            payload, size=size)
+        proc.suspend()
+        self._pending.pop(invocation_id, None)
+
+    def _create_primary(self, proc: "SimProcess", node: "Node",
+                        handle: ObjectHandle, spec_class: Type[ObjectSpec],
+                        args: Tuple[Any, ...],
+                        kwargs: Optional[Dict[str, Any]]) -> None:
+        """Install the primary copy on the caller's machine."""
+        instance = spec_class.create(args, kwargs)
+        self.managers[node.node_id].install(handle.obj_id, handle.name, instance,
+                                            is_primary=True)
+        self.directory.register(handle.obj_id, node.node_id)
+        self.stats.replicas_created += 1
+        proc.advance(self.cost_model.cpu.operation_dispatch_cost)
+        if self.replicate_everywhere:
+            for other in self.cluster.nodes:
+                if other.node_id != node.node_id:
+                    self.replicate_to(handle, other.node_id)
+
+    def replicate_to(self, handle: ObjectHandle, node_id: int) -> None:
+        """Eagerly install a secondary copy on ``node_id`` (no cost charged)."""
+        primary = self.directory.primary_of(handle.obj_id)
+        source = self.managers[primary].get(handle.obj_id)
+        if self.managers[node_id].has_valid_copy(handle.obj_id):
+            return
+        copy = handle.spec_class()
+        copy.unmarshal_state(source.instance.marshal_state())
+        self.managers[node_id].discard(handle.obj_id)
+        self.managers[node_id].install(handle.obj_id, handle.name, copy,
+                                       version=source.version)
+        self.directory.add_copy(handle.obj_id, node_id)
+        self.stats.replicas_created += 1
+
+    # ------------------------------------------------------------------ #
+    # Unified invocation dispatch
+    # ------------------------------------------------------------------ #
+
+    def _invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
+                args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
+        node = self._node_of(proc)
+        nid = node.node_id
+        obj_id = handle.obj_id
+        op = handle.spec_class.operation_def(op_name)
+        cpu = self.cost_model.cpu
+        proc.advance(cpu.operation_dispatch_cost)
+        if op.work_units:
+            proc.compute(op.work_units)
+
+        # Cluster-wide and per-machine access accounting (one note per
+        # invocation, regardless of retries or mid-flight migrations).
+        if op.is_write:
+            self.stats.note_write(obj_id)
+            self.replication.note_write(obj_id, nid)
+        else:
+            self.replication.note_read(obj_id, nid)
+
+        shard_write_noted = False
+        while True:
+            mechanism = self._mechanism_of(obj_id)
+            if mechanism == MECHANISM_BROADCAST:
+                if op.is_write:
+                    # One shard-write note per invocation, exactly like the
+                    # per-object counters — even if a migration bounces the
+                    # invocation out of and back into the broadcast path.
+                    if not shard_write_noted:
+                        shard = self.shard_of(handle)
+                        self.router.shard_stats[shard].note_write()
+                        shard_write_noted = True
+                    result = self._broadcast_write(proc, node, handle, op,
+                                                   args, kwargs)
+                else:
+                    result = self._broadcast_read(proc, node, handle, op,
+                                                  args, kwargs)
+            else:
+                proc.absorb_overhead(node.drain_overhead())
+                if op.is_write:
+                    result = self._primary_write(proc, nid, handle, op, args,
+                                                 kwargs)
+                else:
+                    result = self._primary_read(proc, nid, handle, op, args,
+                                                kwargs)
+                if result is not MIGRATED and self.dynamic_replication:
+                    self._apply_replication_policy(proc, nid, handle)
+            if result is not MIGRATED:
+                break
+            # The object moved to the other mechanism while this invocation
+            # was in flight; re-route it under the new policy.
+
+        self._adaptive_check(proc, handle, op.is_write)
+        return result
+
+    def _adaptive_check(self, proc: "SimProcess", handle: ObjectHandle,
+                        is_write: bool) -> None:
+        """Update the object's access window; migrate when the controller says.
+
+        The migration itself runs in a spawned thread on the invoking node:
+        the client whose access tripped the threshold continues immediately
+        instead of paying the freeze/switch round trips in its own request
+        latency.
+        """
+        controller = self._adaptive_by_obj.get(handle.obj_id)
+        if controller is None:
+            return
+        window = self._obj_access[handle.obj_id]
+        if is_write:
+            window.note_write()
+        else:
+            window.note_read()
+        if not controller.due(window):
+            return
+        obj_id = handle.obj_id
+        if obj_id in self._migration_pending:
+            return
+        if obj_id in self._migrating and not self._migration_settled(obj_id):
+            return
+        target = controller.desired(window, self._policy_by_obj[obj_id])
+        if target is None:
+            return
+        self._migration_pending.add(obj_id)
+        node = self._node_of(proc)
+
+        def migration_body() -> None:
+            mproc = self.sim.current_process
+            try:
+                if self.migrate(mproc, handle, target):
+                    window.decay(controller.params.decay)
+            finally:
+                self._migration_pending.discard(obj_id)
+
+        node.kernel.spawn_thread(migration_body, name=f"migrate:{handle.name}")
+
+    # ------------------------------------------------------------------ #
+    # Broadcast mechanism (reads local, writes through the ordered group)
+    # ------------------------------------------------------------------ #
+
+    def _broadcast_read(self, proc: "SimProcess", node: "Node",
+                        handle: ObjectHandle, op, args, kwargs) -> Any:
+        manager = self.managers[node.node_id]
+        if not manager.has_valid_copy(handle.obj_id):
+            self._await_replica(proc, node.node_id, handle.obj_id)
+        proc.absorb_overhead(node.drain_overhead())
+        while True:
+            result = manager.execute_read(handle.obj_id, op, args, kwargs)
+            if result is not RETRY:
+                break
+            self.stats.guard_retries += 1
+            self._wait_for_change(proc, node.node_id, handle.obj_id)
+        self.stats.note_read(handle.obj_id, local=True)
+        self.history.record_read(proc.name, node.node_id, handle.obj_id,
+                                 op.name, args, result,
+                                 manager.get(handle.obj_id).version)
+        return result
+
+    def _broadcast_write(self, proc: "SimProcess", node: "Node",
+                         handle: ObjectHandle, op, args, kwargs) -> Any:
+        """Broadcast the write (directly or batched) and await local apply."""
+        manager = self.managers[node.node_id]
+        obj_id = handle.obj_id
+        shard = self.shard_of(handle)
+        group = self.router.group_for(shard)
+        while True:
+            # Capture the epoch *before* confirming the mechanism: a stamp
+            # can only ever be stale-old, and a stale-old write sequenced
+            # after the switch is dropped and re-issued.  (Reading the epoch
+            # afterwards could stamp a post-switch epoch onto a write that
+            # bypasses the new primary protocol.)
+            epoch = self._epoch_by_obj.get(obj_id, 0)
+            if self._mechanism_of(obj_id) != MECHANISM_BROADCAST:
+                return MIGRATED
+            if not manager.has_valid_copy(obj_id):
+                self._await_replica(proc, node.node_id, obj_id)
+                continue
+            invocation_id = next(self._invocation_ids)
+            size = max(16, estimate_size(args) + estimate_size(kwargs or {}) + 16)
+            proc.absorb_overhead(node.drain_overhead())
+            proc.flush()
+            self.stats.broadcast_writes += 1
+            # The pending entry is registered only after the (possibly
+            # blocking) flush above: a policy switch may resolve pending
+            # writes of this object early, and that wake must never race a
+            # wait the process is parked in for some other reason.
+            pending = _PendingWrite(proc=proc, obj_id=obj_id,
+                                    origin=node.node_id, epoch=epoch)
+            self._pending[invocation_id] = pending
+            if self.batching is not None:
+                entry = (obj_id, op.name, args, kwargs or {}, invocation_id,
+                         epoch)
+                self._batcher(node, shard).enqueue(entry, size)
+            else:
+                payload = ("op", obj_id, op.name, args, kwargs or {},
+                           invocation_id, epoch)
+                group.member(node.node_id).broadcast(payload, size=size)
+            result = proc.suspend()
+            self._pending.pop(invocation_id, None)
+            proc.absorb_overhead(node.drain_overhead())
+            if result is MIGRATED:
+                return MIGRATED
+            if result is not RETRY:
+                return result
+            # Guard rejected the operation everywhere; wait and retry.
+            self.stats.guard_retries += 1
+            self._wait_for_change(proc, node.node_id, obj_id)
+
+    # -- delivery (runs at every member, in per-shard total order) ------- #
+
+    def _on_deliver(self, node_id: int, shard: int,
+                    delivered: DeliveredMessage) -> None:
+        payload = delivered.payload
+        kind = payload[0]
+        manager = self.managers[node_id]
+        node = self.cluster.node(node_id)
+        cpu = self.cost_model.cpu
+        if kind == "create":
+            _, obj_id, spec_class, args, kwargs, invocation_id = payload
+            if not manager.has_valid_copy(obj_id):
+                instance = spec_class.create(args, kwargs)
+                manager.install(obj_id, self.handle(obj_id).name, instance)
+                self.stats.replicas_created += 1
+            node.charge_overhead(cpu.operation_dispatch_cost)
+            self._wake_replica_waiters(node_id, obj_id)
+            if delivered.origin == node_id:
+                self._resolve(invocation_id, None)
+            return
+        if kind == "op":
+            _, obj_id, op_name, args, kwargs, invocation_id, epoch = payload
+            self._apply_one(node_id, manager, node, obj_id, op_name, args,
+                            kwargs, invocation_id, epoch, delivered.origin,
+                            delivered.seqno)
+            return
+        if kind == "batch":
+            _, entries = payload
+            for obj_id, op_name, args, kwargs, invocation_id, epoch in entries:
+                self._apply_one(node_id, manager, node, obj_id, op_name, args,
+                                kwargs, invocation_id, epoch, delivered.origin,
+                                delivered.seqno)
+            if delivered.origin == node_id:
+                batcher = self._batchers.get((node_id, shard))
+                if batcher is not None:
+                    batcher.on_batch_delivered()
+            return
+        if kind == "switch":
+            self._apply_switch(node_id, payload, delivered.origin)
+            return
+        raise RtsError(f"unknown broadcast RTS payload kind {kind!r}")
+
+    def _apply_one(self, node_id: int, manager, node, obj_id: int,
+                   op_name: str, args, kwargs, invocation_id: int, epoch: int,
+                   origin: int, seqno: int) -> None:
+        """Apply one delivered write (standalone or decoded from a batch)."""
+        if epoch != self._node_epoch.get((node_id, obj_id), 0):
+            # The write was sequenced after a policy switch it predates.
+            # Every member drops it at the same point in the total order;
+            # the origin re-issues it under the object's new policy.
+            if origin == node_id:
+                self._resolve(invocation_id, MIGRATED)
+            return
+        handle = self.handle(obj_id)
+        op = handle.spec_class.operation_def(op_name)
+        cpu = self.cost_model.cpu
+        if not manager.has_valid_copy(obj_id):
+            # Per-shard total order guarantees the create precedes every
+            # operation, so a missing replica is a protocol error worth
+            # failing on.
+            raise RtsError(
+                f"node {node_id} received operation {op_name!r} for object "
+                f"{obj_id} before its create message"
+            )
+        result = manager.apply_write(obj_id, op, args, kwargs,
+                                     local_origin=origin == node_id)
+        # Applying the update costs CPU on every machine that holds a
+        # replica: this is the overhead that limits ACP's speedup.
+        node.charge_overhead(cpu.operation_dispatch_cost +
+                             op.work_units * cpu.work_unit_time)
+        if result is not RETRY:
+            self.history.record_write(node_id, obj_id, op_name, args, seqno,
+                                      manager.get(obj_id).version)
+        if origin == node_id:
+            self._resolve(invocation_id, result)
+
+    def _resolve(self, invocation_id: int, result: Any) -> None:
+        pending = self._pending.get(invocation_id)
+        if pending is None or pending.resolved:
+            return
+        pending.resolved = True
+        pending.result = result
+        pending.proc.wake(result)
+
+    # -- blocking helpers ------------------------------------------------ #
+
+    def _await_replica(self, proc: "SimProcess", node_id: int, obj_id: int) -> None:
+        """Block until this node holds a replica of ``obj_id``."""
+        key = (node_id, obj_id)
+        self._replica_waiters.setdefault(key, []).append(proc)
+        proc.suspend()
+
+    def _wake_replica_waiters(self, node_id: int, obj_id: int) -> None:
+        for proc in self._replica_waiters.pop((node_id, obj_id), []):
+            proc.wake()
+
+    def _wait_for_change(self, proc: "SimProcess", node_id: int, obj_id: int) -> None:
+        """Block until the local replica of ``obj_id`` is modified."""
+        replica = self.managers[node_id].get(obj_id)
+        replica.on_next_change(lambda: proc.wake())
+        proc.suspend()
+
+    # ------------------------------------------------------------------ #
+    # Primary-copy mechanism (reads local-or-RPC, writes via the primary)
+    # ------------------------------------------------------------------ #
+
+    def _primary_read(self, proc: "SimProcess", nid: int, handle: ObjectHandle,
+                      op, args, kwargs) -> Any:
+        manager = self.managers[nid]
+        if manager.has_valid_copy(handle.obj_id):
+            replica = manager.get(handle.obj_id)
+            # Reads wait while the copy is locked by an in-flight update.
+            while replica.locked:
+                replica.on_next_change(lambda p=proc: p.wake())
+                proc.suspend()
+            while True:
+                result = manager.execute_read(handle.obj_id, op, args, kwargs)
+                if result is not RETRY:
+                    break
+                self.stats.guard_retries += 1
+                replica.on_next_change(lambda p=proc: p.wake())
+                proc.suspend()
+            self.stats.note_read(handle.obj_id, local=True)
+            return result
+        # No local copy: remote read at the primary.
+        primary = self.directory.primary_of(handle.obj_id)
+        while True:
+            result = self.cluster.rpc_for(nid).call(
+                proc, primary, PORT_READ,
+                payload={"obj_id": handle.obj_id, "op_name": op.name,
+                         "args": args, "kwargs": kwargs or {}},
+                size=16 + estimate_size(args),
+            )
+            if isinstance(result, str) and result == MARKER_MIGRATED:
+                return MIGRATED
+            if not (isinstance(result, str) and result == MARKER_RETRY):
+                self.stats.note_read(handle.obj_id, local=False)
+                return result
+            self.stats.guard_retries += 1
+            proc.hold(self.cost_model.cpu.protocol_cost * 4)
+
+    def _serve_read(self, nid: int, request: RpcRequest) -> Any:
+        payload = request.payload
+        handle = self.handle(payload["obj_id"])
+        op = handle.spec_class.operation_def(payload["op_name"])
+        manager = self.managers[nid]
+        if (not manager.has_valid_copy(payload["obj_id"])
+                or self._mechanism_of(payload["obj_id"]) != MECHANISM_PRIMARY):
+            # The object migrated away while the read was in flight; the
+            # client re-routes it under the new policy.
+            return MARKER_MIGRATED
+        result = manager.execute_read(payload["obj_id"], op, payload["args"],
+                                      payload["kwargs"])
+        if result is RETRY:
+            return MARKER_RETRY
+        return result
+
+    def _primary_write(self, proc: "SimProcess", nid: int, handle: ObjectHandle,
+                       op, args, kwargs) -> Any:
+        obj_id = handle.obj_id
+        while True:
+            if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+                return MIGRATED
+            primary = self.directory.primary_of(obj_id)
+            if primary == nid:
+                # The primary must have applied every pre-switch write (i.e.
+                # delivered the switch) before it can serialise new ones.
+                self._await_switch(proc, nid, obj_id)
+                if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+                    return MIGRATED
+                if obj_id in self._frozen:
+                    proc.hold(self.cost_model.cpu.protocol_cost * 4)
+                    continue
+                if self.directory.primary_of(obj_id) != nid:
+                    # The primary moved while this write was parked across
+                    # the switch; route it to the new one.
+                    continue
+                self.stats.local_writes += 1
+                result = self._protocol_for_obj(obj_id).primary_write(
+                    proc, obj_id, op, args, kwargs)
+            else:
+                self.stats.rpc_writes += 1
+                result = self.cluster.rpc_for(nid).call(
+                    proc, primary, PORT_WRITE,
+                    payload={"obj_id": obj_id, "op_name": op.name,
+                             "args": args, "kwargs": kwargs or {}},
+                    size=16 + estimate_size(args) + estimate_size(kwargs or {}),
+                )
+                if isinstance(result, str) and result == MARKER_MIGRATED:
+                    return MIGRATED
+                if isinstance(result, str) and result == MARKER_MIGRATING:
+                    proc.hold(self.cost_model.cpu.protocol_cost * 4)
+                    continue
+                if isinstance(result, str) and result == MARKER_RETRY:
+                    result = RETRY
+            if result is not RETRY:
+                return result
+            # Guarded write rejected: wait a little and retry at the primary.
+            self.stats.guard_retries += 1
+            proc.hold(self.cost_model.cpu.protocol_cost * 4)
+
+    def _serve_write(self, nid: int, request: RpcRequest) -> Any:
+        payload = request.payload
+        obj_id = payload["obj_id"]
+        handle = self.handle(obj_id)
+        op = handle.spec_class.operation_def(payload["op_name"])
+        proc = self.sim.current_process
+        if proc is None:
+            raise RtsError("write handler must run in a blocking-capable context")
+        if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+            return MARKER_MIGRATED
+        self._await_switch(proc, nid, obj_id)
+        if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+            return MARKER_MIGRATED
+        if obj_id in self._frozen:
+            return MARKER_MIGRATING
+        if self.directory.primary_of(obj_id) != nid:
+            # Stale primary: the object migrated here and away again.
+            return MARKER_MIGRATING
+        result = self._protocol_for_obj(obj_id).primary_write(
+            proc, obj_id, op, payload["args"], payload["kwargs"])
+        if result is RETRY:
+            return MARKER_RETRY
+        return result
+
+    # -- dynamic replication --------------------------------------------- #
+
+    def _apply_replication_policy(self, proc: "SimProcess", nid: int,
+                                  handle: ObjectHandle) -> None:
+        manager = self.managers[nid]
+        has_copy = manager.has_valid_copy(handle.obj_id)
+        is_primary = self.directory.primary_of(handle.obj_id) == nid
+        if self.replication.should_fetch_copy(handle.obj_id, nid, has_copy):
+            self._fetch_copy(proc, nid, handle)
+        elif self.replication.should_drop_copy(handle.obj_id, nid, has_copy,
+                                               is_primary):
+            manager.discard(handle.obj_id)
+            self.directory.remove_copy(handle.obj_id, nid)
+            self.stats.replicas_dropped += 1
+            primary = self.directory.primary_of(handle.obj_id)
+            self.send_protocol_message(nid, primary, KIND_DROP,
+                                       {"obj_id": handle.obj_id, "node": nid})
+
+    def _fetch_copy(self, proc: "SimProcess", nid: int, handle: ObjectHandle) -> None:
+        """Fetch the object state from the primary and install a local copy."""
+        primary = self.directory.primary_of(handle.obj_id)
+        if primary == nid:
+            return
+        reply = self.cluster.rpc_for(nid).call(
+            proc, primary, PORT_FETCH,
+            payload={"obj_id": handle.obj_id, "requester": nid},
+            size=24,
+        )
+        if isinstance(reply, str) and reply == MARKER_MIGRATED:
+            return
+        state, version = reply
+        if self._mechanism_of(handle.obj_id) != MECHANISM_PRIMARY:
+            return
+        instance = handle.spec_class()
+        instance.unmarshal_state(state)
+        manager = self.managers[nid]
+        manager.discard(handle.obj_id)
+        manager.install(handle.obj_id, handle.name, instance, version=version)
+        self.stats.replicas_created += 1
+
+    def _serve_fetch(self, nid: int, request: RpcRequest):
+        payload = request.payload
+        obj_id = payload["obj_id"]
+        proc = self.sim.current_process
+        if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+            return MARKER_MIGRATED
+        if proc is not None:
+            self._await_switch(proc, nid, obj_id)
+        if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+            return MARKER_MIGRATED
+        manager = self.managers[nid]
+        replica = manager.get(obj_id)
+        # Do not hand out state in the middle of a write's critical section.
+        while replica.locked and proc is not None:
+            replica.on_next_change(lambda p=proc: p.wake())
+            proc.suspend()
+        self.directory.add_copy(obj_id, payload["requester"])
+        state = replica.instance.marshal_state()
+        return RpcReply(payload=(state, replica.version),
+                        size=replica.instance.state_size() + 16)
+
+    # -- protocol plumbing used by the coherence strategies --------------- #
+
+    def new_transaction(self, expected_acks: int,
+                        destinations: Optional[List[int]] = None) -> int:
+        txn_id = next(self._txn_ids)
+        self._transactions[txn_id] = _Transaction(
+            remaining=expected_acks,
+            destinations=set(destinations or ()))
+        return txn_id
+
+    def await_acks(self, proc: "SimProcess", txn_id: int) -> None:
+        txn = self._transactions[txn_id]
+        if txn.remaining > 0:
+            txn.proc = proc
+            proc.suspend()
+        del self._transactions[txn_id]
+
+    def send_ack(self, from_node: int, txn_id: int) -> None:
+        primary_node = self._ack_destinations.get(txn_id)
+        if primary_node is None:
+            return
+        self.send_protocol_message(from_node, primary_node, KIND_ACK,
+                                   {"txn_id": txn_id, "node": from_node})
+
+    def send_protocol_message(self, src: int, dst: int, kind: str,
+                              payload: Dict[str, Any]) -> None:
+        if kind in (KIND_UPDATE,):
+            size = 32 + estimate_size(payload.get("args", ())) + estimate_size(
+                payload.get("kwargs", {}))
+        else:
+            size = 32
+        node = self.cluster.node(src)
+        msg = node.make_message(dst, kind, payload=payload, size=size)
+        node.send(msg)
+        if kind in (KIND_INVALIDATE, KIND_UPDATE):
+            self._ack_destinations[payload["txn_id"]] = src
+
+    # -- incoming protocol messages --------------------------------------- #
+
+    def _defer_if_lagging(self, nid: int, kind: str,
+                          payload: Dict[str, Any]) -> bool:
+        """Queue a coherence message that raced ahead of a policy switch.
+
+        A member that has not yet delivered the switch establishing the
+        current primary regime must not apply (or discard state for)
+        coherence traffic from that regime: the totally-ordered writes the
+        switch is sequenced after may still be undelivered locally.
+        """
+        obj_id = payload["obj_id"]
+        key = (nid, obj_id)
+        if self._node_epoch.get(key, 0) >= self._epoch_by_obj.get(obj_id, 0):
+            return False
+        self._deferred.setdefault(key, []).append((kind, payload))
+        return True
+
+    def _flush_deferred(self, node_id: int, obj_id: int) -> None:
+        handlers = {
+            "invalidate": self._on_invalidate,
+            "update": self._on_update,
+            "unlock": self._on_unlock,
+        }
+        for kind, payload in self._deferred.pop((node_id, obj_id), []):
+            if self._mechanism_of(obj_id) == MECHANISM_PRIMARY:
+                handlers[kind](node_id, payload)
+            elif "txn_id" in payload:
+                # The regime that sent this message is gone; acknowledge so
+                # its primary (if still waiting) is not left hanging.
+                self.send_ack(node_id, payload["txn_id"])
+
+    def _on_invalidate(self, nid: int, payload: Dict[str, Any]) -> None:
+        if self._defer_if_lagging(nid, "invalidate", payload):
+            return
+        self.protocols["invalidation"].handle_invalidate(nid, payload)
+
+    def _on_update(self, nid: int, payload: Dict[str, Any]) -> None:
+        if self._defer_if_lagging(nid, "update", payload):
+            return
+        self.protocols["update"].handle_update(nid, payload)
+
+    def _on_unlock(self, nid: int, payload: Dict[str, Any]) -> None:
+        if self._defer_if_lagging(nid, "unlock", payload):
+            return
+        self.protocols["update"].handle_unlock(nid, payload)
+
+    def _on_ack(self, nid: int, payload: Dict[str, Any]) -> None:
+        txn = self._transactions.get(payload["txn_id"])
+        if txn is None:
+            return
+        if txn.destinations:
+            # An ack only counts while its sender still owes one: a node
+            # that crashed with its ack in flight already had its debt
+            # released by the crash listener, and double-counting it would
+            # complete the fan-out before the live secondaries applied.
+            if payload.get("node") not in txn.destinations:
+                return
+            txn.destinations.discard(payload.get("node"))
+        txn.remaining -= 1
+        if txn.remaining <= 0 and txn.proc is not None:
+            txn.proc.wake()
+
+    def _on_node_crash(self, crashed: int) -> None:
+        """Release every acknowledgement the dead machine will never send."""
+        for txn in list(self._transactions.values()):
+            if crashed in txn.destinations:
+                txn.destinations.discard(crashed)
+                txn.remaining -= 1
+                if txn.remaining <= 0 and txn.proc is not None:
+                    txn.proc.wake()
+        # Its copies die with it: prune the directory so later fan-outs and
+        # migrations never count on the dead member.
+        for obj_id in self.directory.objects():
+            entry = self.directory.entry(obj_id)
+            if crashed != entry.primary_node:
+                entry.copyset.discard(crashed)
+
+    def _on_drop(self, nid: int, payload: Dict[str, Any]) -> None:
+        # A secondary informs the primary that it discarded its copy; the
+        # directory may already reflect this (the secondary updates it
+        # directly), so this is a tolerant no-op if so.
+        self.directory.entry(payload["obj_id"]).copyset.discard(payload["node"])
+
+    def protocol_for_secondary(self, name: str):
+        """Return the protocol object implementing secondary-side handling."""
+        try:
+            return self.protocols[name]
+        except KeyError:
+            raise RtsError(f"unknown coherence protocol {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Live migration between policies
+    # ------------------------------------------------------------------ #
+
+    def migrate(self, proc: "SimProcess", handle: ObjectHandle,
+                policy: Any, primary: Optional[int] = None) -> bool:
+        """Move ``handle`` under ``policy`` while the cluster runs.
+
+        ``primary`` pins the primary copy onto a specific (live,
+        copy-holding) node when migrating to primary-copy management; by
+        default the node with the most observed writes is chosen.  Note that
+        primary-copy management has no primary-failure recovery (as in the
+        paper), so callers racing node crashes should place the primary on a
+        node expected to survive.
+
+        Returns ``True`` when a migration was performed, ``False`` when the
+        object already runs under the requested policy or another migration
+        of it is still being delivered.  Sequential consistency holds across
+        the switch (see the module docstring for the argument).
+        """
+        target = management_policy(policy, default=self.default_policy)
+        if isinstance(target, AdaptivePolicy):
+            raise ConfigurationError(
+                "migrate() takes a fixed policy; attach adaptive control at "
+                "create_object(policy='adaptive') time")
+        obj_id = handle.obj_id
+        current = self._policy_by_obj[obj_id]
+        if target.name == current:
+            return False
+        # Two guards: one for a migrate() call still in its (possibly
+        # blocking) pre-switch phase, one for a broadcast switch still being
+        # delivered at some member.
+        if obj_id in self._migrate_in_progress:
+            return False
+        if obj_id in self._migrating and not self._migration_settled(obj_id):
+            return False
+        self._migrating.discard(obj_id)
+        current_mechanism = self._mechanism_of(obj_id)
+        self._migrate_in_progress.add(obj_id)
+        try:
+            if target.mechanism == current_mechanism == MECHANISM_PRIMARY:
+                # Same mechanism, different coherence protocol: pure
+                # bookkeeping, no broadcast needed (so this works on
+                # point-to-point-only networks too).  Secondary-side
+                # handling routes by message kind, so writes in flight
+                # under the old protocol complete untouched.
+                self._policy_by_obj[obj_id] = target.name
+                self.stats.migrations += 1
+                self.migrations.append(MigrationRecord(
+                    obj_id=obj_id, name=handle.name, target=target.name,
+                    epoch=self._epoch_by_obj.get(obj_id, 0),
+                    primary_node=self.directory.primary_of(obj_id)))
+                return True
+            # Mechanism changes ride the object's shard broadcast and may
+            # land it under primary-copy management: both wirings needed.
+            self._ensure_router()
+            self._ensure_primary_services()
+            self._migrating.add(obj_id)
+            if target.mechanism == MECHANISM_PRIMARY:
+                self._migrate_to_primary(proc, handle, target.name,
+                                         primary_override=primary)
+            else:
+                self._migrate_to_broadcast(proc, handle)
+            return True
+        finally:
+            self._migrate_in_progress.discard(obj_id)
+
+    def _migration_settled(self, obj_id: int) -> bool:
+        """Has every live member delivered the object's latest switch?"""
+        epoch = self._epoch_by_obj.get(obj_id, 0)
+        settled = all(
+            self._node_epoch.get((node.node_id, obj_id), 0) >= epoch
+            for node in self.cluster.nodes if node.alive)
+        if settled:
+            self._migrating.discard(obj_id)
+        return settled
+
+    def _choose_primary(self, obj_id: int, copyset: List[int]) -> int:
+        """The copy-holding live node with the most observed writes."""
+        decider = self.replication.decider
+
+        def writes_on(nid: int) -> int:
+            return decider.stats_for(obj_id, nid).total_writes
+
+        best = max(copyset, key=lambda nid: (writes_on(nid), -nid))
+        if writes_on(best) == 0:
+            creator = self._created_on.get(obj_id)
+            if creator in copyset:
+                return creator
+        return best
+
+    def _migrate_to_primary(self, proc: "SimProcess", handle: ObjectHandle,
+                            target: str,
+                            primary_override: Optional[int] = None) -> None:
+        """broadcast -> primary: flip routing, then switch in total order."""
+        obj_id = handle.obj_id
+        node = self._node_of(proc)
+        copyset = sorted(
+            n.node_id for n in self.cluster.nodes
+            if n.alive and self.managers[n.node_id].has_valid_copy(obj_id))
+        if not copyset:
+            raise RtsError(f"no live replica of object {obj_id} to migrate")
+        if primary_override is not None:
+            if primary_override not in copyset:
+                raise RtsError(
+                    f"node {primary_override} holds no live replica of "
+                    f"object {obj_id}; cannot become its primary")
+            primary = primary_override
+        else:
+            primary = self._choose_primary(obj_id, copyset)
+        epoch = self._epoch_by_obj.get(obj_id, 0) + 1
+        # Flip the global routing first: new writes head for the primary,
+        # where they wait until it has delivered the switch below.
+        self._epoch_by_obj[obj_id] = epoch
+        self._policy_by_obj[obj_id] = target
+        self._register_primary(obj_id, primary, copyset)
+        self.stats.migrations += 1
+        self.stats.migrations_to_primary += 1
+        self.migrations.append(MigrationRecord(
+            obj_id=obj_id, name=handle.name, target=target, epoch=epoch,
+            primary_node=primary))
+        self._broadcast_switch(proc, node, handle,
+                               ("switch", obj_id, target, primary, None, 0,
+                                epoch))
+
+    def _migrate_to_broadcast(self, proc: "SimProcess",
+                              handle: ObjectHandle) -> None:
+        """primary -> broadcast: freeze, snapshot, switch carrying the state."""
+        obj_id = handle.obj_id
+        node = self._node_of(proc)
+        primary = self.directory.primary_of(obj_id)
+        if node.node_id == primary:
+            state, version = self._freeze_and_snapshot(proc, primary, obj_id)
+        else:
+            state, version = self.cluster.rpc_for(node.node_id).call(
+                proc, primary, PORT_MIGRATE, payload={"obj_id": obj_id},
+                size=24)
+        epoch = self._epoch_by_obj.get(obj_id, 0) + 1
+        self._epoch_by_obj[obj_id] = epoch
+        self._policy_by_obj[obj_id] = "broadcast"
+        # New writes now route through the broadcast; ones sequenced before
+        # the switch below are dropped by the epoch check and re-issued.
+        self._frozen.discard(obj_id)
+        self.stats.migrations += 1
+        self.stats.migrations_to_broadcast += 1
+        self.migrations.append(MigrationRecord(
+            obj_id=obj_id, name=handle.name, target="broadcast", epoch=epoch,
+            primary_node=None))
+        self._broadcast_switch(proc, node, handle,
+                               ("switch", obj_id, "broadcast", -1, state,
+                                version, epoch),
+                               size=32 + estimate_size(state))
+
+    def _freeze_and_snapshot(self, proc: "SimProcess", primary: int,
+                             obj_id: int) -> Tuple[Any, int]:
+        """Drain in-flight writes at the primary, freeze it, snapshot state."""
+        self._await_switch(proc, primary, obj_id)
+        replica = self.managers[primary].get(obj_id)
+        while replica.locked:
+            replica.on_next_change(lambda p=proc: p.wake())
+            proc.suspend()
+        self._frozen.add(obj_id)
+        return replica.instance.marshal_state(), replica.version
+
+    def _serve_migrate(self, nid: int, request: RpcRequest) -> RpcReply:
+        proc = self.sim.current_process
+        if proc is None:
+            raise RtsError("migration freeze must run in a blocking context")
+        obj_id = request.payload["obj_id"]
+        state, version = self._freeze_and_snapshot(proc, nid, obj_id)
+        size = self.managers[nid].get(obj_id).instance.state_size() + 16
+        return RpcReply(payload=(state, version), size=size)
+
+    def _register_primary(self, obj_id: int, primary: int,
+                          copyset: List[int]) -> None:
+        try:
+            entry = self.directory.entry(obj_id)
+        except RtsError:
+            entry = self.directory.register(obj_id, primary)
+        entry.primary_node = primary
+        entry.copyset = set(copyset) | {primary}
+
+    def _broadcast_switch(self, proc: "SimProcess", node: "Node",
+                          handle: ObjectHandle, payload: Tuple[Any, ...],
+                          size: int = 64) -> None:
+        """Send the switch through the object's shard and await local delivery."""
+        shard = self.shard_of(handle)
+        self.router.shard_stats[shard].note_migration()
+        invocation_id = next(self._invocation_ids)
+        self._pending[invocation_id] = _PendingWrite(proc=proc)
+        proc.advance(self.cost_model.cpu.operation_dispatch_cost)
+        proc.absorb_overhead(node.drain_overhead())
+        proc.flush()
+        self.router.group_for(shard).member(node.node_id).broadcast(
+            payload + (invocation_id,), size=size)
+        proc.suspend()
+        self._pending.pop(invocation_id, None)
+        proc.absorb_overhead(node.drain_overhead())
+
+    def _apply_switch(self, node_id: int, payload: Tuple[Any, ...],
+                      origin: int) -> None:
+        """One member's totally-ordered switch point for one object."""
+        (_, obj_id, target, primary_node, state, version, epoch,
+         invocation_id) = payload
+        key = (node_id, obj_id)
+        self._node_epoch[key] = epoch
+        manager = self.managers[node_id]
+        node = self.cluster.node(node_id)
+        node.charge_overhead(self.cost_model.cpu.operation_dispatch_cost)
+        replica = manager.replicas.get(obj_id)
+        if state is not None:
+            # primary -> broadcast: install the transferred snapshot.  Nodes
+            # holding a (secondary or primary) copy are updated in place so
+            # processes already waiting on the replica keep their hooks.
+            if replica is not None:
+                replica.instance.unmarshal_state(state)
+                replica.version = version
+                replica.valid = True
+                replica.is_primary = False
+                replica.locked = False
+                replica.notify_changed()
+            else:
+                instance = self.handle(obj_id).spec_class()
+                instance.unmarshal_state(state)
+                manager.install(obj_id, self.handle(obj_id).name, instance,
+                                version=version)
+                self.stats.replicas_created += 1
+            self._wake_replica_waiters(node_id, obj_id)
+        else:
+            # broadcast -> primary: the (identical) replicas become the
+            # primary and secondary copies; no state moves.
+            if replica is not None:
+                replica.is_primary = node_id == primary_node
+        self._flush_deferred(node_id, obj_id)
+        # Release this member's own pending pre-switch writes right away:
+        # deliveries arrive in sequence order, so a write of this object
+        # still pending here was not sequenced before the switch — it is
+        # guaranteed to be dropped by the epoch check at every member, and
+        # its client can re-issue under the new policy without waiting for
+        # the doomed broadcast to drain through the sequencer.
+        for pending_id, pending in list(self._pending.items()):
+            if (pending.obj_id == obj_id and pending.origin == node_id
+                    and pending.epoch < epoch):
+                self._resolve(pending_id, MIGRATED)
+        for proc in self._switch_waiters.pop(key, []):
+            proc.wake()
+        if origin == node_id:
+            self._resolve(invocation_id, None)
+        self._migration_settled(obj_id)
+
+    def _await_switch(self, proc: "SimProcess", node_id: int, obj_id: int) -> None:
+        """Block until ``node_id`` has delivered the object's latest switch."""
+        while (self._node_epoch.get((node_id, obj_id), 0)
+               < self._epoch_by_obj.get(obj_id, 0)):
+            key = (node_id, obj_id)
+            self._switch_waiters.setdefault(key, []).append(proc)
+            proc.suspend()
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def object_summary(self) -> Dict[str, Dict[str, Any]]:
+        summary = super().object_summary()
+        for handle in self.handles():
+            row = summary[handle.name]
+            row["policy"] = self._policy_by_obj[handle.obj_id]
+            if handle.obj_id in self._adaptive_by_obj:
+                row["adaptive"] = True
+            shard = self._shard_by_obj.get(handle.obj_id)
+            if shard is not None and self.num_shards > 1:
+                row["shard"] = shard
+        return summary
+
+    def read_write_summary(self) -> Dict[str, Any]:
+        summary = super().read_write_summary()
+        if self.router is not None and (self.num_shards > 1
+                                        or self.batching is not None):
+            summary["sharding"] = self.router.summary()
+            if self.batching is not None:
+                summary["batching"] = {
+                    "max_batch": self.batching.max_batch,
+                    "flush_delay": self.batching.flush_delay,
+                }
+        if self.stats.migrations:
+            summary["migrations"] = {
+                "total": self.stats.migrations,
+                "to_primary": self.stats.migrations_to_primary,
+                "to_broadcast": self.stats.migrations_to_broadcast,
+                "log": [(m.name, m.target, m.primary_node)
+                        for m in self.migrations],
+            }
+        return summary

@@ -11,7 +11,6 @@ dynamically from per-machine read/write-ratio statistics.
 from .directory import ObjectDirectory
 from .invalidation import InvalidationProtocol
 from .replication_policy import ReplicationPolicy
-from .runtime import PointToPointRts
 from .update import TwoPhaseUpdateProtocol
 
 __all__ = [
@@ -21,3 +20,13 @@ __all__ = [
     "ObjectDirectory",
     "ReplicationPolicy",
 ]
+
+
+def __getattr__(name):
+    # PointToPointRts is a shim over repro.rts.hybrid, which itself builds on
+    # this package's protocol modules; importing it lazily keeps the package
+    # importable from either direction.
+    if name == "PointToPointRts":
+        from .runtime import PointToPointRts
+        return PointToPointRts
+    raise AttributeError(name)

@@ -16,10 +16,25 @@ from ..object_model import OperationDef
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...sim.process import SimProcess
-    from .runtime import PointToPointRts
+    from ..hybrid import HybridRts
 
 #: Message kinds used by the invalidation protocol.
 KIND_INVALIDATE = "p2p.invalidate"
+
+
+def live_secondaries(rts: "HybridRts", obj_id: int) -> list:
+    """Secondary copy holders that are still alive.
+
+    A crashed machine can never acknowledge, so fanning out to it would
+    deadlock the primary; its directory entry is pruned instead.  (Objects
+    migrated from broadcast management inherit their copyset from the whole
+    cluster, which is how dead members can appear here.)
+    """
+    secondaries = rts.directory.secondaries_of(obj_id)
+    live = [n for n in secondaries if rts.cluster.node(n).alive]
+    for dead in set(secondaries) - set(live):
+        rts.directory.remove_copy(obj_id, dead)
+    return live
 
 
 class InvalidationProtocol:
@@ -27,7 +42,7 @@ class InvalidationProtocol:
 
     name = "invalidation"
 
-    def __init__(self, rts: "PointToPointRts") -> None:
+    def __init__(self, rts: "HybridRts") -> None:
         self.rts = rts
         self.invalidations_sent = 0
         self.writes_processed = 0
@@ -44,13 +59,14 @@ class InvalidationProtocol:
         primary_node = rts.directory.primary_of(obj_id)
         manager = rts.managers[primary_node]
         replica = manager.get(obj_id)
-        secondaries = rts.directory.secondaries_of(obj_id)
+        secondaries = live_secondaries(rts, obj_id)
         self.writes_processed += 1
 
         replica.locked = True
         try:
             if secondaries:
-                txn_id = rts.new_transaction(len(secondaries))
+                txn_id = rts.new_transaction(len(secondaries),
+                                             destinations=secondaries)
                 for node_id in secondaries:
                     self.invalidations_sent += 1
                     rts.stats.invalidations_sent += 1

@@ -1,50 +1,44 @@
-"""The point-to-point runtime system façade.
+"""The classic point-to-point runtime system, as a fixed-policy configuration.
 
-This RTS works on networks without hardware broadcast.  Every object has a
-primary copy; machines acquire and drop secondary copies dynamically based on
-their observed read/write ratio.  Reads hit a valid local copy when one
-exists and otherwise RPC to the primary; writes always go through the
-primary, which propagates them with either the invalidation protocol or the
-two-phase update protocol.
+.. deprecated::
+    :class:`PointToPointRts` is now a thin shim over
+    :class:`~repro.rts.hybrid.HybridRts` with every object pinned to the
+    primary-copy management policy matching the chosen coherence protocol.
+    Constructing it still works — and behaves exactly as before — but emits
+    a :class:`DeprecationWarning`; new code should build
+    ``HybridRts(cluster, default_policy="primary", protocol=...)`` (or pass
+    per-object policies) instead.
+
+The primary-copy design itself is unchanged: every object has a primary
+copy, machines acquire and drop secondary copies dynamically based on their
+observed read/write ratio, reads hit a valid local copy when one exists and
+otherwise RPC to the primary, and writes go through the primary, which
+propagates them with either the invalidation protocol or the two-phase
+update protocol.  The wire constants are re-exported here for existing
+imports.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Type
+import warnings
+from typing import TYPE_CHECKING
 
-from ...amoeba.message import estimate_size
-from ...amoeba.rpc import RpcReply, RpcRequest
-from ...errors import ConfigurationError, RtsError
-from ..base import ObjectHandle, RuntimeSystem
-from ..object_model import RETRY, ObjectSpec
-from .directory import ObjectDirectory
-from .invalidation import KIND_INVALIDATE, InvalidationProtocol
+from ..hybrid import (  # noqa: F401 - re-exported wire constants
+    KIND_ACK,
+    KIND_DROP,
+    PORT_FETCH,
+    PORT_MIGRATE,
+    PORT_READ,
+    PORT_WRITE,
+    HybridRts,
+)
 from .replication_policy import ReplicationPolicy
-from .update import KIND_UNLOCK, KIND_UPDATE, TwoPhaseUpdateProtocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...amoeba.cluster import Cluster
-    from ...sim.process import SimProcess
-
-KIND_ACK = "p2p.ack"
-KIND_DROP = "p2p.drop"
-
-PORT_READ = "orca.obj.read"
-PORT_WRITE = "orca.obj.write"
-PORT_FETCH = "orca.obj.fetch"
 
 
-@dataclass
-class _Transaction:
-    """Fan-out bookkeeping: one write waiting for its acknowledgements."""
-
-    remaining: int
-    proc: Optional["SimProcess"] = None
-
-
-class PointToPointRts(RuntimeSystem):
+class PointToPointRts(HybridRts):
     """Primary-copy shared objects over point-to-point messages."""
 
     name = "p2p-rts"
@@ -67,321 +61,17 @@ class PointToPointRts(RuntimeSystem):
             Eagerly give every machine a copy at object-creation time (used by
             benchmarks that isolate protocol costs from replication decisions).
         """
-        super().__init__(cluster)
-        if protocol == "update":
-            self.protocol = TwoPhaseUpdateProtocol(self)
-        elif protocol == "invalidation":
-            self.protocol = InvalidationProtocol(self)
-        else:
-            raise ConfigurationError(
-                f"unknown coherence protocol {protocol!r} (use 'update' or 'invalidation')"
-            )
-        self.directory = ObjectDirectory()
-        self.policy = ReplicationPolicy(self.cost_model.replication)
-        self.dynamic_replication = dynamic_replication
-        self.replicate_everywhere = replicate_everywhere
-        self._txn_ids = itertools.count(1)
-        self._transactions: Dict[int, _Transaction] = {}
-        #: txn_id -> node that must receive the acknowledgements (the primary).
-        self._ack_destinations: Dict[int, int] = {}
-        self._install_node_services()
+        if type(self) is PointToPointRts:
+            warnings.warn(
+                "PointToPointRts is deprecated; use HybridRts(cluster, "
+                "default_policy='primary', protocol=...) — the unified "
+                "runtime also accepts per-object policies and live migration",
+                DeprecationWarning, stacklevel=2)
+        super().__init__(cluster, default_policy="primary", protocol=protocol,
+                         dynamic_replication=dynamic_replication,
+                         replicate_everywhere=replicate_everywhere)
 
-    # ------------------------------------------------------------------ #
-    # Node wiring
-    # ------------------------------------------------------------------ #
-
-    def _install_node_services(self) -> None:
-        for node in self.cluster.nodes:
-            nid = node.node_id
-            node.register_handler(KIND_INVALIDATE,
-                                  lambda m, n=nid: self._on_invalidate(n, m.payload))
-            node.register_handler(KIND_UPDATE,
-                                  lambda m, n=nid: self._on_update(n, m.payload))
-            node.register_handler(KIND_UNLOCK,
-                                  lambda m, n=nid: self._on_unlock(n, m.payload))
-            node.register_handler(KIND_ACK,
-                                  lambda m, n=nid: self._on_ack(n, m.payload))
-            node.register_handler(KIND_DROP,
-                                  lambda m, n=nid: self._on_drop(n, m.payload))
-            rpc = self.cluster.rpc_for(nid)
-            rpc.register_service(PORT_READ,
-                                 lambda req, n=nid: self._serve_read(n, req))
-            rpc.register_service(PORT_WRITE,
-                                 lambda req, n=nid: self._serve_write(n, req),
-                                 may_block=True)
-            rpc.register_service(PORT_FETCH,
-                                 lambda req, n=nid: self._serve_fetch(n, req),
-                                 may_block=True)
-
-    # ------------------------------------------------------------------ #
-    # Public API
-    # ------------------------------------------------------------------ #
-
-    def create_object(self, proc: "SimProcess", spec_class: Type[ObjectSpec],
-                      args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
-                      name: Optional[str] = None) -> ObjectHandle:
-        """Create an object whose primary copy lives on the caller's machine."""
-        node = self._node_of(proc)
-        handle = self._new_handle(spec_class, name)
-        instance = spec_class.create(args, kwargs)
-        self.managers[node.node_id].install(handle.obj_id, handle.name, instance,
-                                            is_primary=True)
-        self.directory.register(handle.obj_id, node.node_id)
-        self.stats.replicas_created += 1
-        proc.advance(self.cost_model.cpu.operation_dispatch_cost)
-        if self.replicate_everywhere:
-            for other in self.cluster.nodes:
-                if other.node_id != node.node_id:
-                    self.replicate_to(handle, other.node_id)
-        return handle
-
-    def replicate_to(self, handle: ObjectHandle, node_id: int) -> None:
-        """Eagerly install a secondary copy on ``node_id`` (no cost charged)."""
-        primary = self.directory.primary_of(handle.obj_id)
-        source = self.managers[primary].get(handle.obj_id)
-        if self.managers[node_id].has_valid_copy(handle.obj_id):
-            return
-        copy = handle.spec_class()
-        copy.unmarshal_state(source.instance.marshal_state())
-        self.managers[node_id].discard(handle.obj_id)
-        self.managers[node_id].install(handle.obj_id, handle.name, copy,
-                                       version=source.version)
-        self.directory.add_copy(handle.obj_id, node_id)
-        self.stats.replicas_created += 1
-
-    def _invoke(self, proc: "SimProcess", handle: ObjectHandle, op_name: str,
-                args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> Any:
-        node = self._node_of(proc)
-        nid = node.node_id
-        op = handle.spec_class.operation_def(op_name)
-        cpu = self.cost_model.cpu
-        proc.advance(cpu.operation_dispatch_cost)
-        if op.work_units:
-            proc.compute(op.work_units)
-        proc.absorb_overhead(node.drain_overhead())
-
-        if not op.is_write:
-            self.policy.note_read(handle.obj_id, nid)
-            result = self._do_read(proc, nid, handle, op, args, kwargs)
-        else:
-            self.policy.note_write(handle.obj_id, nid)
-            self.stats.note_write(handle.obj_id)
-            result = self._do_write(proc, nid, handle, op, args, kwargs)
-
-        if self.dynamic_replication:
-            self._apply_replication_policy(proc, nid, handle)
-        return result
-
-    # ------------------------------------------------------------------ #
-    # Reads
-    # ------------------------------------------------------------------ #
-
-    def _do_read(self, proc: "SimProcess", nid: int, handle: ObjectHandle,
-                 op, args, kwargs) -> Any:
-        manager = self.managers[nid]
-        if manager.has_valid_copy(handle.obj_id):
-            replica = manager.get(handle.obj_id)
-            # Reads wait while the copy is locked by an in-flight update.
-            while replica.locked:
-                replica.on_next_change(lambda p=proc: p.wake())
-                proc.suspend()
-            while True:
-                result = manager.execute_read(handle.obj_id, op, args, kwargs)
-                if result is not RETRY:
-                    break
-                self.stats.guard_retries += 1
-                replica.on_next_change(lambda p=proc: p.wake())
-                proc.suspend()
-            self.stats.note_read(handle.obj_id, local=True)
-            return result
-        # No local copy: remote read at the primary.
-        primary = self.directory.primary_of(handle.obj_id)
-        self.stats.note_read(handle.obj_id, local=False)
-        while True:
-            result = self.cluster.rpc_for(nid).call(
-                proc, primary, PORT_READ,
-                payload={"obj_id": handle.obj_id, "op_name": op.name,
-                         "args": args, "kwargs": kwargs or {}},
-                size=16 + estimate_size(args),
-            )
-            if not (isinstance(result, str) and result == "__retry__"):
-                return result
-            self.stats.guard_retries += 1
-            proc.hold(self.cost_model.cpu.protocol_cost * 4)
-
-    def _serve_read(self, nid: int, request: RpcRequest) -> Any:
-        payload = request.payload
-        handle = self.handle(payload["obj_id"])
-        op = handle.spec_class.operation_def(payload["op_name"])
-        manager = self.managers[nid]
-        result = manager.execute_read(payload["obj_id"], op, payload["args"],
-                                      payload["kwargs"])
-        if result is RETRY:
-            return "__retry__"
-        return result
-
-    # ------------------------------------------------------------------ #
-    # Writes
-    # ------------------------------------------------------------------ #
-
-    def _do_write(self, proc: "SimProcess", nid: int, handle: ObjectHandle,
-                  op, args, kwargs) -> Any:
-        primary = self.directory.primary_of(handle.obj_id)
-        while True:
-            if primary == nid:
-                self.stats.local_writes += 1
-                result = self.protocol.primary_write(proc, handle.obj_id, op, args, kwargs)
-            else:
-                self.stats.rpc_writes += 1
-                result = self.cluster.rpc_for(nid).call(
-                    proc, primary, PORT_WRITE,
-                    payload={"obj_id": handle.obj_id, "op_name": op.name,
-                             "args": args, "kwargs": kwargs or {}},
-                    size=16 + estimate_size(args) + estimate_size(kwargs or {}),
-                )
-                if isinstance(result, str) and result == "__retry__":
-                    result = RETRY
-            if result is not RETRY:
-                return result
-            # Guarded write rejected: wait a little and retry against the primary.
-            self.stats.guard_retries += 1
-            proc.hold(self.cost_model.cpu.protocol_cost * 4)
-
-    def _serve_write(self, nid: int, request: RpcRequest) -> Any:
-        payload = request.payload
-        handle = self.handle(payload["obj_id"])
-        op = handle.spec_class.operation_def(payload["op_name"])
-        proc = self.sim.current_process
-        if proc is None:
-            raise RtsError("write handler must run in a blocking-capable context")
-        result = self.protocol.primary_write(proc, payload["obj_id"], op,
-                                             payload["args"], payload["kwargs"])
-        if result is RETRY:
-            return "__retry__"
-        return result
-
-    # ------------------------------------------------------------------ #
-    # Dynamic replication
-    # ------------------------------------------------------------------ #
-
-    def _apply_replication_policy(self, proc: "SimProcess", nid: int,
-                                  handle: ObjectHandle) -> None:
-        manager = self.managers[nid]
-        has_copy = manager.has_valid_copy(handle.obj_id)
-        is_primary = self.directory.primary_of(handle.obj_id) == nid
-        if self.policy.should_fetch_copy(handle.obj_id, nid, has_copy):
-            self._fetch_copy(proc, nid, handle)
-        elif self.policy.should_drop_copy(handle.obj_id, nid, has_copy, is_primary):
-            manager.discard(handle.obj_id)
-            self.directory.remove_copy(handle.obj_id, nid)
-            self.stats.replicas_dropped += 1
-            primary = self.directory.primary_of(handle.obj_id)
-            self.send_protocol_message(nid, primary, KIND_DROP,
-                                       {"obj_id": handle.obj_id, "node": nid})
-
-    def _fetch_copy(self, proc: "SimProcess", nid: int, handle: ObjectHandle) -> None:
-        """Fetch the object state from the primary and install a local copy."""
-        primary = self.directory.primary_of(handle.obj_id)
-        if primary == nid:
-            return
-        reply = self.cluster.rpc_for(nid).call(
-            proc, primary, PORT_FETCH,
-            payload={"obj_id": handle.obj_id, "requester": nid},
-            size=24,
-        )
-        state, version = reply
-        instance = handle.spec_class()
-        instance.unmarshal_state(state)
-        manager = self.managers[nid]
-        manager.discard(handle.obj_id)
-        manager.install(handle.obj_id, handle.name, instance, version=version)
-        self.stats.replicas_created += 1
-
-    def _serve_fetch(self, nid: int, request: RpcRequest) -> RpcReply:
-        payload = request.payload
-        obj_id = payload["obj_id"]
-        manager = self.managers[nid]
-        replica = manager.get(obj_id)
-        proc = self.sim.current_process
-        # Do not hand out state in the middle of a write's critical section.
-        while replica.locked and proc is not None:
-            replica.on_next_change(lambda p=proc: p.wake())
-            proc.suspend()
-        self.directory.add_copy(obj_id, payload["requester"])
-        state = replica.instance.marshal_state()
-        return RpcReply(payload=(state, replica.version),
-                        size=replica.instance.state_size() + 16)
-
-    # ------------------------------------------------------------------ #
-    # Protocol plumbing used by the coherence strategies
-    # ------------------------------------------------------------------ #
-
-    def new_transaction(self, expected_acks: int) -> int:
-        txn_id = next(self._txn_ids)
-        self._transactions[txn_id] = _Transaction(remaining=expected_acks)
-        return txn_id
-
-    def await_acks(self, proc: "SimProcess", txn_id: int) -> None:
-        txn = self._transactions[txn_id]
-        if txn.remaining > 0:
-            txn.proc = proc
-            proc.suspend()
-        del self._transactions[txn_id]
-
-    def send_ack(self, from_node: int, txn_id: int) -> None:
-        primary_node = self._ack_destinations.get(txn_id)
-        if primary_node is None:
-            return
-        self.send_protocol_message(from_node, primary_node, KIND_ACK,
-                                   {"txn_id": txn_id})
-
-    def send_protocol_message(self, src: int, dst: int, kind: str,
-                              payload: Dict[str, Any]) -> None:
-        if kind in (KIND_UPDATE,):
-            size = 32 + estimate_size(payload.get("args", ())) + estimate_size(
-                payload.get("kwargs", {}))
-        else:
-            size = 32
-        node = self.cluster.node(src)
-        msg = node.make_message(dst, kind, payload=payload, size=size)
-        node.send(msg)
-        if kind in (KIND_INVALIDATE, KIND_UPDATE):
-            self._ack_destinations[payload["txn_id"]] = src
-
-    # ------------------------------------------------------------------ #
-    # Incoming protocol messages
-    # ------------------------------------------------------------------ #
-
-    def _on_invalidate(self, nid: int, payload: Dict[str, Any]) -> None:
-        self.protocol_for_secondary("invalidation").handle_invalidate(nid, payload)
-
-    def _on_update(self, nid: int, payload: Dict[str, Any]) -> None:
-        self.protocol_for_secondary("update").handle_update(nid, payload)
-
-    def _on_unlock(self, nid: int, payload: Dict[str, Any]) -> None:
-        self.protocol_for_secondary("update").handle_unlock(nid, payload)
-
-    def _on_ack(self, nid: int, payload: Dict[str, Any]) -> None:
-        txn = self._transactions.get(payload["txn_id"])
-        if txn is None:
-            return
-        txn.remaining -= 1
-        if txn.remaining <= 0 and txn.proc is not None:
-            txn.proc.wake()
-
-    def _on_drop(self, nid: int, payload: Dict[str, Any]) -> None:
-        # A secondary informs the primary that it discarded its copy; the
-        # directory may already reflect this (the secondary updates it
-        # directly), so this is a tolerant no-op if so.
-        self.directory.entry(payload["obj_id"]).copyset.discard(payload["node"])
-
-    def protocol_for_secondary(self, name: str):
-        """Return the protocol object implementing secondary-side handling."""
-        if self.protocol.name == name:
-            return self.protocol
-        # A secondary can receive messages only from the configured protocol;
-        # getting here means a mismatch worth failing loudly on.
-        raise RtsError(
-            f"received a {name!r} protocol message but this RTS runs "
-            f"{self.protocol.name!r}"
-        )
+    @property
+    def policy(self) -> ReplicationPolicy:
+        """The dynamic replication policy (classic attribute name)."""
+        return self.replication

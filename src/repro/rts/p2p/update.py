@@ -13,10 +13,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..object_model import OperationDef
+from .invalidation import live_secondaries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...sim.process import SimProcess
-    from .runtime import PointToPointRts
+    from ..hybrid import HybridRts
 
 #: Message kinds used by the two-phase update protocol.
 KIND_UPDATE = "p2p.update"
@@ -28,7 +29,7 @@ class TwoPhaseUpdateProtocol:
 
     name = "update"
 
-    def __init__(self, rts: "PointToPointRts") -> None:
+    def __init__(self, rts: "HybridRts") -> None:
         self.rts = rts
         self.updates_sent = 0
         self.unlocks_sent = 0
@@ -41,14 +42,15 @@ class TwoPhaseUpdateProtocol:
         primary_node = rts.directory.primary_of(obj_id)
         manager = rts.managers[primary_node]
         replica = manager.get(obj_id)
-        secondaries = rts.directory.secondaries_of(obj_id)
+        secondaries = live_secondaries(rts, obj_id)
         self.writes_processed += 1
 
         replica.locked = True
         try:
             if secondaries:
                 # Phase 1: ship the operation, wait until everyone applied it.
-                txn_id = rts.new_transaction(len(secondaries))
+                txn_id = rts.new_transaction(len(secondaries),
+                                             destinations=secondaries)
                 for node_id in secondaries:
                     self.updates_sent += 1
                     rts.stats.updates_sent += 1

@@ -59,16 +59,23 @@ class ShardStats:
     """
 
     creates: int = 0
+    #: Write *invocations* routed to the shard (one per invocation, however
+    #: many broadcasts guard retries cost — matching the per-object counts).
     writes: int = 0
     batches: int = 0
     batched_ops: int = 0
     max_batch: int = 0
+    #: Policy switches ordered through this shard's broadcast group.
+    migrations: int = 0
 
     def note_create(self) -> None:
         self.creates += 1
 
     def note_write(self) -> None:
         self.writes += 1
+
+    def note_migration(self) -> None:
+        self.migrations += 1
 
     def note_batch(self, ops: int) -> None:
         self.batches += 1
@@ -81,7 +88,7 @@ class ShardStats:
         return self.batched_ops / self.batches if self.batches else 0.0
 
     def summary(self) -> Dict[str, Any]:
-        return {
+        digest = {
             "creates": self.creates,
             "writes": self.writes,
             "batches": self.batches,
@@ -89,6 +96,9 @@ class ShardStats:
             "max_batch": self.max_batch,
             "mean_batch": round(self.mean_batch, 3),
         }
+        if self.migrations:
+            digest["migrations"] = self.migrations
+        return digest
 
 
 @dataclass

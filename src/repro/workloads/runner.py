@@ -32,24 +32,28 @@ from ..config import ClusterConfig
 from ..errors import ConfigurationError
 from ..metrics.latency import LatencyRecorder
 from ..rts.base import RuntimeSystem
-from ..rts.broadcast_rts import BroadcastRts
-from ..rts.p2p.runtime import PointToPointRts
+from ..rts.hybrid import HybridRts
+from ..rts.policy import DEFAULT_POLICY_FOR_KIND
 from ..rts.sharding import batching_params
 from .scenarios import Scenario, ScenarioRegistry
 from .spec import WorkloadSpec, request_stream
 
-#: Every runtime kind the runner can sweep.
-RUNTIME_KINDS = ("broadcast", "p2p", "central", "ivy")
+#: Every runtime kind the runner can sweep.  ``broadcast``/``p2p`` are the
+#: fixed-policy configurations of the unified runtime; ``adaptive`` lets
+#: every object migrate between the policies on its observed read/write mix.
+RUNTIME_KINDS = ("broadcast", "p2p", "central", "ivy", "adaptive")
+
+#: Runtime kinds that may need the totally-ordered broadcast groups.
+_BROADCAST_CAPABLE = ("broadcast", "adaptive")
 
 
 def build_runtime(cluster: Cluster, kind: str,
                   options: Optional[Dict[str, Any]] = None) -> RuntimeSystem:
-    """Instantiate one of the four runtime systems on ``cluster``."""
+    """Instantiate one of the runtime systems on ``cluster``."""
     options = dict(options or {})
-    if kind == "broadcast":
-        return BroadcastRts(cluster, **options)
-    if kind == "p2p":
-        return PointToPointRts(cluster, **options)
+    if kind in DEFAULT_POLICY_FOR_KIND:
+        options.setdefault("default_policy", DEFAULT_POLICY_FOR_KIND[kind])
+        return HybridRts(cluster, **options)
     if kind == "central":
         return CentralServerRts(cluster, **options)
     if kind == "ivy":
@@ -59,8 +63,9 @@ def build_runtime(cluster: Cluster, kind: str,
 
 
 def network_type_for(kind: str) -> str:
-    """Broadcast needs the shared Ethernet; the rest run point-to-point."""
-    return "ethernet" if kind == "broadcast" else "switched"
+    """Broadcast-capable kinds need the shared Ethernet; the rest run
+    point-to-point."""
+    return "ethernet" if kind in _BROADCAST_CAPABLE else "switched"
 
 
 @dataclass
@@ -96,6 +101,15 @@ class WorkloadReport:
         summary = self.request_latency.get(kind, {})
         return {key: summary.get(key, 0.0) for key in ("p50", "p95", "p99", "mean")}
 
+    def object_rows(self) -> Dict[str, Dict[str, Any]]:
+        """The runtime's reconciled per-object summary (reads/writes/policy)."""
+        return dict(self.rts_summary.get("per_object", {}))
+
+    def final_policies(self) -> Dict[str, str]:
+        """Object name -> management policy at the end of the run."""
+        return {name: row.get("policy", "?")
+                for name, row in self.object_rows().items()}
+
     def fingerprint(self) -> Dict[str, Any]:
         """A stable, rounded digest used by determinism checks and tests."""
         overall = self.percentile_row()
@@ -114,6 +128,9 @@ class WorkloadReport:
             "p99": round(overall["p99"], 9),
             "messages": self.network.get("messages"),
             "facts": dict(sorted(self.scenario_facts.items())),
+            # Where every object ended up (policy switches are part of the
+            # behaviour the determinism regression must pin down).
+            "policies": dict(sorted(self.final_policies().items())),
         }
 
 
@@ -125,7 +142,11 @@ class WorkloadRunner:
                  clients_per_node: int = 1, seed: int = 42,
                  num_shards: int = 1, batching: Optional[Any] = None,
                  rts_options: Optional[Dict[str, Any]] = None,
-                 config: Optional[ClusterConfig] = None) -> None:
+                 config: Optional[ClusterConfig] = None,
+                 network_type: Optional[str] = None) -> None:
+        """``network_type`` overrides the runtime's natural interconnect
+        (e.g. run the p2p runtime on the shared Ethernet so a cross-runtime
+        comparison holds the hardware fixed)."""
         if runtime not in RUNTIME_KINDS:
             raise ConfigurationError(
                 f"unknown runtime kind {runtime!r} (use one of {RUNTIME_KINDS})")
@@ -137,11 +158,12 @@ class WorkloadRunner:
         self.clients_per_node = clients_per_node
         self.seed = seed
         self.rts_options = dict(rts_options or {})
-        # Sharding and batching are sweep axes of the broadcast RTS only.
+        # Sharding and batching are sweep axes of the broadcast mechanism.
         if num_shards != 1 or batching is not None:
-            if runtime != "broadcast":
+            if runtime not in _BROADCAST_CAPABLE:
                 raise ConfigurationError(
-                    "num_shards / batching only apply to the broadcast runtime")
+                    "num_shards / batching only apply to broadcast-capable "
+                    f"runtimes {_BROADCAST_CAPABLE}")
             if num_shards != 1:
                 self.rts_options.setdefault("num_shards", num_shards)
             if batching is not None:
@@ -149,13 +171,14 @@ class WorkloadRunner:
         self.num_shards = int(self.rts_options.get("num_shards", 1))
         self.batching = self.rts_options.get("batching")
         self.config = config
+        self.network_type = network_type or network_type_for(runtime)
 
     # ------------------------------------------------------------------ #
 
     def run(self) -> WorkloadReport:
         """Execute the workload to completion; returns the full report."""
         config = self.config or ClusterConfig(num_nodes=self.num_nodes, seed=self.seed)
-        cluster = Cluster(config, network_type=network_type_for(self.runtime_kind))
+        cluster = Cluster(config, network_type=self.network_type)
         try:
             return self._run_on(cluster)
         finally:

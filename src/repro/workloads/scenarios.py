@@ -16,7 +16,10 @@ cluster-benchmark literature care about:
   this the broadcast-heaviest scenario);
 * ``read-mostly-catalog`` — a preloaded dictionary served almost exclusively
   to readers (replication's best case);
-* ``hot-spot``       — every request hits one cell (contention's worst case).
+* ``hot-spot``       — every request hits one cell (contention's worst case);
+* ``policy-mix``     — a read-mostly catalog next to a write-hot ledger,
+  with the ledger pinned to primary-copy management on runtimes that honour
+  per-object policies (one cluster, two management strategies at once).
 
 New kinds register themselves with :class:`ScenarioRegistry` via the
 :func:`scenario` class decorator.
@@ -260,6 +263,52 @@ class ReadMostlyCatalog(Scenario):
         assert size == self.spec.num_keys, (
             f"catalog size changed: {size} != {self.spec.num_keys}")
         return {"catalog_size": size}
+
+
+@scenario("policy-mix")
+class PolicyMix(Scenario):
+    """A read-mostly catalog and a write-hot ledger under different policies.
+
+    Reads look up catalog entries (the replication-friendly traffic); writes
+    increment one shared ledger (the replication-hostile traffic).  The
+    ledger is created with ``policy="primary-invalidate"`` so that, on the
+    unified runtime, the two objects run under different management
+    strategies in the same cluster; runtimes that manage every object one
+    way accept the policy argument and ignore it.
+    """
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(name=cls.kind, num_keys=16, read_fraction=0.9,
+                            popularity="zipfian", zipf_s=1.1)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        catalog = rts.create_object(proc, DictObject, name="catalog")
+        for key in range(self.spec.num_keys):
+            rts.invoke(proc, catalog, "store", (f"k{key}", 0))
+        ledger = rts.create_object(proc, IntObject, (0,), name="ledger",
+                                   policy="primary-invalidate")
+        self.handles = [catalog, ledger]
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        catalog, ledger = self.handles
+        if request.is_write:
+            return rts.invoke(proc, ledger, "add", (1,))
+        return rts.invoke(proc, catalog, "lookup", (f"k{request.key}",))
+
+    def validate(self, rts, proc, totals):
+        catalog, ledger = self.handles
+        total = rts.invoke(proc, ledger, "read")
+        size = rts.invoke(proc, catalog, "size")
+        assert total == totals["writes"], (
+            f"ledger lost updates: {total} != {totals['writes']}")
+        assert size == self.spec.num_keys, (
+            f"catalog size changed: {size} != {self.spec.num_keys}")
+        facts = {"ledger_total": total, "catalog_size": size}
+        policy_of = getattr(rts, "policy_of", None)
+        if policy_of is not None:
+            facts["policies"] = {h.name: policy_of(h) for h in self.handles}
+        return facts
 
 
 @scenario("hot-spot")

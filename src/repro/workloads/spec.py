@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from bisect import bisect_left
 from dataclasses import dataclass, field, replace
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 
@@ -73,6 +73,14 @@ class WorkloadSpec:
     read_fraction:
         Probability that a request is a read (scenario kinds map read/write
         requests onto concrete operations).
+    hot_keys / hot_read_fraction:
+        Key-correlated mix: requests touching the first ``hot_keys`` keys
+        (the most popular ones under Zipfian selection) draw their
+        read/write decision from ``hot_read_fraction`` instead.  This is the
+        "read-mostly catalog plus write-hot keys" shape that gives different
+        objects genuinely different read/write ratios — the input the
+        adaptive management policy feeds on.  ``hot_keys=0`` (default)
+        disables the correlation.
     client_model:
         ``"closed"`` (think-time loop) or ``"open"`` (Poisson arrivals).
     ops_per_client:
@@ -93,6 +101,8 @@ class WorkloadSpec:
     popularity: str = "uniform"
     zipf_s: float = 1.1
     read_fraction: float = 0.9
+    hot_keys: int = 0
+    hot_read_fraction: Optional[float] = None
     client_model: str = "closed"
     ops_per_client: int = 50
     think_time: float = 0.0
@@ -111,6 +121,16 @@ class WorkloadSpec:
                 f"read_fraction must be in [0, 1], got {self.read_fraction}")
         if self.num_keys < 1:
             raise ConfigurationError(f"num_keys must be >= 1, got {self.num_keys}")
+        if not 0 <= self.hot_keys <= self.num_keys:
+            raise ConfigurationError(
+                f"hot_keys must be in [0, num_keys], got {self.hot_keys}")
+        if self.hot_keys and self.hot_read_fraction is None:
+            raise ConfigurationError(
+                "hot_keys needs hot_read_fraction to give the hot keys a mix")
+        if (self.hot_read_fraction is not None
+                and not 0.0 <= self.hot_read_fraction <= 1.0):
+            raise ConfigurationError(
+                f"hot_read_fraction must be in [0, 1], got {self.hot_read_fraction}")
         if self.client_model == "open" and self.arrival_rate <= 0:
             raise ConfigurationError("open-loop workloads need arrival_rate > 0")
 
@@ -199,7 +219,13 @@ def request_stream(spec: WorkloadSpec, rng: random.Random) -> Iterator[Request]:
     for phase_index, phase in enumerate(spec.resolved_phases()):
         for _ in range(phase.ops_per_client):
             key = sampler.sample(rng)
-            is_write = rng.random() >= phase.read_fraction
+            # One mix draw per request in a fixed order (so the stream is
+            # identical across configurations); the threshold it is compared
+            # against may be key-correlated (hot keys write-hot, say).
+            read_fraction = phase.read_fraction
+            if key < spec.hot_keys:
+                read_fraction = spec.hot_read_fraction
+            is_write = rng.random() >= read_fraction
             yield Request(seq=seq, key=key, is_write=is_write, phase=phase_index)
             seq += 1
 

@@ -10,7 +10,7 @@ from repro.workloads import PollableQueue, Scenario, ScenarioRegistry, WorkloadS
 from repro.workloads.scenarios import scenario
 
 BUILTIN_KINDS = ["counter-farm", "fifo-queue", "hot-spot", "kv-table",
-                 "read-mostly-catalog"]
+                 "policy-mix", "read-mostly-catalog"]
 
 
 class TestRegistry:
