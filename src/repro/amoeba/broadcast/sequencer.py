@@ -308,6 +308,18 @@ class Sequencer:
             self._arm_sync()
 
     @property
+    def queue_depth(self) -> int:
+        """Messages currently waiting for ordering service.
+
+        Exported (with :attr:`max_queue_depth`, the high-water mark) as the
+        load signal that batch-aware flow control and the shard-rebalancing
+        planner read: a deep queue means this sequencer is the shard the
+        senders should back off from — and the shard the rebalancer should
+        move objects away from.
+        """
+        return len(self._service_queue)
+
+    @property
     def highest_assigned(self) -> int:
         return self.next_seq - 1
 

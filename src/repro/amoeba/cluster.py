@@ -88,12 +88,25 @@ class Cluster:
         namespaced by that id, so groups order, recover and elect
         independently.  ``sequencer_node_id`` picks the initial sequencer
         seat (the sharding layer spreads seats round-robin over the nodes).
+
+        Groups can be added while the cluster runs: every node's member
+        endpoint joins (and registers the group's wire-kind namespace)
+        immediately, so live scale-out of the shard set needs no restart.
+        The only requirement is a live machine for the initial seat.
         """
         from .broadcast.group import BroadcastGroup  # deferred import
 
+        seat = (self.nodes[0].node_id if sequencer_node_id is None
+                else sequencer_node_id)
+        if not 0 <= seat < len(self.nodes):
+            raise ConfigurationError(
+                f"node {seat} does not exist; cannot host a sequencer seat")
+        if not self.nodes[seat].alive:
+            raise ConfigurationError(
+                f"node {seat} is crashed and cannot host a new sequencer seat")
         group_id = len(self.broadcast_groups)
         group = BroadcastGroup(self, params=params, group_id=group_id,
-                               sequencer_node_id=sequencer_node_id)
+                               sequencer_node_id=seat)
         self.broadcast_groups[group_id] = group
         return group
 

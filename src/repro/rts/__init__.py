@@ -26,7 +26,7 @@ programming layer and the applications are agnostic of policy choices.
 
 from .object_model import ObjectSpec, OperationDef, operation
 from .manager import ObjectManager, Replica
-from .hybrid import HybridRts, MigrationRecord
+from .hybrid import HybridRts, MigrationRecord, ShardMoveRecord
 from .policy import (
     AdaptiveParams,
     AdaptivePolicy,
@@ -40,6 +40,9 @@ from .sharding import (
     BatchingParams,
     ExplicitPlacement,
     HashPlacement,
+    RebalanceMove,
+    RebalanceParams,
+    RebalancePlanner,
     ShardRouter,
     ShardingPolicy,
 )
@@ -53,6 +56,7 @@ __all__ = [
     "Replica",
     "HybridRts",
     "MigrationRecord",
+    "ShardMoveRecord",
     "ManagementPolicy",
     "BroadcastReplicated",
     "PrimaryCopyInvalidate",
@@ -67,4 +71,7 @@ __all__ = [
     "HashPlacement",
     "ExplicitPlacement",
     "ShardRouter",
+    "RebalanceMove",
+    "RebalanceParams",
+    "RebalancePlanner",
 ]

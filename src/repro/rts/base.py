@@ -48,6 +48,9 @@ class RtsStats:
     #: Ordered broadcasts that carried a write batch (so
     #: ``broadcast_writes / batches_sent`` is the overall batching factor).
     batches_sent: int = 0
+    #: Ready batches held back because the shard sequencer's queue exceeded
+    #: the flow-control threshold (see BatchingParams.backpressure_depth).
+    flow_control_holds: int = 0
     rpc_writes: int = 0
     guard_retries: int = 0
     replicas_created: int = 0
@@ -59,6 +62,11 @@ class RtsStats:
     migrations: int = 0
     migrations_to_primary: int = 0
     migrations_to_broadcast: int = 0
+    #: Cross-group moves (drain-and-switch), live group additions, and
+    #: primary-seat relocations performed by the rebalancing layer.
+    shard_moves: int = 0
+    shards_added: int = 0
+    primary_relocations: int = 0
     per_object_reads: Dict[int, int] = field(default_factory=dict)
     per_object_writes: Dict[int, int] = field(default_factory=dict)
 

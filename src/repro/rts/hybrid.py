@@ -54,6 +54,45 @@ applied on both sides of it (epoch-mismatched broadcasts are dropped and
 re-issued; primary writes wait for the switch to land), and (c) every
 member's replica passes through the switch state before serving post-switch
 operations.
+
+Cross-group rebalancing (drain-and-switch)
+------------------------------------------
+
+A policy switch moves an object between management mechanisms; a **shard
+move** (:meth:`HybridRts.move_shard`) moves it between *total orders* — from
+one broadcast group's sequencer to another's — so a skewed workload can be
+spread off a melting sequencer at run time.  The same epoch machinery
+carries it, with one extra barrier:
+
+* the initiator bumps the object's epoch and rewrites the router's mapping
+  (new writes are stamped with the new epoch and broadcast in the
+  *destination* group), then broadcasts a ``shard-switch`` through the
+  **source** group and a ``shard-arrive`` through the **destination** group;
+* the source switch is the drain point: total order in the source group
+  guarantees every member retires the old route after the same set of
+  writes; stale-epoch writes sequenced behind it are dropped identically
+  everywhere and re-issued by their origin into the destination order (the
+  origin's doomed pending writes are released early, exactly like a policy
+  switch);
+* destination-group writes carrying the *new* epoch can reach a member
+  before that member has delivered the source switch (the two groups share
+  no ordering).  Such writes are **deferred**, per member, and applied — in
+  their destination-order positions — the moment the local source switch
+  lands.  That per-member barrier is what makes the object's global write
+  order a source-order prefix followed by a destination-order suffix at
+  every machine;
+* the initiator awaits local delivery of both broadcasts, so a move is only
+  reported complete once both groups' sequencing paths have carried it; a
+  sequencer crash in either group retries through that group's election,
+  preserving exactly-once delivery of the switch and of every write.
+
+The same drain-and-switch primitive powers live scale-out: `add_shard`
+joins a fresh broadcast group on the running cluster and the rebalancing
+controller (:class:`~repro.rts.sharding.RebalanceParams`) moves hot objects
+onto it.  Primary-copy objects get the analogous lever in
+:meth:`HybridRts.relocate_primary`: the primary seat follows the heaviest
+writer via a frozen snapshot carried in a totally-ordered switch scoped to
+the copy-holding members.
 """
 
 from __future__ import annotations
@@ -81,7 +120,13 @@ from .policy import (
     BroadcastReplicated,
     management_policy,
 )
-from .sharding import BatchingParams, ShardRouter, batching_params
+from .sharding import (
+    BatchingParams,
+    RebalancePlanner,
+    ShardRouter,
+    batching_params,
+    rebalance_params,
+)
 from .stats import AccessStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -149,6 +194,17 @@ class MigrationRecord:
     primary_node: Optional[int]
 
 
+@dataclass
+class ShardMoveRecord:
+    """One cross-group move of an object (drain-and-switch), for reports."""
+
+    obj_id: int
+    name: str
+    src: int
+    dst: int
+    epoch: int
+
+
 class _WriteBatcher:
     """Per-(node, shard) write combining onto the ordered broadcast.
 
@@ -159,6 +215,17 @@ class _WriteBatcher:
     writes arriving while it is on the wire coalesce into the next batch,
     which both preserves per-node FIFO order and yields the group-commit
     effect that amortises the sequencer round trip under contention.
+
+    With ``backpressure_depth`` set, the batcher also implements batch-aware
+    flow control: while the shard sequencer's service queue is at least that
+    deep, a ready batch is *held* (and keeps coalescing) instead of adding
+    to the overload, so the sender backs off before its unanswered sends
+    could escalate into retries and a spurious election.  The hold is
+    re-evaluated after roughly the time the queue needs to drain back under
+    the threshold, and a batch that has grown to ``4 * max_batch`` entries
+    flushes unconditionally, bounding the held writes' latency.  (In the
+    simulator the sender reads the queue depth directly; a real cluster
+    would piggyback it on the sequencer's ordered broadcasts.)
     """
 
     def __init__(self, rts: "HybridRts", node: "Node",
@@ -173,6 +240,8 @@ class _WriteBatcher:
         self._bytes = 0
         self._in_flight = False
         self._timer: Optional[int] = None
+        self._backoff_timer: Optional[int] = None
+        self.holds = 0
 
     def enqueue(self, entry: Tuple[Any, ...], size: int) -> None:
         self._entries.append(entry)
@@ -183,11 +252,39 @@ class _WriteBatcher:
         self._in_flight = False
         self._maybe_flush()
 
+    def _backpressured(self) -> bool:
+        """Should a ready batch be held back for the loaded sequencer?"""
+        depth = self.params.backpressure_depth
+        if depth is None:
+            return False
+        if len(self._entries) >= 4 * self.params.max_batch:
+            return False  # hard cap: flush regardless of load
+        return self.group.sequencer.queue_depth >= depth
+
+    def _hold(self) -> None:
+        """Re-check once the sequencer had time to work the queue down."""
+        if self._backoff_timer is not None:
+            return
+        self.holds += 1
+        self.rts.stats.flow_control_holds += 1
+        service = self.node.cost_model.cpu.sequencing_cost
+        delay = max(self.params.flush_delay,
+                    service * self.params.backpressure_depth)
+        self._backoff_timer = self.node.kernel.set_timer(
+            delay, self._on_backoff)
+
+    def _on_backoff(self) -> None:
+        self._backoff_timer = None
+        self._maybe_flush()
+
     def _maybe_flush(self) -> None:
         if self._in_flight or not self._entries:
             return
         if (len(self._entries) >= self.params.max_batch
                 or self.params.flush_delay <= 0.0):
+            if self._backpressured():
+                self._hold()
+                return
             self._flush()
         elif self._timer is None:
             self._timer = self.node.kernel.set_timer(
@@ -195,8 +292,12 @@ class _WriteBatcher:
 
     def _on_timer(self) -> None:
         self._timer = None
-        if not self._in_flight and self._entries:
-            self._flush()
+        if self._in_flight or not self._entries:
+            return
+        if self._backpressured():
+            self._hold()
+            return
+        self._flush()
 
     def _flush(self) -> None:
         if self._timer is not None:
@@ -220,7 +321,8 @@ class HybridRts(RuntimeSystem):
                  protocol: str = "update", dynamic_replication: bool = True,
                  replicate_everywhere: bool = False,
                  record_history: bool = False, num_shards: int = 1,
-                 placement: Any = None, batching: Any = None) -> None:
+                 placement: Any = None, batching: Any = None,
+                 rebalance: Any = None) -> None:
         """Create the unified runtime.
 
         Parameters
@@ -248,6 +350,13 @@ class HybridRts(RuntimeSystem):
         num_shards / placement / batching:
             Sharding and write batching of the broadcast mechanism (see
             :mod:`repro.rts.sharding`).
+        rebalance:
+            Configuration of the background shard-rebalancing controller
+            (``True``, a dict of :class:`~repro.rts.sharding.RebalanceParams`
+            fields, or params).  The controller samples per-shard write
+            loads every ``interval`` virtual seconds, moves hot objects off
+            the hottest broadcast group with :meth:`move_shard`, and — when
+            ``grow_to`` is set — adds groups to the live cluster first.
         """
         super().__init__(cluster)
         if protocol not in ("update", "invalidation"):
@@ -266,16 +375,14 @@ class HybridRts(RuntimeSystem):
         self._num_shards = num_shards
         self._placement = placement
         self.batching = batching_params(batching)
+        self.rebalance = rebalance_params(rebalance)
+        self._rebalancer_active = False
         self.router: Optional[ShardRouter] = None
         #: Shard-0 group under the classic attribute name (set with the router).
         self.group: Optional["BroadcastGroup"] = None
         self._batchers: Dict[Tuple[int, int], _WriteBatcher] = {}
         self._invocation_ids = itertools.count(1)
         self._pending: Dict[int, _PendingWrite] = {}
-        #: obj_id -> shard, fixed at creation time (policy changes never move
-        #: an object off its shard: the shard's total order is what makes the
-        #: policy switch safe).
-        self._shard_by_obj: Dict[int, int] = {}
         #: (node_id, obj_id) -> [SimProcess, ...] waiting for a local replica.
         self._replica_waiters: Dict[Tuple[int, int], List["SimProcess"]] = {}
 
@@ -304,10 +411,22 @@ class HybridRts(RuntimeSystem):
         self._created_on: Dict[int, int] = {}
 
         # -- migration state -------------------------------------------- #
-        #: obj_id -> number of policy switches broadcast for the object.
+        #: obj_id -> number of switches (policy or shard) broadcast for it.
         self._epoch_by_obj: Dict[int, int] = {}
         #: (node_id, obj_id) -> epoch that node has delivered up to.
         self._node_epoch: Dict[Tuple[int, int], int] = {}
+        #: (node_id, obj_id) -> destination-group writes that outran the
+        #: member's delivery of the source-group shard switch; applied, in
+        #: destination order, the moment the local switch lands (the
+        #: cross-group barrier of a shard move).
+        self._future_writes: Dict[Tuple[int, int],
+                                  List[Tuple[Any, ...]]] = {}
+        #: (node_id, obj_id) -> highest shard-arrive epoch delivered there;
+        #: a move is settled only when *both* of its broadcasts landed
+        #: everywhere.
+        self._dest_epoch: Dict[Tuple[int, int], int] = {}
+        #: obj_id -> shard-arrive epoch the latest move requires.
+        self._dest_epoch_required: Dict[int, int] = {}
         #: (node_id, obj_id) -> processes waiting for that node to deliver
         #: the current switch (the primary gating its first post-switch write).
         self._switch_waiters: Dict[Tuple[int, int], List["SimProcess"]] = {}
@@ -324,6 +443,9 @@ class HybridRts(RuntimeSystem):
         #: Objects whose adaptive migration thread is spawned but not done.
         self._migration_pending: Set[int] = set()
         self.migrations: List[MigrationRecord] = []
+        self.shard_moves: List[ShardMoveRecord] = []
+        #: (obj_id, old_primary, new_primary) per completed seat relocation.
+        self.relocations: List[Tuple[int, int, int]] = []
 
         initial = self.default_policy
         needs_broadcast = (isinstance(initial, AdaptivePolicy)
@@ -355,14 +477,33 @@ class HybridRts(RuntimeSystem):
             self.router = ShardRouter(self.cluster, num_shards=self._num_shards,
                                       placement=self._placement)
             self.group = self.router.group_for(0)
-            for shard, group in enumerate(self.router.groups):
-                for node in self.cluster.nodes:
-                    group.set_delivery_handler(
-                        node.node_id,
-                        lambda delivered, nid=node.node_id, s=shard:
-                            self._on_deliver(nid, s, delivered),
-                    )
+            for shard in range(self.router.num_shards):
+                self._wire_shard(shard)
         return self.router
+
+    def _wire_shard(self, shard: int) -> None:
+        """Install every member's delivery handler for one shard's group."""
+        group = self.router.group_for(shard)
+        for node in self.cluster.nodes:
+            group.set_delivery_handler(
+                node.node_id,
+                lambda delivered, nid=node.node_id, s=shard:
+                    self._on_deliver(nid, s, delivered),
+            )
+
+    def add_shard(self, sequencer_node_id: Optional[int] = None) -> int:
+        """Add a broadcast group to the running cluster; returns its shard.
+
+        The group's members join and its wire-kind namespace registers
+        immediately (see :meth:`ShardRouter.add_shard` for seat selection),
+        so the new total order can carry traffic — and receive rebalanced
+        objects — without disturbing the existing groups.
+        """
+        router = self._ensure_router()
+        shard = router.add_shard(sequencer_node_id=sequencer_node_id)
+        self._wire_shard(shard)
+        self.stats.shards_added += 1
+        return shard
 
     def _ensure_primary_services(self) -> None:
         """Register the point-to-point handlers and RPC services once."""
@@ -417,12 +558,12 @@ class HybridRts(RuntimeSystem):
         return self.router.num_shards if self.router is not None else 1
 
     def shard_of(self, handle: ObjectHandle) -> int:
-        """The shard (and thus broadcast group) ordering ``handle``."""
-        shard = self._shard_by_obj.get(handle.obj_id)
-        if shard is None:
-            shard = self._ensure_router().shard_of(handle.obj_id, handle.name)
-            self._shard_by_obj[handle.obj_id] = shard
-        return shard
+        """The shard (and thus broadcast group) currently ordering ``handle``.
+
+        This is the router's live view: after a :meth:`move_shard` it names
+        the destination group, not the creation-time placement.
+        """
+        return self._ensure_router().assign(handle.obj_id, handle.name)
 
     def _batcher(self, node: "Node", shard: int) -> _WriteBatcher:
         key = (node.node_id, shard)
@@ -472,8 +613,7 @@ class HybridRts(RuntimeSystem):
                           args: Tuple[Any, ...],
                           kwargs: Optional[Dict[str, Any]]) -> None:
         """Replicate the new object on every machine via ordered broadcast."""
-        shard = self.shard_of(handle)
-        self.router.shard_stats[shard].note_create()
+        shard = self.router.note_create(handle.obj_id, handle.name)
         invocation_id = next(self._invocation_ids)
         pending = _PendingWrite(proc=proc)
         self._pending[invocation_id] = pending
@@ -549,10 +689,13 @@ class HybridRts(RuntimeSystem):
                     # One shard-write note per invocation, exactly like the
                     # per-object counters — even if a migration bounces the
                     # invocation out of and back into the broadcast path.
+                    # The router attributes it to the object's *current*
+                    # shard, so the counters follow the object across moves.
                     if not shard_write_noted:
-                        shard = self.shard_of(handle)
-                        self.router.shard_stats[shard].note_write()
+                        self.router.note_write(obj_id, handle.name)
                         shard_write_noted = True
+                        if self.rebalance is not None:
+                            self._maybe_start_rebalancer()
                     result = self._broadcast_write(proc, node, handle, op,
                                                    args, kwargs)
                 else:
@@ -600,11 +743,32 @@ class HybridRts(RuntimeSystem):
             return
         if obj_id in self._migrating and not self._migration_settled(obj_id):
             return
+        node = self._node_of(proc)
         target = controller.desired(window, self._policy_by_obj[obj_id])
         if target is None:
+            # No policy move wanted; the controller's second lever is the
+            # object's *shard* — relocate it off an overloaded sequencer.
+            if self._mechanism_of(obj_id) != MECHANISM_BROADCAST:
+                return
+            dest = controller.desired_shard(self.router, obj_id)
+            if dest is None:
+                return
+            self._migration_pending.add(obj_id)
+
+            def shard_move_body() -> None:
+                mproc = self.sim.current_process
+                try:
+                    if self.move_shard(mproc, handle, dest):
+                        # The window that justified the move is spent; the
+                        # next decision must re-earn itself on fresh load.
+                        self.router.reset_window()
+                finally:
+                    self._migration_pending.discard(obj_id)
+
+            node.kernel.spawn_thread(shard_move_body,
+                                     name=f"rebalance:{handle.name}")
             return
         self._migration_pending.add(obj_id)
-        node = self._node_of(proc)
 
         def migration_body() -> None:
             mproc = self.sim.current_process
@@ -643,15 +807,19 @@ class HybridRts(RuntimeSystem):
         """Broadcast the write (directly or batched) and await local apply."""
         manager = self.managers[node.node_id]
         obj_id = handle.obj_id
-        shard = self.shard_of(handle)
-        group = self.router.group_for(shard)
         while True:
             # Capture the epoch *before* confirming the mechanism: a stamp
             # can only ever be stale-old, and a stale-old write sequenced
             # after the switch is dropped and re-issued.  (Reading the epoch
             # afterwards could stamp a post-switch epoch onto a write that
-            # bypasses the new primary protocol.)
+            # bypasses the new primary protocol.)  The epoch and the route
+            # are read back to back — no suspension between them — so a
+            # write is always broadcast in the group that matches its stamp;
+            # a shard move between loop iterations simply re-routes the
+            # retry to the destination order.
             epoch = self._epoch_by_obj.get(obj_id, 0)
+            shard = self.shard_of(handle)
+            group = self.router.group_for(shard)
             if self._mechanism_of(obj_id) != MECHANISM_BROADCAST:
                 return MIGRATED
             if not manager.has_valid_copy(obj_id):
@@ -728,16 +896,36 @@ class HybridRts(RuntimeSystem):
         if kind == "switch":
             self._apply_switch(node_id, payload, delivered.origin)
             return
+        if kind == "shard-switch":
+            self._apply_shard_switch(node_id, payload, delivered.origin)
+            return
+        if kind == "shard-arrive":
+            self._apply_shard_arrive(node_id, payload, delivered.origin)
+            return
         raise RtsError(f"unknown broadcast RTS payload kind {kind!r}")
 
     def _apply_one(self, node_id: int, manager, node, obj_id: int,
                    op_name: str, args, kwargs, invocation_id: int, epoch: int,
                    origin: int, seqno: int) -> None:
         """Apply one delivered write (standalone or decoded from a batch)."""
-        if epoch != self._node_epoch.get((node_id, obj_id), 0):
-            # The write was sequenced after a policy switch it predates.
-            # Every member drops it at the same point in the total order;
-            # the origin re-issues it under the object's new policy.
+        delivered_up_to = self._node_epoch.get((node_id, obj_id), 0)
+        if epoch > delivered_up_to:
+            # A post-switch write outran this member's delivery of the
+            # switch itself — possible only across *groups* (a shard move's
+            # destination order is not synchronised with its source order)
+            # or when a new-epoch write is sequenced just ahead of its own
+            # switch message.  Defer it: it applies, in its own group's
+            # order, the moment the local switch lands.  Every member makes
+            # the same decision at the same position of the same group
+            # order, so the object's global write order stays identical
+            # everywhere.
+            self._future_writes.setdefault((node_id, obj_id), []).append(
+                (op_name, args, kwargs, invocation_id, epoch, origin, seqno))
+            return
+        if epoch < delivered_up_to:
+            # The write was sequenced after a switch it predates.  Every
+            # member drops it at the same point in the total order; the
+            # origin re-issues it under the object's new policy or route.
             if origin == node_id:
                 self._resolve(invocation_id, MIGRATED)
             return
@@ -763,6 +951,25 @@ class HybridRts(RuntimeSystem):
                                       manager.get(obj_id).version)
         if origin == node_id:
             self._resolve(invocation_id, result)
+
+    def _flush_future_writes(self, node_id: int, obj_id: int) -> None:
+        """Apply deferred destination-order writes after a switch landed."""
+        entries = self._future_writes.pop((node_id, obj_id), [])
+        if not entries:
+            return
+        manager = self.managers[node_id]
+        node = self.cluster.node(node_id)
+        requeue: List[Tuple[Any, ...]] = []
+        current = self._node_epoch.get((node_id, obj_id), 0)
+        for entry in entries:
+            op_name, args, kwargs, invocation_id, epoch, origin, seqno = entry
+            if epoch > current:
+                requeue.append(entry)
+                continue
+            self._apply_one(node_id, manager, node, obj_id, op_name, args,
+                            kwargs, invocation_id, epoch, origin, seqno)
+        if requeue:
+            self._future_writes[(node_id, obj_id)] = requeue
 
     def _resolve(self, invocation_id: int, result: Any) -> None:
         pending = self._pending.get(invocation_id)
@@ -1170,10 +1377,17 @@ class HybridRts(RuntimeSystem):
             self._migrate_in_progress.discard(obj_id)
 
     def _migration_settled(self, obj_id: int) -> bool:
-        """Has every live member delivered the object's latest switch?"""
+        """Has every live member delivered the object's latest switch?
+
+        A shard move broadcasts in two groups; it settles only when the
+        source drain *and* the destination arrival landed at every live
+        member, so back-to-back moves never leave two epochs in flight.
+        """
         epoch = self._epoch_by_obj.get(obj_id, 0)
+        dest_epoch = self._dest_epoch_required.get(obj_id, 0)
         settled = all(
             self._node_epoch.get((node.node_id, obj_id), 0) >= epoch
+            and self._dest_epoch.get((node.node_id, obj_id), 0) >= dest_epoch
             for node in self.cluster.nodes if node.alive)
         if settled:
             self._migrating.discard(obj_id)
@@ -1225,7 +1439,7 @@ class HybridRts(RuntimeSystem):
             primary_node=primary))
         self._broadcast_switch(proc, node, handle,
                                ("switch", obj_id, target, primary, None, 0,
-                                epoch))
+                                epoch, None))
 
     def _migrate_to_broadcast(self, proc: "SimProcess",
                               handle: ObjectHandle) -> None:
@@ -1252,7 +1466,7 @@ class HybridRts(RuntimeSystem):
             primary_node=None))
         self._broadcast_switch(proc, node, handle,
                                ("switch", obj_id, "broadcast", -1, state,
-                                version, epoch),
+                                version, epoch, None),
                                size=32 + estimate_size(state))
 
     def _freeze_and_snapshot(self, proc: "SimProcess", primary: int,
@@ -1286,9 +1500,15 @@ class HybridRts(RuntimeSystem):
 
     def _broadcast_switch(self, proc: "SimProcess", node: "Node",
                           handle: ObjectHandle, payload: Tuple[Any, ...],
-                          size: int = 64) -> None:
-        """Send the switch through the object's shard and await local delivery."""
-        shard = self.shard_of(handle)
+                          size: int = 64, shard: Optional[int] = None) -> None:
+        """Send the switch through the object's shard and await local delivery.
+
+        ``shard`` overrides the route for cross-group moves, whose drain
+        switch must ride the *source* group after the router already points
+        at the destination.
+        """
+        if shard is None:
+            shard = self.shard_of(handle)
         self.router.shard_stats[shard].note_migration()
         invocation_id = next(self._invocation_ids)
         self._pending[invocation_id] = _PendingWrite(proc=proc)
@@ -1303,8 +1523,14 @@ class HybridRts(RuntimeSystem):
 
     def _apply_switch(self, node_id: int, payload: Tuple[Any, ...],
                       origin: int) -> None:
-        """One member's totally-ordered switch point for one object."""
-        (_, obj_id, target, primary_node, state, version, epoch,
+        """One member's totally-ordered switch point for one object.
+
+        ``scope`` narrows a snapshot-carrying switch to the listed members
+        (primary relocation refreshes only the copy-holding machines); a
+        ``None`` scope is the classic primary -> broadcast transfer that
+        installs a replica everywhere.
+        """
+        (_, obj_id, target, primary_node, state, version, epoch, scope,
          invocation_id) = payload
         key = (node_id, obj_id)
         self._node_epoch[key] = epoch
@@ -1312,29 +1538,34 @@ class HybridRts(RuntimeSystem):
         node = self.cluster.node(node_id)
         node.charge_overhead(self.cost_model.cpu.operation_dispatch_cost)
         replica = manager.replicas.get(obj_id)
-        if state is not None:
-            # primary -> broadcast: install the transferred snapshot.  Nodes
-            # holding a (secondary or primary) copy are updated in place so
-            # processes already waiting on the replica keep their hooks.
+        if state is not None and (scope is None or node_id in scope):
+            # Install the transferred snapshot.  Nodes holding a (secondary
+            # or primary) copy are updated in place so processes already
+            # waiting on the replica keep their hooks.
             if replica is not None:
                 replica.instance.unmarshal_state(state)
                 replica.version = version
                 replica.valid = True
-                replica.is_primary = False
+                replica.is_primary = node_id == primary_node
                 replica.locked = False
                 replica.notify_changed()
             else:
                 instance = self.handle(obj_id).spec_class()
                 instance.unmarshal_state(state)
                 manager.install(obj_id, self.handle(obj_id).name, instance,
-                                version=version)
+                                version=version,
+                                is_primary=node_id == primary_node)
                 self.stats.replicas_created += 1
             self._wake_replica_waiters(node_id, obj_id)
-        else:
+        elif state is None:
             # broadcast -> primary: the (identical) replicas become the
             # primary and secondary copies; no state moves.
             if replica is not None:
                 replica.is_primary = node_id == primary_node
+        # Deferred writes first (none exist unless a new-epoch broadcast was
+        # sequenced ahead of this switch; they apply on the fresh state),
+        # then coherence traffic that raced ahead of the switch.
+        self._flush_future_writes(node_id, obj_id)
         self._flush_deferred(node_id, obj_id)
         # Release this member's own pending pre-switch writes right away:
         # deliveries arrive in sequence order, so a write of this object
@@ -1361,6 +1592,265 @@ class HybridRts(RuntimeSystem):
             proc.suspend()
 
     # ------------------------------------------------------------------ #
+    # Cross-group rebalancing: shard moves, live growth, primary seats
+    # ------------------------------------------------------------------ #
+
+    def move_shard(self, proc: "SimProcess", handle: ObjectHandle,
+                   new_shard: int) -> bool:
+        """Move ``handle`` onto broadcast group ``new_shard`` while it runs.
+
+        For a broadcast-managed object this is the drain-and-switch barrier
+        described in the module docstring: the route flips first (new writes
+        head for the destination order under a fresh epoch), a
+        ``shard-switch`` drains the source order, and a ``shard-arrive``
+        lands in the destination order; stale writes are dropped identically
+        everywhere and re-issued by their origin, so no write is lost,
+        duplicated, or reordered within its client's FIFO.  A primary-copy
+        object carries no ordered broadcast traffic, so its move is pure
+        routing bookkeeping (the next switch simply rides the new group).
+
+        Returns ``True`` when a move was performed, ``False`` when the
+        object already lives on ``new_shard`` or another switch of it is
+        still in flight.
+        """
+        router = self._ensure_router()
+        obj_id = handle.obj_id
+        if not 0 <= new_shard < router.num_shards:
+            raise ConfigurationError(
+                f"cannot move {handle.name!r} to shard {new_shard}: only "
+                f"{router.num_shards} shards exist")
+        src = self.shard_of(handle)
+        if src == new_shard:
+            return False
+        if obj_id in self._migrate_in_progress:
+            return False
+        if obj_id in self._migrating and not self._migration_settled(obj_id):
+            return False
+        self._migrating.discard(obj_id)
+        self._migrate_in_progress.add(obj_id)
+        try:
+            if self._mechanism_of(obj_id) != MECHANISM_BROADCAST:
+                router.move(obj_id, new_shard)
+                self.stats.shard_moves += 1
+                self.shard_moves.append(ShardMoveRecord(
+                    obj_id=obj_id, name=handle.name, src=src, dst=new_shard,
+                    epoch=self._epoch_by_obj.get(obj_id, 0)))
+                return True
+            node = self._node_of(proc)
+            self._migrating.add(obj_id)
+            epoch = self._epoch_by_obj.get(obj_id, 0) + 1
+            self._epoch_by_obj[obj_id] = epoch
+            self._dest_epoch_required[obj_id] = epoch
+            router.move(obj_id, new_shard)
+            self.stats.shard_moves += 1
+            self.shard_moves.append(ShardMoveRecord(
+                obj_id=obj_id, name=handle.name, src=src, dst=new_shard,
+                epoch=epoch))
+            # Drain: every source-group member retires the old route at the
+            # same position of the source total order.
+            self._broadcast_switch(
+                proc, node, handle,
+                ("shard-switch", obj_id, src, new_shard, epoch), shard=src)
+            # Arrive: prove the destination group's sequencing path carries
+            # the object before reporting the move complete.
+            self._broadcast_switch(
+                proc, node, handle,
+                ("shard-arrive", obj_id, src, new_shard, epoch),
+                shard=new_shard)
+            return True
+        finally:
+            self._migrate_in_progress.discard(obj_id)
+
+    def _apply_shard_switch(self, node_id: int, payload: Tuple[Any, ...],
+                            origin: int) -> None:
+        """One member's drain point in the *source* group's total order."""
+        (_, obj_id, src, dst, epoch, invocation_id) = payload
+        key = (node_id, obj_id)
+        self._node_epoch[key] = epoch
+        node = self.cluster.node(node_id)
+        node.charge_overhead(self.cost_model.cpu.operation_dispatch_cost)
+        # Destination-order writes that outran this switch apply now, on the
+        # state every pre-switch source write has already reached.
+        self._flush_future_writes(node_id, obj_id)
+        # Our own still-pending stale writes are doomed (they can only be
+        # sequenced behind this switch); release them for re-issue into the
+        # destination order without waiting for the drop to drain through.
+        for pending_id, pending in list(self._pending.items()):
+            if (pending.obj_id == obj_id and pending.origin == node_id
+                    and pending.epoch < epoch):
+                self._resolve(pending_id, MIGRATED)
+        for proc in self._switch_waiters.pop(key, []):
+            proc.wake()
+        if origin == node_id:
+            self._resolve(invocation_id, None)
+        self._migration_settled(obj_id)
+
+    def _apply_shard_arrive(self, node_id: int, payload: Tuple[Any, ...],
+                            origin: int) -> None:
+        """One member's arrival marker in the *destination* group's order."""
+        (_, obj_id, src, dst, epoch, invocation_id) = payload
+        key = (node_id, obj_id)
+        node = self.cluster.node(node_id)
+        node.charge_overhead(self.cost_model.cpu.operation_dispatch_cost)
+        if epoch > self._dest_epoch.get(key, 0):
+            self._dest_epoch[key] = epoch
+        if origin == node_id:
+            self._resolve(invocation_id, None)
+        self._migration_settled(obj_id)
+
+    def _heaviest_writer(self, obj_id: int) -> Optional[int]:
+        """The live node with the most observed writes to ``obj_id``."""
+        decider = self.replication.decider
+        live = [node.node_id for node in self.cluster.nodes if node.alive]
+        if not live:
+            return None
+        best = max(live, key=lambda nid: (
+            decider.stats_for(obj_id, nid).total_writes, -nid))
+        if decider.stats_for(obj_id, best).total_writes == 0:
+            return None
+        return best
+
+    def relocate_primary(self, proc: "SimProcess", handle: ObjectHandle,
+                         target: Optional[int] = None) -> bool:
+        """Move a primary-copy object's primary seat to ``target``.
+
+        ``target`` defaults to the object's heaviest writer (per the
+        dynamic-replication statistics), turning remote-write RPC streams
+        into local writes.  The relocation reuses the migration machinery:
+        the object is frozen at the old primary (in-flight coherence writes
+        drain first), its snapshot rides a totally-ordered switch scoped to
+        the copy-holding members plus the target, and the new primary
+        refuses writes until it has delivered that switch — so every write
+        lands exactly once, on exactly one primary.
+
+        Returns ``True`` when the seat moved, ``False`` when the target
+        already holds it (or no traffic suggests a better seat).
+        """
+        obj_id = handle.obj_id
+        if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+            raise RtsError(
+                f"{handle.name!r} is broadcast-managed; relocate_primary "
+                "applies to primary-copy objects (use move_shard instead)")
+        if target is None:
+            target = self._heaviest_writer(obj_id)
+            if target is None:
+                return False
+        if not self.cluster.node(target).alive:
+            raise RtsError(f"node {target} is crashed and cannot become "
+                           f"the primary of {handle.name!r}")
+        if target == self.directory.primary_of(obj_id):
+            return False
+        if obj_id in self._migrate_in_progress:
+            return False
+        if obj_id in self._migrating and not self._migration_settled(obj_id):
+            return False
+        self._migrating.discard(obj_id)
+        self._ensure_router()
+        self._migrate_in_progress.add(obj_id)
+        try:
+            node = self._node_of(proc)
+            primary = self.directory.primary_of(obj_id)
+            if node.node_id == primary:
+                state, version = self._freeze_and_snapshot(proc, primary,
+                                                           obj_id)
+            else:
+                state, version = self.cluster.rpc_for(node.node_id).call(
+                    proc, primary, PORT_MIGRATE, payload={"obj_id": obj_id},
+                    size=24)
+            self._migrating.add(obj_id)
+            epoch = self._epoch_by_obj.get(obj_id, 0) + 1
+            self._epoch_by_obj[obj_id] = epoch
+            entry = self.directory.entry(obj_id)
+            scope = tuple(sorted(set(entry.copyset) | {primary, target}))
+            entry.primary_node = target
+            entry.copyset = set(scope)
+            self._frozen.discard(obj_id)
+            self.stats.primary_relocations += 1
+            self.relocations.append((obj_id, primary, target))
+            self._broadcast_switch(
+                proc, node, handle,
+                ("switch", obj_id, self._policy_by_obj[obj_id], target,
+                 state, version, epoch, scope),
+                size=32 + estimate_size(state))
+            return True
+        finally:
+            self._migrate_in_progress.discard(obj_id)
+
+    # -- the background rebalancing controller --------------------------- #
+
+    def _maybe_start_rebalancer(self) -> None:
+        """(Re)start the controller loop when write traffic flows.
+
+        The controller is armed by the first broadcast write (and re-armed
+        by the first write after it went quiet), not at construction: a
+        long, write-free setup phase must not run its quiet-round budget
+        down before the workload even starts.
+        """
+        if self._rebalancer_active:
+            return
+        # The controller must live on a machine that can actually broadcast
+        # the switches; if its host dies later, the loop exits and the next
+        # write re-arms a controller on a surviving node.
+        host = next((node for node in self.cluster.nodes if node.alive), None)
+        if host is None:
+            return
+        self._rebalancer_active = True
+        host.kernel.spawn_thread(self._rebalance_body,
+                                 name="shard-rebalancer")
+
+    def _rebalance_body(self) -> None:
+        """Periodic plan-and-move rounds over the router's load windows.
+
+        Each round: optionally grow the group set toward ``grow_to``, ask
+        the planner for moves off the hottest shard, execute them, and
+        reset the load window.  The loop exits after ``quiet_rounds``
+        consecutive rounds without a single new write anywhere (so a
+        drained workload lets the simulation terminate); fresh traffic
+        re-arms it.
+        """
+        proc = self.sim.current_process
+        host = self._node_of(proc)
+        params = self.rebalance
+        planner = RebalancePlanner(self.router, imbalance=params.imbalance,
+                                   min_writes=params.min_writes,
+                                   max_moves=params.max_moves)
+        try:
+            quiet = 0
+            last_total = self._total_shard_writes()
+            while quiet < params.quiet_rounds:
+                proc.hold(params.interval)
+                if not host.alive:
+                    # A dead node cannot broadcast switches; bow out so the
+                    # next write re-arms the controller on a live machine.
+                    return
+                total = self._total_shard_writes()
+                if total == last_total:
+                    quiet += 1
+                    continue
+                last_total = total
+                quiet = 0
+                if (params.grow_to is not None
+                        and self.router.num_shards < params.grow_to):
+                    self.add_shard()
+                moves = planner.plan()
+                for move in moves:
+                    self.move_shard(proc, self.handle(move.obj_id), move.dst)
+                if moves:
+                    # The evidence behind these moves is spent; the next
+                    # decision must re-earn itself on a fresh window.  (No
+                    # reset on quiet rounds: the window keeps accumulating
+                    # until there is enough traffic to decide on.)
+                    self.router.reset_window()
+                    # Moves take virtual time; re-read the baseline so a
+                    # round spent moving does not look like fresh traffic.
+                    last_total = self._total_shard_writes()
+        finally:
+            self._rebalancer_active = False
+
+    def _total_shard_writes(self) -> int:
+        return sum(stats.writes for stats in self.router.shard_stats.values())
+
+    # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
 
@@ -1371,7 +1861,10 @@ class HybridRts(RuntimeSystem):
             row["policy"] = self._policy_by_obj[handle.obj_id]
             if handle.obj_id in self._adaptive_by_obj:
                 row["adaptive"] = True
-            shard = self._shard_by_obj.get(handle.obj_id)
+            # The shard column is the router's *current* view, so it stays
+            # consistent across shard moves and policy migrations alike.
+            shard = (self.router.assigned_shard(handle.obj_id)
+                     if self.router is not None else None)
             if shard is not None and self.num_shards > 1:
                 row["shard"] = shard
         return summary
@@ -1394,4 +1887,16 @@ class HybridRts(RuntimeSystem):
                 "log": [(m.name, m.target, m.primary_node)
                         for m in self.migrations],
             }
+        if (self.stats.shard_moves or self.stats.shards_added
+                or self.stats.primary_relocations):
+            summary["rebalancing"] = {
+                "moves": self.stats.shard_moves,
+                "shards_added": self.stats.shards_added,
+                "primary_relocations": self.stats.primary_relocations,
+                "placement_epoch": (self.router.placement_epoch
+                                    if self.router is not None else 0),
+                "log": [(m.name, m.src, m.dst) for m in self.shard_moves],
+            }
+        if self.stats.flow_control_holds:
+            summary["flow_control_holds"] = self.stats.flow_control_holds
         return summary

@@ -18,6 +18,19 @@ Placement policies decide which shard an object lives on:
 :class:`BatchingParams` configures the per-node write batching that rides on
 top (see :mod:`repro.rts.broadcast_rts`), flushing a shard's queued writes
 into one ordered broadcast on a size or time threshold.
+
+Placement is **epoch-versioned**: the router records every object's current
+shard in an assignment table seeded from the placement policy, and an
+explicit override table tracks objects that were *moved* after creation (the
+drain-and-switch rebalancing of :class:`~repro.rts.hybrid.HybridRts`).  Every
+move — and every live :meth:`ShardRouter.add_shard` — bumps the router's
+``placement_epoch``, so reports and tests can pin down exactly which routing
+generation a run ended on.  Per-shard *window* counters (writes since the
+last :meth:`ShardRouter.reset_window`) are the load signal
+:class:`RebalancePlanner` turns into concrete object -> group moves off the
+hottest shard; the sequencers' queue depths are exported alongside
+(:meth:`ShardRouter.queue_depths` and the per-shard summaries) for
+operators, reports, and the batching layer's flow control.
 """
 
 from __future__ import annotations
@@ -50,16 +63,84 @@ class BatchingParams:
         batch is on the wire still coalesce into the next one (group-commit
         style), which is what amortises the sequencer round trip under
         contention without adding latency when the node is idle.
+    backpressure_depth:
+        Flow-control coupling to the sequencer's service queue.  When set, a
+        batch is *held back* (kept coalescing) while the shard sequencer's
+        queue is at least this deep, so senders back off before the
+        send-retry/election path would fire under overload.  The batch still
+        flushes unconditionally once it has grown to ``4 * max_batch``
+        operations, bounding both memory and the latency of the held writes.
+        ``None`` (the default) disables flow control; it is also inert when
+        the sequencer is not modelled as a queueing server
+        (``cpu.sequencing_cost == 0``), since the queue then never forms.
     """
 
     max_batch: int = 8
     flush_delay: float = 0.0
+    backpressure_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ConfigurationError("max_batch must be >= 1")
         if self.flush_delay < 0:
             raise ConfigurationError("flush_delay must be non-negative")
+        if self.backpressure_depth is not None and self.backpressure_depth < 1:
+            raise ConfigurationError(
+                "backpressure_depth must be >= 1 (or None to disable)")
+
+
+@dataclass(frozen=True)
+class RebalanceParams:
+    """Knobs of the runtime's background shard-rebalancing controller.
+
+    Attributes
+    ----------
+    interval:
+        Virtual seconds between controller rounds.  Each round samples the
+        router's load window, plans moves, executes them, and resets the
+        window, so the window length *is* the interval.
+    imbalance / min_writes / max_moves:
+        Passed through to :class:`RebalancePlanner`.
+    quiet_rounds:
+        The controller exits after this many consecutive rounds with no new
+        write anywhere (so a finished workload lets the simulation drain
+        instead of ticking forever).
+    grow_to:
+        When set, the controller adds one broadcast group per active round
+        (via the runtime's ``add_shard``) until the cluster runs this many,
+        scaling the group set out *live* before spreading objects onto it.
+    """
+
+    interval: float = 0.005
+    imbalance: float = 1.5
+    min_writes: int = 32
+    max_moves: int = 3
+    quiet_rounds: int = 2
+    grow_to: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0.0:
+            raise ConfigurationError("rebalance interval must be positive")
+        if self.quiet_rounds < 1:
+            raise ConfigurationError("quiet_rounds must be >= 1")
+        if self.grow_to is not None and self.grow_to < 1:
+            raise ConfigurationError("grow_to must be >= 1 shard")
+        # Planner construction re-validates imbalance/min_writes/max_moves.
+
+
+def rebalance_params(value: Any) -> Optional[RebalanceParams]:
+    """Coerce ``value`` (None / bool / dict / params) into rebalance config."""
+    if value is None or value is False:
+        return None
+    if value is True:
+        return RebalanceParams()
+    if isinstance(value, RebalanceParams):
+        return value
+    if isinstance(value, Mapping):
+        return RebalanceParams(**dict(value))
+    raise ConfigurationError(
+        f"cannot interpret {value!r} as rebalancing configuration "
+        "(use None, True, a dict of fields, or RebalanceParams)")
 
 
 def batching_params(value: Any) -> Optional[BatchingParams]:
@@ -162,6 +243,15 @@ class ShardRouter:
     wire-identical to the unsharded runtime); further shards get fresh
     groups whose initial sequencer seats rotate round-robin over the
     machines, which is what actually spreads the sequencing load.
+
+    The object -> shard mapping is epoch-versioned: initial placement comes
+    from the policy and is recorded per object; :meth:`move` rewrites one
+    object's route (recording it in the override table) and :meth:`add_shard`
+    grows the group set on the live cluster.  Both bump ``placement_epoch``.
+    Every write is also counted into a *window* (per shard and per object)
+    that :class:`RebalancePlanner` reads and :meth:`reset_window` clears, so
+    load decisions see recent traffic, not the whole run — and the counters
+    follow the object when it moves.
     """
 
     def __init__(self, cluster: "Cluster", num_shards: int = 1,
@@ -176,11 +266,136 @@ class ShardRouter:
         self.shard_stats: Dict[int, ShardStats] = {
             shard: ShardStats() for shard in range(num_shards)
         }
+        #: Routing generation: bumped by every move and every added shard.
+        self.placement_epoch = 0
+        #: obj_id -> current shard (seeded from the policy on first use).
+        self._assigned: Dict[int, int] = {}
+        #: obj_id -> shard, for objects moved off their creation placement.
+        self.overrides: Dict[int, int] = {}
+        #: Load window (since the last reset): writes per shard / per object.
+        self._window_shard_writes: Dict[int, int] = {
+            shard: 0 for shard in range(num_shards)
+        }
+        self._window_obj_writes: Dict[int, int] = {}
 
+    # ------------------------------------------------------------------ #
+    # Placement
     # ------------------------------------------------------------------ #
 
     def shard_of(self, obj_id: int, name: str) -> int:
+        """The policy's placement for the object (ignores overrides)."""
         return self.policy.shard_of(obj_id, name)
+
+    def assign(self, obj_id: int, name: str) -> int:
+        """The object's current shard, seeding the assignment on first use."""
+        shard = self._assigned.get(obj_id)
+        if shard is None:
+            shard = self.policy.shard_of(obj_id, name)
+            self._assigned[obj_id] = shard
+        return shard
+
+    def assigned_shard(self, obj_id: int) -> Optional[int]:
+        """The object's current shard, or ``None`` if it was never placed."""
+        return self._assigned.get(obj_id)
+
+    def move(self, obj_id: int, new_shard: int) -> int:
+        """Re-route ``obj_id`` onto ``new_shard``; returns the old shard.
+
+        Pure routing-table surgery: the cross-group drain-and-switch that
+        makes a move *safe* for an object with ordered writes in flight is
+        the runtime's job (:meth:`repro.rts.hybrid.HybridRts.move_shard`).
+        The object's window counters follow it, so load measurements stay
+        attributed to where the traffic now lands.
+        """
+        if not 0 <= new_shard < self.num_shards:
+            raise ConfigurationError(
+                f"cannot move object {obj_id} to shard {new_shard}: only "
+                f"{self.num_shards} shards exist")
+        old = self._assigned.get(obj_id)
+        if old is None:
+            raise ConfigurationError(
+                f"object {obj_id} has no recorded placement to move from")
+        if old == new_shard:
+            return old
+        self._assigned[obj_id] = new_shard
+        self.overrides[obj_id] = new_shard
+        window = self._window_obj_writes.get(obj_id, 0)
+        if window:
+            self._window_shard_writes[old] -= window
+            self._window_shard_writes[new_shard] += window
+        self.placement_epoch += 1
+        return old
+
+    def add_shard(self, sequencer_node_id: Optional[int] = None) -> int:
+        """Add one broadcast group to the live cluster; returns its shard id.
+
+        The new group's members join immediately (its wire-kind namespace is
+        registered at construction) and the initial sequencer seat goes to
+        the live machine currently hosting the fewest seats, so scale-out
+        keeps spreading the ordering work.  Hash placement policies grow to
+        include the new shard for objects created *afterwards*; existing
+        objects keep their recorded assignment until explicitly moved.
+        """
+        shard = self.num_shards
+        if sequencer_node_id is None:
+            seats: Dict[int, int] = {}
+            for group in self.groups:
+                seats[group.sequencer_node_id] = seats.get(
+                    group.sequencer_node_id, 0) + 1
+            live = [node.node_id for node in self.cluster.nodes if node.alive]
+            if not live:
+                raise ConfigurationError("no live node can host the new seat")
+            sequencer_node_id = min(
+                live, key=lambda nid: (seats.get(nid, 0), nid))
+        self.groups.append(self.cluster.new_broadcast_group(
+            sequencer_node_id=sequencer_node_id))
+        self.num_shards += 1
+        self.shard_stats[shard] = ShardStats()
+        self._window_shard_writes[shard] = 0
+        if isinstance(self.policy, HashPlacement):
+            self.policy = HashPlacement(self.num_shards, by=self.policy.by)
+        self.placement_epoch += 1
+        return shard
+
+    # ------------------------------------------------------------------ #
+    # Load accounting
+    # ------------------------------------------------------------------ #
+
+    def note_create(self, obj_id: int, name: str) -> int:
+        shard = self.assign(obj_id, name)
+        self.shard_stats[shard].note_create()
+        return shard
+
+    def note_write(self, obj_id: int, name: str) -> int:
+        """Count one write invocation against the object's *current* shard."""
+        shard = self.assign(obj_id, name)
+        self.shard_stats[shard].note_write()
+        self._window_shard_writes[shard] += 1
+        self._window_obj_writes[obj_id] = (
+            self._window_obj_writes.get(obj_id, 0) + 1)
+        return shard
+
+    def window_loads(self) -> Dict[int, int]:
+        """Writes per shard since the last window reset."""
+        return dict(self._window_shard_writes)
+
+    def window_object_writes(self, shard: Optional[int] = None) -> Dict[int, int]:
+        """Writes per object since the last reset (optionally one shard's)."""
+        if shard is None:
+            return dict(self._window_obj_writes)
+        return {obj_id: writes
+                for obj_id, writes in self._window_obj_writes.items()
+                if self._assigned.get(obj_id) == shard}
+
+    def reset_window(self) -> None:
+        """Start a fresh load window (after a plan round or a move)."""
+        for shard in self._window_shard_writes:
+            self._window_shard_writes[shard] = 0
+        self._window_obj_writes.clear()
+
+    # ------------------------------------------------------------------ #
+    # Lookup / reporting
+    # ------------------------------------------------------------------ #
 
     def group_for(self, shard: int) -> "BroadcastGroup":
         return self.groups[shard]
@@ -189,13 +404,122 @@ class ShardRouter:
         """Current sequencer seat of every shard (for tests and reports)."""
         return [group.sequencer_node_id for group in self.groups]
 
+    def queue_depths(self) -> Dict[int, int]:
+        """Current service-queue depth of every shard's sequencer."""
+        return {shard: group.sequencer.queue_depth
+                for shard, group in enumerate(self.groups)}
+
     def summary(self) -> Dict[str, Any]:
         """Compact per-shard digest for benchmark reports."""
-        return {
+        per_shard: Dict[int, Dict[str, Any]] = {}
+        for shard, stats in sorted(self.shard_stats.items()):
+            digest = stats.summary()
+            digest["max_queue_depth"] = self.groups[shard].sequencer.max_queue_depth
+            per_shard[shard] = digest
+        summary = {
             "num_shards": self.num_shards,
             "sequencer_nodes": self.sequencer_nodes(),
-            "per_shard": {
-                shard: stats.summary()
-                for shard, stats in sorted(self.shard_stats.items())
-            },
+            "placement_epoch": self.placement_epoch,
+            "per_shard": per_shard,
         }
+        if self.overrides:
+            summary["overrides"] = dict(sorted(self.overrides.items()))
+        return summary
+
+
+@dataclass(frozen=True)
+class RebalanceMove:
+    """One proposed object relocation between broadcast groups."""
+
+    obj_id: int
+    src: int
+    dst: int
+
+
+class RebalancePlanner:
+    """Turns the router's load window into object -> group moves.
+
+    The planner is stateless: all measurements live in the router's window
+    counters, which the caller resets once it has acted on a plan.  One
+    planning round moves traffic from the single hottest shard to the single
+    coolest; repeated rounds converge on a balanced placement even when one
+    object dominates (the monolith moves whole, in its own round, whenever
+    doing so shrinks the hottest bin).
+
+    Parameters
+    ----------
+    imbalance:
+        Hot/cool window-write ratio below which the placement counts as
+        balanced and no moves are proposed.
+    min_writes:
+        Minimum writes in the window before any decision is made (avoids
+        reacting to startup noise).
+    max_moves:
+        Cap on moves per round; rebalancing is cheap but not free (each move
+        costs one switch broadcast in two groups).
+    """
+
+    def __init__(self, router: ShardRouter, imbalance: float = 1.5,
+                 min_writes: int = 32, max_moves: int = 3) -> None:
+        if imbalance <= 1.0:
+            raise ConfigurationError("imbalance threshold must exceed 1.0")
+        if min_writes < 1 or max_moves < 1:
+            raise ConfigurationError("min_writes and max_moves must be >= 1")
+        self.router = router
+        self.imbalance = imbalance
+        self.min_writes = min_writes
+        self.max_moves = max_moves
+
+    def _hot_and_cool(self) -> Optional[Any]:
+        loads = self.router.window_loads()
+        if len(loads) < 2 or sum(loads.values()) < self.min_writes:
+            return None
+        hot = max(loads, key=lambda shard: (loads[shard], -shard))
+        cool = min(loads, key=lambda shard: (loads[shard], shard))
+        if loads[hot] < self.imbalance * max(1, loads[cool]):
+            return None
+        return loads, hot, cool
+
+    def plan(self) -> List[RebalanceMove]:
+        """Moves off the hottest shard that shrink the hot/cool gap.
+
+        Candidates are taken hottest-object-first; an object is skipped when
+        moving it would overshoot the balance point (its window weight
+        exceeds what is left of the hot-cool deficit after earlier moves).
+        """
+        view = self._hot_and_cool()
+        if view is None:
+            return []
+        loads, hot, cool = view
+        deficit = loads[hot] - loads[cool]
+        candidates = sorted(
+            self.router.window_object_writes(shard=hot).items(),
+            key=lambda item: (-item[1], item[0]))
+        moves: List[RebalanceMove] = []
+        moved = 0
+        for obj_id, writes in candidates:
+            if len(moves) >= self.max_moves or writes <= 0:
+                break
+            if writes >= deficit - 2 * moved:
+                continue  # would make the destination the new hot spot
+            moves.append(RebalanceMove(obj_id=obj_id, src=hot, dst=cool))
+            moved += writes
+        return moves
+
+    def suggest(self, obj_id: int) -> Optional[int]:
+        """A destination shard for one object, or ``None`` to stay put.
+
+        The per-object flavour the adaptive controller consults: the object
+        must sit on the hottest shard, the imbalance threshold must be met,
+        and moving the object must not overshoot the balance point.
+        """
+        view = self._hot_and_cool()
+        if view is None:
+            return None
+        loads, hot, cool = view
+        if self.router.assigned_shard(obj_id) != hot:
+            return None
+        writes = self.router.window_object_writes().get(obj_id, 0)
+        if writes <= 0 or writes >= loads[hot] - loads[cool]:
+            return None
+        return cool

@@ -42,6 +42,8 @@ from .spec import (
     WorkloadSpec,
     bursty,
     request_stream,
+    trace_arrivals,
+    traced_request_stream,
 )
 
 __all__ = [
@@ -61,4 +63,6 @@ __all__ = [
     "WorkloadSpec",
     "bursty",
     "request_stream",
+    "trace_arrivals",
+    "traced_request_stream",
 ]

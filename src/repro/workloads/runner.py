@@ -36,7 +36,7 @@ from ..rts.hybrid import HybridRts
 from ..rts.policy import DEFAULT_POLICY_FOR_KIND
 from ..rts.sharding import batching_params
 from .scenarios import Scenario, ScenarioRegistry
-from .spec import WorkloadSpec, request_stream
+from .spec import WorkloadSpec, request_stream, traced_request_stream
 
 #: Every runtime kind the runner can sweep.  ``broadcast``/``p2p`` are the
 #: fixed-policy configurations of the unified runtime; ``adaptive`` lets
@@ -113,7 +113,19 @@ class WorkloadReport:
     def fingerprint(self) -> Dict[str, Any]:
         """A stable, rounded digest used by determinism checks and tests."""
         overall = self.percentile_row()
+        extras: Dict[str, Any] = {}
+        rebalancing = self.rts_summary.get("rebalancing")
+        if rebalancing:
+            # Where and when objects moved is part of the behaviour the
+            # determinism regression must pin down, exactly like policies.
+            extras["rebalancing"] = {
+                "moves": rebalancing["moves"],
+                "shards_added": rebalancing["shards_added"],
+                "placement_epoch": rebalancing["placement_epoch"],
+                "log": [list(entry) for entry in rebalancing["log"]],
+            }
         return {
+            **extras,
             "scenario": self.scenario,
             "runtime": self.runtime,
             "num_shards": self.num_shards,
@@ -199,6 +211,21 @@ class WorkloadRunner:
         def client_body(node_id: int, client_id: int) -> None:
             proc = sim.current_process
             rng = sim.rng.stream(f"workload.client.{node_id}.{client_id}")
+            if spec.arrival_trace:
+                # Trace-driven open loop: arrivals follow the deterministic
+                # (duration, rate) segments; the request count falls out of
+                # the trace.  Latency is measured from the intended arrival,
+                # so queueing delay counts (no coordinated omission).
+                start = proc.local_time
+                for request, offset in traced_request_stream(spec, rng):
+                    arrival = start + offset
+                    if proc.local_time < arrival:
+                        proc.hold(arrival - proc.local_time)
+                    scenario.perform(rts, proc, request)
+                    kind = "write" if request.is_write else "read"
+                    request_recorder.record(kind, proc.local_time - arrival)
+                    counts["writes" if request.is_write else "reads"] += 1
+                return
             open_loop = spec.client_model == "open"
             next_arrival = proc.local_time
             for request in request_stream(spec, rng):

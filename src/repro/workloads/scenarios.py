@@ -19,7 +19,10 @@ cluster-benchmark literature care about:
 * ``hot-spot``       — every request hits one cell (contention's worst case);
 * ``policy-mix``     — a read-mostly catalog next to a write-hot ledger,
   with the ledger pinned to primary-copy management on runtimes that honour
-  per-object policies (one cluster, two management strategies at once).
+  per-object policies (one cluster, two management strategies at once);
+* ``hotspot-shift``  — a counter farm whose hot keys rotate every workload
+  phase (or arrival-trace segment), the moving-hotspot pattern that static
+  shard placement cannot follow but online rebalancing can.
 
 New kinds register themselves with :class:`ScenarioRegistry` via the
 :func:`scenario` class decorator.
@@ -309,6 +312,53 @@ class PolicyMix(Scenario):
         if policy_of is not None:
             facts["policies"] = {h.name: policy_of(h) for h in self.handles}
         return facts
+
+
+@scenario("hotspot-shift")
+class HotspotShift(Scenario):
+    """A counter farm whose hot keys rotate with the workload phase.
+
+    The sampled key is rotated by ``phase * stride`` before it picks a
+    counter, so the Zipf-hottest objects are different in every phase (and
+    every arrival-trace segment).  The stride is chosen so consecutive
+    phases land the hotspot on a *different* shard under the id-hash
+    placement — the moving hotspot a static placement cannot follow.
+    """
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(name=cls.kind, num_keys=16, popularity="zipfian",
+                            zipf_s=1.3, read_fraction=0.5,
+                            client_model="open",
+                            arrival_trace=((0.02, 800.0), (0.02, 800.0),
+                                           (0.02, 800.0)))
+
+    @property
+    def stride(self) -> int:
+        # num_keys // 4 + 1 is coprime-ish with the usual shard counts, so
+        # the rotated hotspot does not stay pinned to one group.
+        return max(1, self.spec.num_keys // 4 + 1)
+
+    def _counter_for(self, request: Request) -> int:
+        return (request.key + request.phase * self.stride) % self.spec.num_keys
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.handles = [
+            rts.create_object(proc, IntObject, (0,), name=f"counter[{i}]")
+            for i in range(self.spec.num_keys)
+        ]
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        handle = self.handles[self._counter_for(request)]
+        if request.is_write:
+            return rts.invoke(proc, handle, "add", (1,))
+        return rts.invoke(proc, handle, "read")
+
+    def validate(self, rts, proc, totals):
+        total = sum(rts.invoke(proc, handle, "read") for handle in self.handles)
+        assert total == totals["writes"], (
+            f"shifting counter farm lost updates: {total} != {totals['writes']}")
+        return {"counter_total": total}
 
 
 @scenario("hot-spot")

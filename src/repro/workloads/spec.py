@@ -94,6 +94,15 @@ class WorkloadSpec:
     phases:
         Optional multi-phase schedule; empty means one phase built from the
         top-level fields.
+    arrival_trace:
+        Deterministic per-phase arrival-rate trace: a sequence of
+        ``(duration, rate)`` segments, in virtual seconds and requests per
+        second per client.  When set (open-loop only), each client draws
+        piecewise-Poisson arrivals across the segments and issues requests
+        until the trace ends — the request *count* falls out of the trace
+        instead of being fixed up front.  The segment index is exposed as
+        the request's ``phase``, which is what lets scenario kinds shift a
+        hotspot from one segment to the next (see ``hotspot-shift``).
     """
 
     name: str = "workload"
@@ -108,6 +117,7 @@ class WorkloadSpec:
     think_time: float = 0.0
     arrival_rate: float = 200.0
     phases: Tuple[PhaseSpec, ...] = field(default_factory=tuple)
+    arrival_trace: Tuple[Tuple[float, float], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.popularity not in POPULARITY_KINDS:
@@ -133,6 +143,24 @@ class WorkloadSpec:
                 f"hot_read_fraction must be in [0, 1], got {self.hot_read_fraction}")
         if self.client_model == "open" and self.arrival_rate <= 0:
             raise ConfigurationError("open-loop workloads need arrival_rate > 0")
+        if self.arrival_trace:
+            if self.client_model != "open":
+                raise ConfigurationError(
+                    "arrival_trace drives open-loop arrivals; set "
+                    "client_model='open'")
+            if self.phases:
+                raise ConfigurationError(
+                    "give either phases or arrival_trace, not both")
+            for segment in self.arrival_trace:
+                if len(segment) != 2:
+                    raise ConfigurationError(
+                        f"trace segments are (duration, rate) pairs, got "
+                        f"{segment!r}")
+                duration, rate = segment
+                if duration <= 0 or rate <= 0:
+                    raise ConfigurationError(
+                        f"trace segment ({duration}, {rate}) must have "
+                        "positive duration and rate")
 
     # ------------------------------------------------------------------ #
 
@@ -228,6 +256,52 @@ def request_stream(spec: WorkloadSpec, rng: random.Random) -> Iterator[Request]:
             is_write = rng.random() >= read_fraction
             yield Request(seq=seq, key=key, is_write=is_write, phase=phase_index)
             seq += 1
+
+
+def trace_arrivals(trace: Sequence[Tuple[float, float]],
+                   rng: random.Random) -> Iterator[Tuple[float, int]]:
+    """Piecewise-Poisson arrival times over a ``(duration, rate)`` trace.
+
+    Yields ``(arrival_time, segment_index)`` pairs, deterministic per seeded
+    ``rng``.  Gaps are drawn at the current segment's rate; a gap that
+    crosses a boundary restarts the draw inside the next segment (a cheap,
+    deterministic stand-in for exact thinning — the bias is one inter-arrival
+    gap per boundary).
+    """
+    t = 0.0
+    start = 0.0
+    for segment, (duration, rate) in enumerate(trace):
+        end = start + duration
+        t = max(t, start)
+        while True:
+            gap = rng.expovariate(rate)
+            if t + gap >= end:
+                break
+            t += gap
+            yield t, segment
+        start = end
+
+
+def traced_request_stream(spec: WorkloadSpec,
+                          rng: random.Random) -> Iterator[Tuple[Request, float]]:
+    """One client's requests under the spec's arrival-rate trace.
+
+    Yields ``(request, intended_arrival_time)``; the request's ``phase`` is
+    the trace segment it arrived in.  Key popularity and the (possibly
+    key-correlated) read/write mix work exactly as in :func:`request_stream`,
+    drawn in a fixed order so the stream is identical across configurations.
+    """
+    sampler = KeySampler(spec)
+    seq = 0
+    for arrival, segment in trace_arrivals(spec.arrival_trace, rng):
+        key = sampler.sample(rng)
+        read_fraction = spec.read_fraction
+        if key < spec.hot_keys:
+            read_fraction = spec.hot_read_fraction
+        is_write = rng.random() >= read_fraction
+        yield Request(seq=seq, key=key, is_write=is_write,
+                      phase=segment), arrival
+        seq += 1
 
 
 def observed_mix(requests: Sequence[Request]) -> float:

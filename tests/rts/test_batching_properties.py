@@ -263,3 +263,94 @@ class TestBatchingMechanics:
         batched = deliveries({"max_batch": 8, "flush_delay": 0.0})
         unbatched = deliveries(None)
         assert batched < unbatched
+
+
+class TestBatchAwareFlowControl:
+    """The backpressure knob: senders back off from a drowning sequencer."""
+
+    def run_overload(self, backpressure_depth):
+        """A write burst against a drowning sequencer (5 ms service time,
+        deep enough that queued messages outlive the senders' retry
+        timers); returns observable state plus queue/retry statistics."""
+        from repro.config import CostModel
+
+        cost = CostModel().with_overrides(cpu={"sequencing_cost": 5.0e-3})
+        cluster = Cluster(ClusterConfig(num_nodes=8, seed=13, cost_model=cost))
+        rts = BroadcastRts(cluster, batching={
+            "max_batch": 4, "flush_delay": 0.0,
+            "backpressure_depth": backpressure_depth,
+        })
+        handles = {}
+
+        def setup():
+            proc = cluster.sim.current_process
+            handles["log"] = rts.create_object(proc, AppendLog, name="log")
+
+        def client(node_id, client_id):
+            proc = cluster.sim.current_process
+            for k in range(15):
+                rts.invoke(proc, handles["log"], "append",
+                           ((node_id, client_id, k),))
+
+        cluster.node(0).kernel.spawn_thread(setup)
+        cluster.run()
+        for node in cluster.nodes:
+            for client_id in range(3):
+                node.kernel.spawn_thread(client, node.node_id, client_id)
+        cluster.run()
+        state = {
+            "log": [tuple(item) for item in
+                    rts.manager(0).get(handles["log"].obj_id).instance.items],
+            "max_queue_depth": rts.group.sequencer.max_queue_depth,
+            "holds": rts.stats.flow_control_holds,
+            "elections": rts.group.stats.elections,
+            "retransmits": rts.group.stats.retransmit_requests,
+            "batches": rts.stats.batches_sent,
+            "summary": rts.read_write_summary(),
+        }
+        cluster.shutdown()
+        return state
+
+    def test_backpressure_stops_the_retry_spiral(self):
+        uncontrolled = self.run_overload(None)
+        controlled = self.run_overload(2)
+        # Same writes, applied exactly once, in per-client order, each way.
+        for state in (uncontrolled, controlled):
+            per_client = {}
+            for node_id, client_id, k in state["log"]:
+                per_client.setdefault((node_id, client_id), []).append(k)
+            assert len(state["log"]) == 8 * 3 * 15
+            for ks in per_client.values():
+                assert ks == list(range(15))
+            assert state["elections"] == 0
+        # Without the knob, queued batches outlive their senders' retry
+        # timers: hundreds of spurious (duplicate-suppressed) retransmits
+        # pour extra work onto the already-drowning sequencer.
+        assert uncontrolled["retransmits"] > 100
+        # With it, senders hold ready batches instead: the queue stays
+        # shallow, the retry path stays essentially untriggered, and the
+        # same writes ride fewer, larger batches.
+        assert controlled["holds"] > 0
+        assert controlled["retransmits"] < uncontrolled["retransmits"] / 5
+        assert controlled["max_queue_depth"] < uncontrolled["max_queue_depth"] / 2
+        assert controlled["batches"] < uncontrolled["batches"]
+        assert controlled["summary"]["flow_control_holds"] == controlled["holds"]
+
+    def test_knob_is_inert_without_a_queueing_sequencer(self):
+        """With sequencing_cost 0 the queue never forms; the knob no-ops."""
+        cluster = Cluster(ClusterConfig(num_nodes=2, seed=13))
+        rts = BroadcastRts(cluster, batching={"max_batch": 4,
+                                              "backpressure_depth": 2})
+        with cluster:
+            handles = {}
+
+            def main():
+                proc = cluster.sim.current_process
+                handles["c"] = rts.create_object(proc, Counter, (0,), name="c")
+                for _ in range(20):
+                    rts.invoke(proc, handles["c"], "add", (1,))
+                assert rts.invoke(proc, handles["c"], "read") == 20
+
+            cluster.node(0).kernel.spawn_thread(main)
+            cluster.run()
+            assert rts.stats.flow_control_holds == 0

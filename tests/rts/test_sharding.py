@@ -13,9 +13,13 @@ from repro.rts.sharding import (
     BatchingParams,
     ExplicitPlacement,
     HashPlacement,
+    RebalanceMove,
+    RebalanceParams,
+    RebalancePlanner,
     ShardRouter,
     batching_params,
     make_policy,
+    rebalance_params,
 )
 
 
@@ -89,6 +93,33 @@ class TestBatchingParams:
         with pytest.raises(ConfigurationError):
             BatchingParams(flush_delay=-1.0)
 
+    def test_backpressure_knob(self):
+        params = batching_params({"max_batch": 4, "backpressure_depth": 16})
+        assert params.backpressure_depth == 16
+        assert BatchingParams().backpressure_depth is None
+        with pytest.raises(ConfigurationError):
+            BatchingParams(backpressure_depth=0)
+
+
+class TestRebalanceParams:
+    def test_coercions(self):
+        assert rebalance_params(None) is None
+        assert rebalance_params(False) is None
+        assert rebalance_params(True) == RebalanceParams()
+        params = rebalance_params({"interval": 0.01, "grow_to": 4})
+        assert params.interval == 0.01 and params.grow_to == 4
+        assert rebalance_params(params) is params
+        with pytest.raises(ConfigurationError):
+            rebalance_params("often")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RebalanceParams(interval=0.0)
+        with pytest.raises(ConfigurationError):
+            RebalanceParams(quiet_rounds=0)
+        with pytest.raises(ConfigurationError):
+            RebalanceParams(grow_to=0)
+
 
 class TestShardRouter:
     def test_single_shard_reuses_the_cluster_group(self):
@@ -110,6 +141,121 @@ class TestShardRouter:
             summary = router.summary()
             assert summary["num_shards"] == 2
             assert set(summary["per_shard"]) == {0, 1}
+            assert summary["placement_epoch"] == 0
+            assert "overrides" not in summary
+            assert summary["per_shard"][0]["max_queue_depth"] == 0
+
+    def test_move_records_override_and_bumps_epoch(self):
+        with Cluster(ClusterConfig(num_nodes=4, seed=1)) as cluster:
+            router = ShardRouter(cluster, num_shards=2)
+            assert router.assign(1, "a") == 0
+            assert router.move(1, 1) == 0
+            assert router.assigned_shard(1) == 1
+            assert router.overrides == {1: 1}
+            assert router.placement_epoch == 1
+            assert router.move(1, 1) == 1  # noop keeps the epoch
+            assert router.placement_epoch == 1
+            assert router.summary()["overrides"] == {1: 1}
+            with pytest.raises(ConfigurationError):
+                router.move(1, 5)
+            with pytest.raises(ConfigurationError):
+                router.move(99, 0)  # never placed
+
+    def test_window_counters_follow_a_moved_object(self):
+        with Cluster(ClusterConfig(num_nodes=4, seed=1)) as cluster:
+            router = ShardRouter(cluster, num_shards=2)
+            for _ in range(6):
+                router.note_write(1, "a")  # shard 0
+            router.note_write(2, "b")      # shard 1
+            assert router.window_loads() == {0: 6, 1: 1}
+            router.move(1, 1)
+            assert router.window_loads() == {0: 0, 1: 7}
+            assert router.window_object_writes(shard=1) == {1: 6, 2: 1}
+            router.reset_window()
+            assert router.window_loads() == {0: 0, 1: 0}
+            # Cumulative per-shard stats are untouched by the reset.
+            assert router.shard_stats[0].writes == 6
+
+    def test_add_shard_prefers_seatless_live_nodes(self):
+        with Cluster(ClusterConfig(num_nodes=4, seed=1)) as cluster:
+            router = ShardRouter(cluster, num_shards=2)  # seats 0, 1
+            cluster.node(2).crash()
+            shard = router.add_shard()
+            assert shard == 2
+            assert router.num_shards == 3
+            assert router.sequencer_nodes() == [0, 1, 3]
+            assert router.placement_epoch == 1
+            # Hash placement grew with the shard set.
+            assert router.policy.num_shards == 3
+
+    def test_add_shard_rejects_dead_explicit_seat(self):
+        with Cluster(ClusterConfig(num_nodes=2, seed=1)) as cluster:
+            cluster.node(1).crash()
+            router = ShardRouter(cluster)
+            with pytest.raises(ConfigurationError):
+                router.add_shard(sequencer_node_id=1)
+
+
+class TestRebalancePlanner:
+    def make_router(self, num_shards=2):
+        cluster = Cluster(ClusterConfig(num_nodes=4, seed=1))
+        return cluster, ShardRouter(cluster, num_shards=num_shards)
+
+    def test_balanced_or_thin_windows_produce_no_moves(self):
+        cluster, router = self.make_router()
+        with cluster:
+            planner = RebalancePlanner(router, min_writes=8)
+            assert planner.plan() == []  # no traffic at all
+            for obj, name in ((1, "a"), (2, "b")):
+                for _ in range(10):
+                    router.note_write(obj, name)
+            assert planner.plan() == []  # balanced
+            assert planner.suggest(1) is None
+
+    def test_plan_moves_hot_objects_without_overshooting(self):
+        cluster, router = self.make_router()
+        with cluster:
+            # Shard 0 carries a monolith (16) and a medium object (6);
+            # shard 1 carries 8.  The deficit is 14, so relocating the
+            # monolith would leave the destination hotter than the source
+            # was (16 >= 14) — the medium object moves instead.
+            for _ in range(16):
+                router.note_write(1, "mono")
+            for _ in range(6):
+                router.note_write(3, "mid")
+            for _ in range(8):
+                router.note_write(2, "cool")
+            planner = RebalancePlanner(router, imbalance=1.5, min_writes=8)
+            moves = planner.plan()
+            assert moves == [RebalanceMove(obj_id=3, src=0, dst=1)]
+            # suggest() agrees per object.
+            assert planner.suggest(3) == 1
+            assert planner.suggest(1) is None  # monolith would overshoot
+            assert planner.suggest(2) is None  # not on the hot shard
+
+    def test_monolith_moves_when_it_improves_the_hot_bin(self):
+        cluster, router = self.make_router()
+        with cluster:
+            for _ in range(16):
+                router.note_write(1, "mono")
+            for _ in range(2):
+                router.note_write(3, "small")
+            # deficit 18 > 16: relocating the monolith helps.
+            router.note_write(2, "cool")
+            router._window_shard_writes[1] = 0
+            router._window_obj_writes.pop(2, None)
+            planner = RebalancePlanner(router, imbalance=1.5, min_writes=8,
+                                       max_moves=1)
+            moves = planner.plan()
+            assert moves == [RebalanceMove(obj_id=1, src=0, dst=1)]
+
+    def test_planner_validation(self):
+        cluster, router = self.make_router()
+        with cluster:
+            with pytest.raises(ConfigurationError):
+                RebalancePlanner(router, imbalance=1.0)
+            with pytest.raises(ConfigurationError):
+                RebalancePlanner(router, min_writes=0)
 
 
 class TestShardedRtsDispatch:

@@ -116,6 +116,26 @@ class TestClientModels:
             workload=SMALL.with_overrides(think_time=0.005)).run()
         assert thoughtful.elapsed > quick.elapsed
 
+    def test_arrival_trace_drives_the_request_count(self):
+        traced = WorkloadSpec(name="traced", num_keys=4, read_fraction=0.5,
+                              client_model="open",
+                              arrival_trace=((0.01, 1000.0), (0.01, 3000.0)))
+        report = small_runner(workload=traced).run()
+        # ~3 clients x ~(10 + 30) arrivals; exact count is seed-determined.
+        assert 60 <= report.total_ops <= 180
+        repeat = small_runner(workload=traced).run()
+        assert repeat.fingerprint() == report.fingerprint()
+
+    def test_hotspot_shift_scenario_moves_between_shards(self):
+        report = WorkloadRunner("hotspot-shift", runtime="broadcast",
+                                num_nodes=4, clients_per_node=1, seed=11,
+                                num_shards=4).run()
+        assert report.scenario_facts["counter_total"] == report.writes
+        # The per-phase hotspot landed writes on several groups.
+        per_shard = report.rts_summary["sharding"]["per_shard"]
+        busy = [s for s, stats in per_shard.items() if stats["writes"] > 0]
+        assert len(busy) >= 3
+
 
 class TestMatrixAndHarness:
     def test_matrix_covers_all_combinations(self):

@@ -9,8 +9,8 @@ from repro.rts.object_model import execute_operation
 from repro.workloads import PollableQueue, Scenario, ScenarioRegistry, WorkloadSpec
 from repro.workloads.scenarios import scenario
 
-BUILTIN_KINDS = ["counter-farm", "fifo-queue", "hot-spot", "kv-table",
-                 "policy-mix", "read-mostly-catalog"]
+BUILTIN_KINDS = ["counter-farm", "fifo-queue", "hot-spot", "hotspot-shift",
+                 "kv-table", "policy-mix", "read-mostly-catalog"]
 
 
 class TestRegistry:
@@ -93,3 +93,18 @@ class TestDefaultSpecs:
 
     def test_hot_spot_uses_single_key(self):
         assert ScenarioRegistry.get("hot-spot").default_spec().num_keys == 1
+
+    def test_hotspot_shift_rotates_the_hot_keys_per_phase(self):
+        from repro.workloads import Request
+
+        scenario_obj = ScenarioRegistry.create("hotspot-shift")
+        spec = scenario_obj.spec
+        assert spec.arrival_trace  # trace-driven by default
+        stride = scenario_obj.stride
+        assert stride % 4 != 0  # the rotation must change the id-hash shard
+        key0 = scenario_obj._counter_for(Request(0, 0, True, phase=0))
+        key1 = scenario_obj._counter_for(Request(1, 0, True, phase=1))
+        key2 = scenario_obj._counter_for(Request(2, 0, True, phase=2))
+        assert len({key0, key1, key2}) == 3
+        # Consecutive phases put the hottest key on different id-hash shards.
+        assert key0 % 4 != key1 % 4

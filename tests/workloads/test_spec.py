@@ -13,6 +13,8 @@ from repro.workloads import (
     WorkloadSpec,
     bursty,
     request_stream,
+    trace_arrivals,
+    traced_request_stream,
 )
 from repro.workloads.spec import observed_mix
 
@@ -125,3 +127,59 @@ class TestPhases:
         other = spec.with_overrides(num_keys=64)
         assert other.num_keys == 64
         assert spec.num_keys == 8
+
+
+class TestArrivalTrace:
+    def make_spec(self, trace=((0.05, 400.0), (0.05, 1200.0))):
+        return WorkloadSpec(name="traced", client_model="open",
+                            arrival_trace=tuple(trace))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(client_model="closed", arrival_trace=((0.1, 100.0),))
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(client_model="open", arrival_trace=((0.1, -5.0),))
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(client_model="open", arrival_trace=((0.0, 100.0),))
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(client_model="open", arrival_trace=((0.1,),))
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(client_model="open", arrival_trace=((0.1, 100.0),),
+                         phases=(PhaseSpec(ops_per_client=5),))
+
+    def test_arrivals_are_deterministic_and_ordered(self):
+        trace = ((0.05, 400.0), (0.05, 1200.0))
+        first = list(trace_arrivals(trace, random.Random(7)))
+        second = list(trace_arrivals(trace, random.Random(7)))
+        assert first == second and first
+        times = [t for t, _ in first]
+        assert times == sorted(times)
+        assert all(0.0 < t < 0.1 for t in times)
+
+    def test_segment_rates_shape_the_arrival_counts(self):
+        trace = ((0.5, 200.0), (0.5, 1000.0))
+        arrivals = list(trace_arrivals(trace, random.Random(11)))
+        slow = sum(1 for _, seg in arrivals if seg == 0)
+        fast = sum(1 for _, seg in arrivals if seg == 1)
+        # ~100 vs ~500 expected; demand a clear gap, not exact counts.
+        assert fast > 3 * slow
+        # Segment tags match the arrival times.
+        for t, seg in arrivals:
+            assert (t >= 0.5) == (seg == 1)
+
+    def test_traced_request_stream_tags_phase_and_respects_mix(self):
+        spec = self.make_spec().with_overrides(read_fraction=0.0)
+        stream = list(traced_request_stream(spec, random.Random(3)))
+        assert stream
+        seqs = [request.seq for request, _ in stream]
+        assert seqs == list(range(len(stream)))
+        for request, arrival in stream:
+            assert request.is_write
+            assert request.phase in (0, 1)
+            assert (arrival >= 0.05) == (request.phase == 1)
+
+    def test_traced_stream_is_deterministic(self):
+        spec = self.make_spec()
+        a = list(traced_request_stream(spec, random.Random(9)))
+        b = list(traced_request_stream(spec, random.Random(9)))
+        assert a == b
