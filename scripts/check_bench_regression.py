@@ -1,0 +1,114 @@
+"""Benchmark-regression gate for the CI smoke reports.
+
+Compares a freshly produced ``--smoke`` JSON report against a committed
+baseline (``benchmarks/baselines/*.json``) and fails when a performance
+metric regressed beyond the tolerance:
+
+* throughput-like metrics (higher is better) must not drop below
+  ``baseline * (1 - tolerance)``;
+* latency-like metrics (lower is better) must not rise above
+  ``baseline * (1 + tolerance)``.
+
+Every other field is informational only — correctness is the determinism
+byte-diff's job, not this gate's.  The simulator is deterministic in
+virtual time, so the default +/-15% tolerance is generous headroom for
+intentional performance changes; genuine regressions blow straight
+through it.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline benchmarks/baselines/workloads.json \
+        --candidate smoke-1.json [--tolerance 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = {"throughput", "post_window_throughput"}
+LOWER_IS_BETTER = {"p50", "p95", "p99", "recovery_window", "max_write_latency"}
+
+
+def iter_metrics(node, path=()):
+    """Yield ``(path, key, value)`` for every gated numeric field."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in HIGHER_IS_BETTER | LOWER_IS_BETTER and isinstance(
+                value, (int, float)
+            ):
+                yield path, key, float(value)
+            else:
+                yield from iter_metrics(value, path + (str(key),))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from iter_metrics(value, path + (str(index),))
+
+
+def lookup(node, path):
+    for key in path:
+        if isinstance(node, dict):
+            node = node.get(key)
+        elif isinstance(node, list):
+            index = int(key)
+            node = node[index] if 0 <= index < len(node) else None
+        else:
+            return None
+    return node
+
+
+def compare(baseline, candidate, tolerance):
+    """Return a list of human-readable regression descriptions."""
+    problems = []
+    for path, key, base_value in iter_metrics(baseline):
+        cand_node = lookup(candidate, path)
+        cand_value = cand_node.get(key) if isinstance(cand_node, dict) else None
+        where = "/".join(path + (key,))
+        if not isinstance(cand_value, (int, float)):
+            problems.append(f"{where}: missing from candidate report")
+            continue
+        cand_value = float(cand_value)
+        if base_value == 0.0:
+            continue  # nothing meaningful to ratio against
+        ratio = cand_value / base_value
+        if key in HIGHER_IS_BETTER and ratio < 1.0 - tolerance:
+            problems.append(
+                f"{where}: {cand_value:.6g} is {100 * (1 - ratio):.1f}% below "
+                f"baseline {base_value:.6g}"
+            )
+        if key in LOWER_IS_BETTER and ratio > 1.0 + tolerance:
+            problems.append(
+                f"{where}: {cand_value:.6g} is {100 * (ratio - 1):.1f}% above "
+                f"baseline {base_value:.6g}"
+            )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.candidate) as fh:
+        candidate = json.load(fh)
+
+    checked = sum(1 for _ in iter_metrics(baseline))
+    problems = compare(baseline, candidate, args.tolerance)
+    label = f"{args.candidate} vs {args.baseline}"
+    if problems:
+        print(f"REGRESSION: {label} ({len(problems)} of {checked} metrics)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"ok: {label} ({checked} metrics within +/-{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

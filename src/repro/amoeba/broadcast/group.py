@@ -304,6 +304,49 @@ class GroupMember:
             if self.delivery_handler is not None:
                 self.delivery_handler(delivered)
 
+    def probe_gap(self) -> None:
+        """One-shot recovery probe for the next expected sequence number.
+
+        The in-band gap machinery only fires when a *later* arrival reveals
+        a hole.  A layer above can know out of band that this member missed
+        sequenced traffic — e.g. a coherence message stamped with a newer
+        regime epoch arrived while the group has gone quiet (all later
+        traffic left the broadcast path), so nothing in-band will ever
+        reveal the gap.  This broadcasts a single gap request for the first
+        unseen seqno: if it exists anywhere, the sequencer or the rotating
+        designated peer serves it from retained history; if it does not
+        (the evidence was a transient race), the request goes unanswered
+        and it is the caller's job to re-probe — there is deliberately no
+        self-re-arm here, so probing a not-yet-sequenced seqno cannot spin.
+        """
+        seqno = self.engine.next_expected
+        if seqno in self._gap_timers:
+            return  # in-band gap recovery is already chasing it
+        # Always a broadcast: the probe exists precisely for situations
+        # where the sequencer may be gone.
+        self._send_gap_request(seqno, prefer_sequencer=False)
+
+    def _send_gap_request(self, seqno: int, prefer_sequencer: bool) -> None:
+        """Emit one retransmit request for ``seqno`` (unicast or broadcast).
+
+        The first request may go unicast to the sequencer; repeats (and
+        sequencer-less probes) broadcast so the rotating designated peer
+        answers from retained history.
+        """
+        attempts = self._gap_attempts.get(seqno, 0) + 1
+        self._gap_attempts[seqno] = attempts
+        self.group.stats.retransmit_requests += 1
+        self.group.stats.control_bytes_sent += CONTROL_MESSAGE_SIZE
+        sequencer_node = self.group.sequencer_node_id
+        destination = None
+        if (prefer_sequencer and sequencer_node != self.node_id
+                and attempts <= 1):
+            destination = sequencer_node
+        msg = self.node.make_message(
+            destination, self.group.wire_kind(KIND_RETRANSMIT_REQ),
+            size=CONTROL_MESSAGE_SIZE, seqno=seqno, salvo=attempts)
+        self.node.send(msg)
+
     def _schedule_gap_requests(self) -> None:
         for seqno in self.engine.missing_seqnos():
             if seqno in self._gap_timers:
@@ -317,25 +360,11 @@ class GroupMember:
         if seqno < self.engine.next_expected:
             self._gap_attempts.pop(seqno, None)
             return  # it arrived in the meantime
-        self.group.stats.retransmit_requests += 1
-        self.group.stats.control_bytes_sent += CONTROL_MESSAGE_SIZE
-        attempts = self._gap_attempts.get(seqno, 0) + 1
-        self._gap_attempts[seqno] = attempts
-        sequencer_node = self.group.sequencer_node_id
-        if sequencer_node == self.node_id or attempts > 1:
-            # The sequencer cannot help — it is hosted here (and its history
-            # lacks the message) or it already failed to answer a unicast
-            # request — so ask the whole group; the attempt counter rotates
-            # which member (holding the message in its retained history)
-            # answers.
-            destination = None
-        else:
-            destination = sequencer_node
-        msg = self.node.make_message(destination,
-                                     self.group.wire_kind(KIND_RETRANSMIT_REQ),
-                                     size=CONTROL_MESSAGE_SIZE, seqno=seqno,
-                                     salvo=attempts)
-        self.node.send(msg)
+        # First attempt goes unicast to the sequencer; after that (or when
+        # the sequencer is hosted here and its history lacks the message)
+        # the whole group is asked, the attempt counter rotating which
+        # member answers from its retained history.
+        self._send_gap_request(seqno, prefer_sequencer=True)
         # Re-arm in case the retransmission is lost too.
         self._gap_timers[seqno] = self.node.kernel.set_timer(
             self.group.retry_timeout, self._request_retransmit, seqno

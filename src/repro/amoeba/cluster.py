@@ -48,9 +48,19 @@ class Cluster:
         self.rpc: Dict[int, RpcEndpoint] = {
             node.node_id: RpcEndpoint(node) for node in self.nodes
         }
+        # Failure detection: a node crash fails every RPC still waiting on
+        # that machine, cluster-wide, so callers observe the death instead
+        # of blocking on a reply that cannot come.  (The stand-in for the
+        # failure-detector service a real cluster membership layer runs.)
+        for node in self.nodes:
+            node.on_crash(lambda nid=node.node_id: self._on_node_crash(nid))
         #: Every broadcast group created on this cluster, by group id.  Group
         #: 0 is the classic cluster-wide group; the sharding layer adds more.
         self.broadcast_groups: Dict[int, Any] = {}
+
+    def _on_node_crash(self, crashed: int) -> None:
+        for endpoint in self.rpc.values():
+            endpoint.fail_pending_to(crashed)
 
     def _build_network(self, network_type: str) -> BaseNetwork:
         if network_type == "ethernet":

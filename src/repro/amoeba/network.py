@@ -104,6 +104,16 @@ class BaseNetwork:
     def node_ids(self) -> List[int]:
         return sorted(self._nics)
 
+    def peer_alive(self, node_id: int) -> bool:
+        """Is the machine behind ``node_id`` up?
+
+        The failure-detection primitive the RPC layer consults before
+        blocking on a reply: talking to a machine already known dead fails
+        fast instead of waiting on a reply that cannot come.
+        """
+        nic = self._nics.get(node_id)
+        return nic is not None and nic.node.alive
+
     # -- sending ---------------------------------------------------------- #
 
     def send(self, msg: Message, on_sent: Optional[Callable[[Message], None]] = None) -> None:

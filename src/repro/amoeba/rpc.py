@@ -23,7 +23,7 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
-from ..errors import RpcError, RpcTimeoutError
+from ..errors import RpcError, RpcPeerDeadError, RpcTimeoutError
 from .message import Message, estimate_size
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -59,10 +59,12 @@ class RpcReply:
 @dataclass
 class _PendingCall:
     process: "SimProcess"
+    server_node: int = -1
     timeout_timer: Optional[int] = None
     reply: Any = None
     completed: bool = False
     timed_out: bool = False
+    peer_dead: bool = False
 
 
 class RpcEndpoint:
@@ -188,7 +190,15 @@ class RpcEndpoint:
                 return result.payload
             return result
 
-        pending = _PendingCall(process=proc)
+        if (self.node.network is not None
+                and not self.node.network.peer_alive(server_node)):
+            # The failure detector already knows the server is down: fail
+            # fast instead of parking on a reply that cannot come.
+            raise RpcPeerDeadError(
+                f"RPC {port!r} from node {self.node.node_id} refused: "
+                f"node {server_node} is crashed"
+            )
+        pending = _PendingCall(process=proc, server_node=server_node)
         self._pending[rpc_id] = pending
         request = Message(
             src=self.node.node_id,
@@ -211,6 +221,11 @@ class RpcEndpoint:
         if pending.timed_out:
             raise RpcTimeoutError(
                 f"RPC {port!r} from node {self.node.node_id} to node {server_node} timed out"
+            )
+        if pending.peer_dead:
+            raise RpcPeerDeadError(
+                f"RPC {port!r} from node {self.node.node_id} failed: "
+                f"node {server_node} crashed"
             )
         proc.absorb_overhead(self.node.drain_overhead())
         error = pending.reply.headers.get("error")
@@ -235,3 +250,26 @@ class RpcEndpoint:
         pending.completed = True
         pending.timed_out = True
         pending.process.wake()
+
+    def fail_pending_to(self, server_node: int) -> None:
+        """Fail every outstanding call addressed to a crashed server.
+
+        The cluster invokes this from its node-crash listeners, acting as
+        the failure detector: a blocked client is woken and its ``call``
+        raises :class:`~repro.errors.RpcPeerDeadError`, so protocol layers
+        can re-route the request (e.g. to a recovered primary copy) instead
+        of waiting forever on a machine that will never reply.
+        """
+        if not self.node.alive:
+            # This endpoint's own machine is dead: its parked processes
+            # died with it and must not be resurrected by another node's
+            # crash notification.
+            return
+        for pending in list(self._pending.values()):
+            if pending.server_node != server_node or pending.completed:
+                continue
+            pending.completed = True
+            pending.peer_dead = True
+            if pending.timeout_timer is not None:
+                self.node.kernel.cancel_timer(pending.timeout_timer)
+            pending.process.wake()

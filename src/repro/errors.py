@@ -39,6 +39,16 @@ class RpcTimeoutError(RpcError):
     """Raised when an RPC does not complete within its timeout."""
 
 
+class RpcPeerDeadError(RpcError):
+    """Raised when the failure detector reports the RPC's server crashed.
+
+    The cluster wires every node crash to :meth:`RpcEndpoint.fail_pending_to`,
+    so a client blocked on a call to the dead machine is woken with this
+    error instead of hanging on a reply that can never arrive — the
+    simulator's stand-in for a failure-detection service.
+    """
+
+
 class BroadcastError(ReproError):
     """Errors raised by the totally-ordered broadcast protocols."""
 

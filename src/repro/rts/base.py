@@ -67,6 +67,10 @@ class RtsStats:
     shard_moves: int = 0
     shards_added: int = 0
     primary_relocations: int = 0
+    #: Primary takeovers after a primary-node crash, and client write
+    #: re-issues that the applied-write-id table recognised as duplicates.
+    primary_recoveries: int = 0
+    deduplicated_writes: int = 0
     per_object_reads: Dict[int, int] = field(default_factory=dict)
     per_object_writes: Dict[int, int] = field(default_factory=dict)
 

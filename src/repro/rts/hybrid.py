@@ -104,7 +104,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple, Type
 from ..amoeba.broadcast.protocol import DeliveredMessage
 from ..amoeba.message import estimate_size
 from ..amoeba.rpc import RpcReply, RpcRequest
-from ..errors import ConfigurationError, RtsError
+from ..errors import ConfigurationError, RpcPeerDeadError, RtsError
 from .base import ObjectHandle, RuntimeSystem
 from .consistency import HistoryRecorder
 from .object_model import RETRY, ObjectSpec
@@ -203,6 +203,32 @@ class ShardMoveRecord:
     src: int
     dst: int
     epoch: int
+
+
+@dataclass
+class RecoveryRecord:
+    """One primary takeover after a primary-node crash, for reports/tests.
+
+    ``from_snapshot`` is true when no surviving secondary held a valid copy
+    and the takeover fell back to the last committed state record (the
+    primary-invalidate worst case); ``completed_at - crashed_at`` is the
+    object's write-unavailability window in virtual seconds.
+    """
+
+    obj_id: int
+    name: str
+    old_primary: int
+    new_primary: int
+    epoch: int
+    from_snapshot: bool
+    crashed_at: float
+    completed_at: Optional[float] = None
+
+    @property
+    def window(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.crashed_at
 
 
 class _WriteBatcher:
@@ -432,6 +458,8 @@ class HybridRts(RuntimeSystem):
         self._switch_waiters: Dict[Tuple[int, int], List["SimProcess"]] = {}
         #: Coherence messages that raced ahead of a switch at some member.
         self._deferred: Dict[Tuple[int, int], List[Tuple[str, Dict[str, Any]]]] = {}
+        #: (node_id, obj_id) -> armed lag-probe timer (see _arm_lag_probe).
+        self._lag_probes: Dict[Tuple[int, int], int] = {}
         #: Objects frozen at their primary for a state transfer.
         self._frozen: Set[int] = set()
         #: Objects with a switch still being delivered somewhere.
@@ -446,6 +474,30 @@ class HybridRts(RuntimeSystem):
         self.shard_moves: List[ShardMoveRecord] = []
         #: (obj_id, old_primary, new_primary) per completed seat relocation.
         self.relocations: List[Tuple[int, int, int]] = []
+
+        # -- primary-failure recovery ------------------------------------ #
+        #: Cluster-unique write-invocation ids for the primary-copy path.
+        self._write_ids = itertools.count(1)
+        #: (node_id, obj_id) -> {origin: (seq, result)} of the latest write
+        #: each client process got applied there.  The dedup table that
+        #: makes a client's re-issue after a primary crash idempotent; it
+        #: travels with every copy (fetches, update fan-outs, relocation
+        #: and takeover switches).  Each client has at most one write
+        #: outstanding, so retaining only its newest id bounds the table
+        #: at O(clients) however long the run.
+        self._applied: Dict[Tuple[int, int], Dict[str, Tuple[int, Any]]] = {}
+        #: obj_id -> (state, version, dedup table) as of the last committed
+        #: primary write — the commit record a takeover falls back to when
+        #: the only valid copy died with its machine (primary-invalidate
+        #: objects after any write).
+        self._last_committed: Dict[int, Tuple[Any, int, Dict]] = {}
+        #: obj_id -> node coordinating an in-flight takeover (so a second
+        #: crash can restart recovery if the coordinator died too).
+        self._recovering: Dict[int, int] = {}
+        self.recoveries: List[RecoveryRecord] = []
+        #: obj_id -> virtual time of its last cross-group move (the
+        #: rebalance controller's per-object churn cooldown).
+        self._last_moved_at: Dict[int, float] = {}
 
         initial = self.default_policy
         needs_broadcast = (isinstance(initial, AdaptivePolicy)
@@ -638,6 +690,7 @@ class HybridRts(RuntimeSystem):
                                             is_primary=True)
         self.directory.register(handle.obj_id, node.node_id)
         self.stats.replicas_created += 1
+        self._commit_record(handle.obj_id, node.node_id)
         proc.advance(self.cost_model.cpu.operation_dispatch_cost)
         if self.replicate_everywhere:
             for other in self.cluster.nodes:
@@ -655,6 +708,8 @@ class HybridRts(RuntimeSystem):
         self.managers[node_id].discard(handle.obj_id)
         self.managers[node_id].install(handle.obj_id, handle.name, copy,
                                        version=source.version)
+        self._applied[(node_id, handle.obj_id)] = dict(
+            self._applied_table(primary, handle.obj_id))
         self.directory.add_copy(handle.obj_id, node_id)
         self.stats.replicas_created += 1
 
@@ -896,6 +951,9 @@ class HybridRts(RuntimeSystem):
         if kind == "switch":
             self._apply_switch(node_id, payload, delivered.origin)
             return
+        if kind == "takeover":
+            self._apply_takeover(node_id, payload, delivered.origin)
+            return
         if kind == "shard-switch":
             self._apply_shard_switch(node_id, payload, delivered.origin)
             return
@@ -921,6 +979,10 @@ class HybridRts(RuntimeSystem):
             # everywhere.
             self._future_writes.setdefault((node_id, obj_id), []).append(
                 (op_name, args, kwargs, invocation_id, epoch, origin, seqno))
+            # Same out-of-band evidence as a deferred coherence message: if
+            # the switch this write outran was lost here and its group went
+            # quiet, only an explicit probe will recover it.
+            self._arm_lag_probe(node_id, obj_id)
             return
         if epoch < delivered_up_to:
             # The write was sequenced after a switch it predates.  Every
@@ -1020,16 +1082,31 @@ class HybridRts(RuntimeSystem):
             self.stats.note_read(handle.obj_id, local=True)
             return result
         # No local copy: remote read at the primary.
-        primary = self.directory.primary_of(handle.obj_id)
         while True:
-            result = self.cluster.rpc_for(nid).call(
-                proc, primary, PORT_READ,
-                payload={"obj_id": handle.obj_id, "op_name": op.name,
-                         "args": args, "kwargs": kwargs or {}},
-                size=16 + estimate_size(args),
-            )
+            if self._mechanism_of(handle.obj_id) != MECHANISM_PRIMARY:
+                return MIGRATED
+            primary = self.directory.primary_of(handle.obj_id)
+            if not self.cluster.node(primary).alive:
+                # The primary died; the read re-routes after the takeover.
+                self._await_recovery(proc, handle.obj_id)
+                continue
+            try:
+                result = self.cluster.rpc_for(nid).call(
+                    proc, primary, PORT_READ,
+                    payload={"obj_id": handle.obj_id, "op_name": op.name,
+                             "args": args, "kwargs": kwargs or {}},
+                    size=16 + estimate_size(args),
+                )
+            except RpcPeerDeadError:
+                self._await_recovery(proc, handle.obj_id)
+                continue
             if isinstance(result, str) and result == MARKER_MIGRATED:
                 return MIGRATED
+            if isinstance(result, str) and result == MARKER_MIGRATING:
+                # The seat exists but cannot serve yet (e.g. a takeover
+                # switch still in flight): back off and retry.
+                proc.hold(self.cost_model.cpu.protocol_cost * 4)
+                continue
             if not (isinstance(result, str) and result == MARKER_RETRY):
                 self.stats.note_read(handle.obj_id, local=False)
                 return result
@@ -1041,11 +1118,16 @@ class HybridRts(RuntimeSystem):
         handle = self.handle(payload["obj_id"])
         op = handle.spec_class.operation_def(payload["op_name"])
         manager = self.managers[nid]
-        if (not manager.has_valid_copy(payload["obj_id"])
-                or self._mechanism_of(payload["obj_id"]) != MECHANISM_PRIMARY):
+        if self._mechanism_of(payload["obj_id"]) != MECHANISM_PRIMARY:
             # The object migrated away while the read was in flight; the
             # client re-routes it under the new policy.
             return MARKER_MIGRATED
+        if not manager.has_valid_copy(payload["obj_id"]):
+            # Still a primary-copy object, but this seat cannot serve yet —
+            # typically a takeover-elected primary that has not delivered
+            # its own switch.  The client backs off and retries (this
+            # handler runs in event context and must not block).
+            return MARKER_MIGRATING
         result = manager.execute_read(payload["obj_id"], op, payload["args"],
                                       payload["kwargs"])
         if result is RETRY:
@@ -1055,10 +1137,20 @@ class HybridRts(RuntimeSystem):
     def _primary_write(self, proc: "SimProcess", nid: int, handle: ObjectHandle,
                        op, args, kwargs) -> Any:
         obj_id = handle.obj_id
+        # One write id per invocation, stable across retries: it is what
+        # lets the new primary after a crash (or the old one after a lost
+        # reply) recognise a re-issued write and apply it exactly once.
+        # The origin is the client *process* (names are deterministic), so
+        # dedup state needs only the newest id per origin.
+        wid = (proc.name, next(self._write_ids))
         while True:
             if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
                 return MIGRATED
             primary = self.directory.primary_of(obj_id)
+            if not self.cluster.node(primary).alive:
+                # The primary died; wait out the takeover, then re-route.
+                self._await_recovery(proc, obj_id)
+                continue
             if primary == nid:
                 # The primary must have applied every pre-switch write (i.e.
                 # delivered the switch) before it can serialise new ones.
@@ -1073,16 +1165,25 @@ class HybridRts(RuntimeSystem):
                     # the switch; route it to the new one.
                     continue
                 self.stats.local_writes += 1
-                result = self._protocol_for_obj(obj_id).primary_write(
-                    proc, obj_id, op, args, kwargs)
+                result = self._commit_primary_write(proc, obj_id, op, args,
+                                                    kwargs, wid)
             else:
                 self.stats.rpc_writes += 1
-                result = self.cluster.rpc_for(nid).call(
-                    proc, primary, PORT_WRITE,
-                    payload={"obj_id": obj_id, "op_name": op.name,
-                             "args": args, "kwargs": kwargs or {}},
-                    size=16 + estimate_size(args) + estimate_size(kwargs or {}),
-                )
+                try:
+                    result = self.cluster.rpc_for(nid).call(
+                        proc, primary, PORT_WRITE,
+                        payload={"obj_id": obj_id, "op_name": op.name,
+                                 "args": args, "kwargs": kwargs or {},
+                                 "wid": wid},
+                        size=16 + estimate_size(args) + estimate_size(kwargs or {}),
+                    )
+                except RpcPeerDeadError:
+                    # The primary crashed with this write in flight.  A
+                    # surviving secondary takes over; the retry re-routes
+                    # there, and the write id suppresses a second apply if
+                    # the write already reached the surviving state.
+                    self._await_recovery(proc, obj_id)
+                    continue
                 if isinstance(result, str) and result == MARKER_MIGRATED:
                     return MIGRATED
                 if isinstance(result, str) and result == MARKER_MIGRATING:
@@ -1095,6 +1196,35 @@ class HybridRts(RuntimeSystem):
             # Guarded write rejected: wait a little and retry at the primary.
             self.stats.guard_retries += 1
             proc.hold(self.cost_model.cpu.protocol_cost * 4)
+
+    def _commit_primary_write(self, proc: "SimProcess", obj_id: int, op,
+                              args, kwargs, wid) -> Any:
+        """Dedup-checked protocol write at the primary, plus commit record.
+
+        Runs on the primary node (client or RPC server thread).  A write id
+        already present in the primary's applied table is a client re-issue
+        of a write that committed (e.g. the reply was lost to a crash): the
+        recorded result is returned without touching the object again.
+        """
+        primary = self.directory.primary_of(obj_id)
+        table = self._applied_table(primary, obj_id)
+        duplicate, recorded = self._lookup_applied(table, wid)
+        if duplicate:
+            self.stats.deduplicated_writes += 1
+            return recorded
+        result = self._protocol_for_obj(obj_id).primary_write(
+            proc, obj_id, op, args, kwargs, wid=wid)
+        if result is not RETRY:
+            if wid is not None:
+                table[wid[0]] = (wid[1], result)
+            # The record is refreshed at EVERY commit point, like the
+            # write-ahead commit record it models: deferring it while live
+            # secondaries exist would lose committed writes when the
+            # primary and the last secondary die together (the takeover
+            # would restore a stale snapshot).  The O(state) copy per
+            # commit is the price of that durability.
+            self._commit_record(obj_id, primary)
+        return result
 
     def _serve_write(self, nid: int, request: RpcRequest) -> Any:
         payload = request.payload
@@ -1114,8 +1244,9 @@ class HybridRts(RuntimeSystem):
         if self.directory.primary_of(obj_id) != nid:
             # Stale primary: the object migrated here and away again.
             return MARKER_MIGRATING
-        result = self._protocol_for_obj(obj_id).primary_write(
-            proc, obj_id, op, payload["args"], payload["kwargs"])
+        result = self._commit_primary_write(proc, obj_id, op, payload["args"],
+                                            payload["kwargs"],
+                                            payload.get("wid"))
         if result is RETRY:
             return MARKER_RETRY
         return result
@@ -1141,16 +1272,21 @@ class HybridRts(RuntimeSystem):
     def _fetch_copy(self, proc: "SimProcess", nid: int, handle: ObjectHandle) -> None:
         """Fetch the object state from the primary and install a local copy."""
         primary = self.directory.primary_of(handle.obj_id)
-        if primary == nid:
+        if primary == nid or not self.cluster.node(primary).alive:
             return
-        reply = self.cluster.rpc_for(nid).call(
-            proc, primary, PORT_FETCH,
-            payload={"obj_id": handle.obj_id, "requester": nid},
-            size=24,
-        )
+        try:
+            reply = self.cluster.rpc_for(nid).call(
+                proc, primary, PORT_FETCH,
+                payload={"obj_id": handle.obj_id, "requester": nid},
+                size=24,
+            )
+        except RpcPeerDeadError:
+            # The primary died under the fetch; skip it — the next access
+            # retries against whatever primary the takeover installs.
+            return
         if isinstance(reply, str) and reply == MARKER_MIGRATED:
             return
-        state, version = reply
+        state, version, applied = reply
         if self._mechanism_of(handle.obj_id) != MECHANISM_PRIMARY:
             return
         instance = handle.spec_class()
@@ -1158,6 +1294,7 @@ class HybridRts(RuntimeSystem):
         manager = self.managers[nid]
         manager.discard(handle.obj_id)
         manager.install(handle.obj_id, handle.name, instance, version=version)
+        self._applied[(nid, handle.obj_id)] = dict(applied)
         self.stats.replicas_created += 1
 
     def _serve_fetch(self, nid: int, request: RpcRequest):
@@ -1178,8 +1315,62 @@ class HybridRts(RuntimeSystem):
             proc.suspend()
         self.directory.add_copy(obj_id, payload["requester"])
         state = replica.instance.marshal_state()
-        return RpcReply(payload=(state, replica.version),
-                        size=replica.instance.state_size() + 16)
+        # The applied-write table travels with the copy (bounded at one
+        # entry per client), so a secondary promoted after a primary crash
+        # can recognise re-issued writes; its bytes ride the reply.
+        applied = dict(self._applied_table(nid, obj_id))
+        return RpcReply(payload=(state, replica.version, applied),
+                        size=(replica.instance.state_size() + 16
+                              + estimate_size(applied)))
+
+    # -- exactly-once bookkeeping (write ids + commit record) ------------- #
+
+    def _applied_table(self, node_id: int, obj_id: int) -> Dict:
+        """The applied-write-id table of one machine's copy of one object."""
+        return self._applied.setdefault((node_id, obj_id), {})
+
+    def record_applied(self, node_id: int, obj_id: int, wid, result) -> None:
+        """Note that ``node_id``'s copy has applied write ``wid``.
+
+        Called by the update protocol's secondary side, so a secondary
+        promoted by a takeover can recognise the client re-issue of a write
+        that was in flight when the primary died.  Only the newest id per
+        origin client is kept (FIFO clients have one write outstanding).
+        """
+        if wid is None or result is RETRY:
+            return
+        origin, seq = wid
+        self._applied_table(node_id, obj_id)[origin] = (seq, result)
+
+    @staticmethod
+    def _lookup_applied(table: Dict, wid) -> Tuple[bool, Any]:
+        """Was ``wid`` the last write this copy applied for its origin?"""
+        if wid is None:
+            return False, None
+        entry = table.get(wid[0])
+        if entry is not None and entry[0] == wid[1]:
+            return True, entry[1]
+        return False, None
+
+    def _commit_record(self, obj_id: int, primary: Optional[int] = None) -> None:
+        """Refresh the object's last-committed record from its primary copy.
+
+        The record — state snapshot, version, and the applied-write table —
+        is what a takeover falls back to when no surviving machine holds a
+        valid copy (a primary-invalidate object dies with every write's
+        sole copy).  It models the commit record the primary writes at the
+        protocol's commit point; like the directory it is bookkeeping and
+        charges no communication.
+        """
+        if primary is None:
+            primary = self.directory.primary_of(obj_id)
+        manager = self.managers[primary]
+        if not manager.has_valid_copy(obj_id):
+            return
+        replica = manager.get(obj_id)
+        self._last_committed[obj_id] = (
+            replica.instance.marshal_state(), replica.version,
+            self._applied_table(primary, obj_id))
 
     # -- protocol plumbing used by the coherence strategies --------------- #
 
@@ -1212,6 +1403,12 @@ class HybridRts(RuntimeSystem):
                 payload.get("kwargs", {}))
         else:
             size = 32
+        if kind in (KIND_INVALIDATE, KIND_UPDATE, KIND_UNLOCK):
+            # Stamp coherence traffic with the regime it was issued under,
+            # so a message that was in flight when a takeover (or switch)
+            # superseded its regime is dropped identically at every member.
+            payload.setdefault(
+                "epoch", self._epoch_by_obj.get(payload["obj_id"], 0))
         node = self.cluster.node(src)
         msg = node.make_message(dst, kind, payload=payload, size=size)
         node.send(msg)
@@ -1234,7 +1431,77 @@ class HybridRts(RuntimeSystem):
         if self._node_epoch.get(key, 0) >= self._epoch_by_obj.get(obj_id, 0):
             return False
         self._deferred.setdefault(key, []).append((kind, payload))
+        # The deferred message is out-of-band evidence this member missed
+        # sequenced traffic; if the group has gone quiet (every later write
+        # moved off the broadcast path), nothing in-band will ever reveal
+        # the gap — so probe for it.
+        self._arm_lag_probe(nid, obj_id)
         return True
+
+    #: Bounded re-probe budget for a member lagging behind a switch it may
+    #: have lost to packet loss (see _arm_lag_probe).
+    LAG_PROBE_LIMIT = 12
+
+    def _arm_lag_probe(self, node_id: int, obj_id: int,
+                       attempt: int = 0) -> None:
+        """Schedule a recovery probe for a member lagging the object's epoch.
+
+        A member can lag legitimately (the switch is still being sequenced
+        or in flight), but it can also have *lost* the switch to packet
+        loss at a moment when all later traffic left the broadcast path —
+        e.g. the migration that very switch performed moved the object's
+        writes onto the primary-copy RPC path, so no further broadcast
+        will ever reveal the gap and the deferred coherence message would
+        wedge its sender forever.  The probe fires after the group's retry
+        timeout, asks the member's groups for the first unseen seqno
+        (answered from any member's retained history — the sequencer may
+        be dead), and re-arms itself a bounded number of times while the
+        member still lags.
+        """
+        key = (node_id, obj_id)
+        if key in self._lag_probes:
+            return
+        node = self.cluster.node(node_id)
+        if not node.alive or self.router is None:
+            return
+        delay = self.router.group_for(0).retry_timeout
+        self._lag_probes[key] = node.kernel.set_timer(
+            delay, self._fire_lag_probe, node_id, obj_id, attempt)
+
+    def _fire_lag_probe(self, node_id: int, obj_id: int,
+                        attempt: int) -> None:
+        key = (node_id, obj_id)
+        self._lag_probes.pop(key, None)
+        if (self._node_epoch.get(key, 0)
+                >= self._epoch_by_obj.get(obj_id, 0)):
+            return  # caught up; the deferred messages already flushed
+        if attempt >= self.LAG_PROBE_LIMIT:
+            return  # give up: behave as before the probe existed
+        # The switch may ride any of the groups (shard moves relocate an
+        # object's order at run time), so probe them all; a probe for a
+        # seqno that does not exist is simply never answered.
+        for group in self.router.groups:
+            group.member(node_id).probe_gap()
+        self._arm_lag_probe(node_id, obj_id, attempt + 1)
+
+    def _stale_regime(self, nid: int, payload: Dict[str, Any]) -> bool:
+        """Was this coherence message issued under a superseded regime?
+
+        A member that already delivered a later switch (a policy change, a
+        seat relocation, or a crash takeover) must not apply coherence
+        traffic from before it: the switch snapshot is the agreed state, and
+        an in-flight update from the dead regime would diverge it.  Every
+        member makes the same epoch comparison, so the drop is identical
+        everywhere; senders still waiting on an acknowledgement are acked.
+        """
+        return (payload.get("epoch", 0)
+                < self._node_epoch.get((nid, payload["obj_id"]), 0))
+
+    def _drop_stale(self, nid: int, payload: Dict[str, Any]) -> None:
+        if "txn_id" in payload:
+            # Acknowledge so a (possibly still live) old primary waiting on
+            # the fan-out is not left hanging.
+            self.send_ack(nid, payload["txn_id"])
 
     def _flush_deferred(self, node_id: int, obj_id: int) -> None:
         handlers = {
@@ -1243,7 +1510,12 @@ class HybridRts(RuntimeSystem):
             "unlock": self._on_unlock,
         }
         for kind, payload in self._deferred.pop((node_id, obj_id), []):
-            if self._mechanism_of(obj_id) == MECHANISM_PRIMARY:
+            if self._stale_regime(node_id, payload):
+                # The switch that released this message also superseded the
+                # regime that sent it (e.g. a takeover landed on top of the
+                # crash that raced this update): drop, do not apply.
+                self._drop_stale(node_id, payload)
+            elif self._mechanism_of(obj_id) == MECHANISM_PRIMARY:
                 handlers[kind](node_id, payload)
             elif "txn_id" in payload:
                 # The regime that sent this message is gone; acknowledge so
@@ -1251,16 +1523,24 @@ class HybridRts(RuntimeSystem):
                 self.send_ack(node_id, payload["txn_id"])
 
     def _on_invalidate(self, nid: int, payload: Dict[str, Any]) -> None:
+        if self._stale_regime(nid, payload):
+            self._drop_stale(nid, payload)
+            return
         if self._defer_if_lagging(nid, "invalidate", payload):
             return
         self.protocols["invalidation"].handle_invalidate(nid, payload)
 
     def _on_update(self, nid: int, payload: Dict[str, Any]) -> None:
+        if self._stale_regime(nid, payload):
+            self._drop_stale(nid, payload)
+            return
         if self._defer_if_lagging(nid, "update", payload):
             return
         self.protocols["update"].handle_update(nid, payload)
 
     def _on_unlock(self, nid: int, payload: Dict[str, Any]) -> None:
+        if self._stale_regime(nid, payload):
+            return
         if self._defer_if_lagging(nid, "unlock", payload):
             return
         self.protocols["update"].handle_unlock(nid, payload)
@@ -1282,7 +1562,15 @@ class HybridRts(RuntimeSystem):
             txn.proc.wake()
 
     def _on_node_crash(self, crashed: int) -> None:
-        """Release every acknowledgement the dead machine will never send."""
+        """React to a machine crash: release debts, prune copies, recover.
+
+        Three duties, in order: (a) release every acknowledgement the dead
+        machine will never send, so primaries mid-fan-out complete on the
+        survivors; (b) prune its copies from the directory and discard its
+        primary-managed replicas (their state died with the machine, and a
+        later :meth:`Node.recover` must never serve them); (c) start a
+        primary takeover for every object whose primary seat just died.
+        """
         for txn in list(self._transactions.values()):
             if crashed in txn.destinations:
                 txn.destinations.discard(crashed)
@@ -1295,6 +1583,19 @@ class HybridRts(RuntimeSystem):
             entry = self.directory.entry(obj_id)
             if crashed != entry.primary_node:
                 entry.copyset.discard(crashed)
+        dead_manager = self.managers[crashed]
+        for obj_id, policy in list(self._policy_by_obj.items()):
+            if (FIXED_POLICIES[policy].mechanism == MECHANISM_PRIMARY
+                    and obj_id in dead_manager.replicas):
+                dead_manager.discard(obj_id)
+        # Disarm the dead member's lag probes: their timers are suppressed
+        # by the kernel (dead node), and a stale entry would block
+        # re-arming if the node later recovers and lags again.
+        for key, timer in list(self._lag_probes.items()):
+            if key[0] == crashed:
+                self.cluster.node(crashed).kernel.cancel_timer(timer)
+                self._lag_probes.pop(key, None)
+        self._schedule_recoveries()
 
     def _on_drop(self, nid: int, payload: Dict[str, Any]) -> None:
         # A secondary informs the primary that it discarded its copy; the
@@ -1373,6 +1674,12 @@ class HybridRts(RuntimeSystem):
             else:
                 self._migrate_to_broadcast(proc, handle)
             return True
+        except RpcPeerDeadError:
+            # The primary died while this migration was freezing it: abort
+            # cleanly and let the crash takeover recover the object under
+            # its current policy.
+            self._migrating.discard(obj_id)
+            return False
         finally:
             self._migrate_in_progress.discard(obj_id)
 
@@ -1437,9 +1744,10 @@ class HybridRts(RuntimeSystem):
         self.migrations.append(MigrationRecord(
             obj_id=obj_id, name=handle.name, target=target, epoch=epoch,
             primary_node=primary))
+        self._commit_record(obj_id, primary)
         self._broadcast_switch(proc, node, handle,
                                ("switch", obj_id, target, primary, None, 0,
-                                epoch, None))
+                                epoch, None, None))
 
     def _migrate_to_broadcast(self, proc: "SimProcess",
                               handle: ObjectHandle) -> None:
@@ -1466,7 +1774,7 @@ class HybridRts(RuntimeSystem):
             primary_node=None))
         self._broadcast_switch(proc, node, handle,
                                ("switch", obj_id, "broadcast", -1, state,
-                                version, epoch, None),
+                                version, epoch, None, None),
                                size=32 + estimate_size(state))
 
     def _freeze_and_snapshot(self, proc: "SimProcess", primary: int,
@@ -1531,54 +1839,93 @@ class HybridRts(RuntimeSystem):
         installs a replica everywhere.
         """
         (_, obj_id, target, primary_node, state, version, epoch, scope,
-         invocation_id) = payload
+         table, invocation_id) = payload
         key = (node_id, obj_id)
+        if self._superseded_switch(node_id, obj_id, epoch, origin,
+                                   invocation_id):
+            return
         self._node_epoch[key] = epoch
-        manager = self.managers[node_id]
-        node = self.cluster.node(node_id)
-        node.charge_overhead(self.cost_model.cpu.operation_dispatch_cost)
-        replica = manager.replicas.get(obj_id)
+        self.cluster.node(node_id).charge_overhead(
+            self.cost_model.cpu.operation_dispatch_cost)
         if state is not None and (scope is None or node_id in scope):
-            # Install the transferred snapshot.  Nodes holding a (secondary
-            # or primary) copy are updated in place so processes already
-            # waiting on the replica keep their hooks.
-            if replica is not None:
-                replica.instance.unmarshal_state(state)
-                replica.version = version
-                replica.valid = True
-                replica.is_primary = node_id == primary_node
-                replica.locked = False
-                replica.notify_changed()
-            else:
-                instance = self.handle(obj_id).spec_class()
-                instance.unmarshal_state(state)
-                manager.install(obj_id, self.handle(obj_id).name, instance,
-                                version=version,
-                                is_primary=node_id == primary_node)
-                self.stats.replicas_created += 1
-            self._wake_replica_waiters(node_id, obj_id)
+            self._install_member_copy(node_id, obj_id, primary_node, state,
+                                      version, table)
         elif state is None:
             # broadcast -> primary: the (identical) replicas become the
-            # primary and secondary copies; no state moves.
+            # primary and secondary copies; no state moves, and the fresh
+            # primary regime starts with an empty applied-write table.
+            replica = self.managers[node_id].replicas.get(obj_id)
             if replica is not None:
                 replica.is_primary = node_id == primary_node
-        # Deferred writes first (none exist unless a new-epoch broadcast was
-        # sequenced ahead of this switch; they apply on the fresh state),
-        # then coherence traffic that raced ahead of the switch.
+            self._applied[key] = {}
+        if target == "broadcast":
+            # Broadcast management does not use write ids at all.
+            self._applied.pop(key, None)
+        self._finish_switch_delivery(node_id, obj_id, epoch, origin,
+                                     invocation_id)
+
+    def _superseded_switch(self, node_id: int, obj_id: int, epoch: int,
+                           origin: int, invocation_id: int) -> bool:
+        """Ignore a switch whose epoch a later switch already overtook here.
+
+        A crash takeover can outrun a relocation (or a shard drain) at some
+        member; the overtaken switch must not regress the member's state or
+        epoch, but its initiator is still woken and settlement re-checked.
+        """
+        if epoch > self._node_epoch.get((node_id, obj_id), 0):
+            return False
+        if origin == node_id:
+            self._resolve(invocation_id, None)
+        self._migration_settled(obj_id)
+        return True
+
+    def _install_member_copy(self, node_id: int, obj_id: int,
+                             primary_node: int, state: Any, version: int,
+                             table: Optional[Dict]) -> None:
+        """Install a switch-carried snapshot (and dedup table) on a member.
+
+        Nodes holding a (secondary or primary) copy are updated in place so
+        processes already waiting on the replica keep their hooks.
+        """
+        manager = self.managers[node_id]
+        replica = manager.replicas.get(obj_id)
+        if replica is not None:
+            replica.instance.unmarshal_state(state)
+            replica.version = version
+            replica.valid = True
+            replica.is_primary = node_id == primary_node
+            replica.locked = False
+            replica.notify_changed()
+        else:
+            instance = self.handle(obj_id).spec_class()
+            instance.unmarshal_state(state)
+            manager.install(obj_id, self.handle(obj_id).name, instance,
+                            version=version,
+                            is_primary=node_id == primary_node)
+            self.stats.replicas_created += 1
+        self._applied[(node_id, obj_id)] = dict(table or {})
+        self._wake_replica_waiters(node_id, obj_id)
+
+    def _finish_switch_delivery(self, node_id: int, obj_id: int, epoch: int,
+                                origin: int, invocation_id: int) -> None:
+        """Common tail of every switch delivery at one member.
+
+        Deferred new-epoch writes apply first (on the freshly established
+        state), then coherence traffic that raced ahead of the switch
+        (stale-regime messages are dropped inside ``_flush_deferred``).
+        This member's own still-pending pre-switch writes are released for
+        re-issue right away: deliveries arrive in sequence order, so a
+        write of this object still pending here was not sequenced before
+        the switch and is guaranteed to be dropped identically everywhere.
+        """
         self._flush_future_writes(node_id, obj_id)
         self._flush_deferred(node_id, obj_id)
-        # Release this member's own pending pre-switch writes right away:
-        # deliveries arrive in sequence order, so a write of this object
-        # still pending here was not sequenced before the switch — it is
-        # guaranteed to be dropped by the epoch check at every member, and
-        # its client can re-issue under the new policy without waiting for
-        # the doomed broadcast to drain through the sequencer.
         for pending_id, pending in list(self._pending.items()):
             if (pending.obj_id == obj_id and pending.origin == node_id
                     and pending.epoch < epoch):
                 self._resolve(pending_id, MIGRATED)
-        for proc in self._switch_waiters.pop(key, []):
-            proc.wake()
+        for waiter in self._switch_waiters.pop((node_id, obj_id), []):
+            waiter.wake()
         if origin == node_id:
             self._resolve(invocation_id, None)
         self._migration_settled(obj_id)
@@ -1631,6 +1978,7 @@ class HybridRts(RuntimeSystem):
         try:
             if self._mechanism_of(obj_id) != MECHANISM_BROADCAST:
                 router.move(obj_id, new_shard)
+                self._last_moved_at[obj_id] = self.sim.now
                 self.stats.shard_moves += 1
                 self.shard_moves.append(ShardMoveRecord(
                     obj_id=obj_id, name=handle.name, src=src, dst=new_shard,
@@ -1642,6 +1990,7 @@ class HybridRts(RuntimeSystem):
             self._epoch_by_obj[obj_id] = epoch
             self._dest_epoch_required[obj_id] = epoch
             router.move(obj_id, new_shard)
+            self._last_moved_at[obj_id] = self.sim.now
             self.stats.shard_moves += 1
             self.shard_moves.append(ShardMoveRecord(
                 obj_id=obj_id, name=handle.name, src=src, dst=new_shard,
@@ -1665,25 +2014,19 @@ class HybridRts(RuntimeSystem):
                             origin: int) -> None:
         """One member's drain point in the *source* group's total order."""
         (_, obj_id, src, dst, epoch, invocation_id) = payload
-        key = (node_id, obj_id)
-        self._node_epoch[key] = epoch
-        node = self.cluster.node(node_id)
-        node.charge_overhead(self.cost_model.cpu.operation_dispatch_cost)
-        # Destination-order writes that outran this switch apply now, on the
-        # state every pre-switch source write has already reached.
-        self._flush_future_writes(node_id, obj_id)
-        # Our own still-pending stale writes are doomed (they can only be
-        # sequenced behind this switch); release them for re-issue into the
-        # destination order without waiting for the drop to drain through.
-        for pending_id, pending in list(self._pending.items()):
-            if (pending.obj_id == obj_id and pending.origin == node_id
-                    and pending.epoch < epoch):
-                self._resolve(pending_id, MIGRATED)
-        for proc in self._switch_waiters.pop(key, []):
-            proc.wake()
-        if origin == node_id:
-            self._resolve(invocation_id, None)
-        self._migration_settled(obj_id)
+        if self._superseded_switch(node_id, obj_id, epoch, origin,
+                                   invocation_id):
+            return
+        self._node_epoch[(node_id, obj_id)] = epoch
+        self.cluster.node(node_id).charge_overhead(
+            self.cost_model.cpu.operation_dispatch_cost)
+        # Destination-order writes that outran this switch apply now, on
+        # the state every pre-switch source write has already reached; our
+        # own still-pending stale writes are doomed (they can only be
+        # sequenced behind this switch) and are released for re-issue into
+        # the destination order inside the common tail.
+        self._finish_switch_delivery(node_id, obj_id, epoch, origin,
+                                     invocation_id)
 
     def _apply_shard_arrive(self, node_id: int, payload: Tuple[Any, ...],
                             origin: int) -> None:
@@ -1740,6 +2083,9 @@ class HybridRts(RuntimeSystem):
                            f"the primary of {handle.name!r}")
         if target == self.directory.primary_of(obj_id):
             return False
+        if not self.cluster.node(self.directory.primary_of(obj_id)).alive:
+            # The seat is already dead; the crash takeover owns the object.
+            return False
         if obj_id in self._migrate_in_progress:
             return False
         if obj_id in self._migrating and not self._migration_settled(obj_id):
@@ -1754,9 +2100,21 @@ class HybridRts(RuntimeSystem):
                 state, version = self._freeze_and_snapshot(proc, primary,
                                                            obj_id)
             else:
-                state, version = self.cluster.rpc_for(node.node_id).call(
-                    proc, primary, PORT_MIGRATE, payload={"obj_id": obj_id},
-                    size=24)
+                try:
+                    state, version = self.cluster.rpc_for(node.node_id).call(
+                        proc, primary, PORT_MIGRATE,
+                        payload={"obj_id": obj_id}, size=24)
+                except RpcPeerDeadError:
+                    # The old primary died mid-freeze: abort cleanly — the
+                    # crash takeover recovers the object instead.
+                    return False
+            if not self.cluster.node(target).alive:
+                # The chosen seat died while the snapshot was being taken:
+                # abort, unfreeze the (still intact) old primary, and let
+                # the bounced writers resume against it.
+                self._frozen.discard(obj_id)
+                return False
+            table = dict(self._applied_table(primary, obj_id))
             self._migrating.add(obj_id)
             epoch = self._epoch_by_obj.get(obj_id, 0) + 1
             self._epoch_by_obj[obj_id] = epoch
@@ -1767,14 +2125,168 @@ class HybridRts(RuntimeSystem):
             self._frozen.discard(obj_id)
             self.stats.primary_relocations += 1
             self.relocations.append((obj_id, primary, target))
+            # The relocation snapshot is the committed state as of the seat
+            # move; record it so a crash of the new seat before its first
+            # commit still recovers the object.
+            self._last_committed[obj_id] = (state, version, table)
             self._broadcast_switch(
                 proc, node, handle,
                 ("switch", obj_id, self._policy_by_obj[obj_id], target,
-                 state, version, epoch, scope),
-                size=32 + estimate_size(state))
+                 state, version, epoch, scope, table),
+                size=32 + estimate_size(state) + estimate_size(table))
             return True
         finally:
             self._migrate_in_progress.discard(obj_id)
+
+    # ------------------------------------------------------------------ #
+    # Primary-failure recovery (takeover by a surviving secondary)
+    # ------------------------------------------------------------------ #
+
+    def _schedule_recoveries(self) -> None:
+        """Start a takeover for every object whose primary seat is dead.
+
+        Runs inside the node-crash listener.  The successor is chosen
+        deterministically (freshest surviving copy — highest coherence
+        version — ties to the lowest node id; with no valid copy left, the
+        lowest live node id restores from the commit record), and the
+        takeover itself runs in a thread on the successor: the broadcast
+        switch it sends cannot ride the crash listener's event context.
+        """
+        if not self.cluster.network.supports_broadcast:
+            # No total order to carry a takeover switch on this hardware:
+            # the object dies with its primary, exactly as in the paper.
+            return
+        for obj_id in self.directory.objects():
+            if self._policy_by_obj.get(obj_id) is None:
+                continue
+            if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+                continue
+            primary = self.directory.primary_of(obj_id)
+            if self.cluster.node(primary).alive:
+                continue
+            coordinator = self._recovering.get(obj_id)
+            if (coordinator is not None
+                    and self.cluster.node(coordinator).alive):
+                continue  # a live takeover is already on its way
+            successor = self._choose_successor(obj_id)
+            if successor is None:
+                continue  # no live machine (or no record) to recover onto
+            self._recovering[obj_id] = successor
+            self.cluster.node(successor).kernel.spawn_thread(
+                self._recover_primary, obj_id, primary, self.sim.now,
+                name=f"takeover:{self.handle(obj_id).name}", daemon=True)
+
+    def _choose_successor(self, obj_id: int) -> Optional[int]:
+        """The deterministic takeover winner for one dead-primary object."""
+        holders = [
+            node.node_id for node in self.cluster.nodes
+            if node.alive and self.managers[node.node_id].has_valid_copy(obj_id)
+        ]
+        if holders:
+            return max(holders, key=lambda nid: (
+                self.managers[nid].get(obj_id).version, -nid))
+        if obj_id not in self._last_committed:
+            return None
+        live = [node.node_id for node in self.cluster.nodes if node.alive]
+        return min(live) if live else None
+
+    def _recover_primary(self, obj_id: int, old_primary: int,
+                         crashed_at: float) -> None:
+        """Takeover body, running on the successor node.
+
+        Re-validates the situation (another takeover, a relocation or a
+        policy migration may have won the race), promotes this node's copy —
+        or the last-committed record when no valid copy survived — and
+        broadcasts an epoch-stamped ``takeover`` switch through the object's
+        shard group.  Total order does the rest: every member installs the
+        same state at the same point of the object's write order, writes
+        from the dead regime are dropped identically everywhere, and the
+        new primary refuses writes until it has delivered its own switch.
+        """
+        proc = self.sim.current_process
+        node = self._node_of(proc)
+        try:
+            if (self._policy_by_obj.get(obj_id) is None
+                    or self._mechanism_of(obj_id) != MECHANISM_PRIMARY):
+                return
+            if self.cluster.node(self.directory.primary_of(obj_id)).alive:
+                return  # superseded: the seat already landed somewhere live
+            handle = self.handle(obj_id)
+            successor = node.node_id
+            manager = self.managers[successor]
+            if manager.has_valid_copy(obj_id):
+                replica = manager.get(obj_id)
+                state = replica.instance.marshal_state()
+                version = replica.version
+                table = dict(self._applied_table(successor, obj_id))
+                from_snapshot = False
+            else:
+                committed = self._last_committed.get(obj_id)
+                if committed is None:
+                    return  # nothing to recover from
+                state, version, committed_table = committed
+                table = dict(committed_table)
+                from_snapshot = True
+            self._ensure_router()
+            epoch = self._epoch_by_obj.get(obj_id, 0) + 1
+            self._epoch_by_obj[obj_id] = epoch
+            self._migrating.add(obj_id)
+            holders = [
+                n.node_id for n in self.cluster.nodes
+                if n.alive and self.managers[n.node_id].has_valid_copy(obj_id)
+            ]
+            scope = tuple(sorted(set(holders) | {successor}))
+            entry = self.directory.entry(obj_id)
+            entry.primary_node = successor
+            entry.copyset = set(scope)
+            self._frozen.discard(obj_id)
+            self.stats.primary_recoveries += 1
+            record = RecoveryRecord(
+                obj_id=obj_id, name=handle.name, old_primary=old_primary,
+                new_primary=successor, epoch=epoch,
+                from_snapshot=from_snapshot, crashed_at=crashed_at)
+            self.recoveries.append(record)
+            # The takeover commits the surviving state: refresh the record
+            # so a second crash (even before any new write) recovers it.
+            self._last_committed[obj_id] = (state, version, table)
+            self._broadcast_switch(
+                proc, node, handle,
+                ("takeover", obj_id, self._policy_by_obj[obj_id], successor,
+                 state, version, table, epoch, scope),
+                size=32 + estimate_size(state) + estimate_size(table))
+            record.completed_at = self.sim.now
+        finally:
+            if self._recovering.get(obj_id) == node.node_id:
+                self._recovering.pop(obj_id, None)
+
+    def _apply_takeover(self, node_id: int, payload: Tuple[Any, ...],
+                        origin: int) -> None:
+        """One member's totally-ordered takeover point for one object."""
+        (_, obj_id, target, new_primary, state, version, table, epoch,
+         scope, invocation_id) = payload
+        if self._superseded_switch(node_id, obj_id, epoch, origin,
+                                   invocation_id):
+            return
+        self._node_epoch[(node_id, obj_id)] = epoch
+        self.cluster.node(node_id).charge_overhead(
+            self.cost_model.cpu.operation_dispatch_cost)
+        if node_id in scope:
+            self._install_member_copy(node_id, obj_id, new_primary, state,
+                                      version, table)
+        self._finish_switch_delivery(node_id, obj_id, epoch, origin,
+                                     invocation_id)
+
+    def _await_recovery(self, proc: "SimProcess", obj_id: int) -> None:
+        """Park a client until the object's primary seat is live again."""
+        while (self._mechanism_of(obj_id) == MECHANISM_PRIMARY
+               and not self.cluster.node(
+                   self.directory.primary_of(obj_id)).alive):
+            if not self.cluster.network.supports_broadcast:
+                raise RtsError(
+                    f"primary of object {obj_id} crashed and this cluster's "
+                    f"{self.cluster.network.name!r} network cannot order a "
+                    "takeover switch; the object is lost (as in the paper)")
+            proc.hold(self.cost_model.cpu.protocol_cost * 4)
 
     # -- the background rebalancing controller --------------------------- #
 
@@ -1813,7 +2325,9 @@ class HybridRts(RuntimeSystem):
         params = self.rebalance
         planner = RebalancePlanner(self.router, imbalance=params.imbalance,
                                    min_writes=params.min_writes,
-                                   max_moves=params.max_moves)
+                                   max_moves=params.max_moves,
+                                   queue_weight=params.queue_weight,
+                                   exclude=self._in_move_cooldown)
         try:
             quiet = 0
             last_total = self._total_shard_writes()
@@ -1846,6 +2360,16 @@ class HybridRts(RuntimeSystem):
                     last_total = self._total_shard_writes()
         finally:
             self._rebalancer_active = False
+
+    def _in_move_cooldown(self, obj_id: int) -> bool:
+        """Churn damping: an object the controller moved less than
+        ``rebalance.cooldown`` virtual seconds ago stays put, so
+        near-balanced load stops shuffling the same object between groups
+        (each move costs a drain-and-switch in two total orders)."""
+        if self.rebalance is None:
+            return False
+        last = self._last_moved_at.get(obj_id)
+        return last is not None and self.sim.now - last < self.rebalance.cooldown
 
     def _total_shard_writes(self) -> int:
         return sum(stats.writes for stats in self.router.shard_stats.values())
@@ -1899,4 +2423,15 @@ class HybridRts(RuntimeSystem):
             }
         if self.stats.flow_control_holds:
             summary["flow_control_holds"] = self.stats.flow_control_holds
+        if self.stats.primary_recoveries:
+            windows = [r.window for r in self.recoveries
+                       if r.window is not None]
+            summary["recovery"] = {
+                "primary_recoveries": self.stats.primary_recoveries,
+                "deduplicated_writes": self.stats.deduplicated_writes,
+                "max_window": round(max(windows), 9) if windows else None,
+                "log": [(r.name, r.old_primary, r.new_primary,
+                         "snapshot" if r.from_snapshot else "copy")
+                        for r in self.recoveries],
+            }
         return summary

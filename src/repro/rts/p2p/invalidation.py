@@ -48,12 +48,15 @@ class InvalidationProtocol:
         self.writes_processed = 0
 
     def primary_write(self, proc: "SimProcess", obj_id: int, op: OperationDef,
-                      args: Tuple[Any, ...], kwargs: Optional[Dict[str, Any]]) -> Any:
+                      args: Tuple[Any, ...], kwargs: Optional[Dict[str, Any]],
+                      wid: Optional[Tuple[int, int]] = None) -> Any:
         """Execute a write at the primary: invalidate all secondaries first.
 
         Runs in the context of a (blocking-capable) process on the primary
         node: either the client itself (when the client is local) or the RPC
-        server thread handling the remote write.
+        server thread handling the remote write.  ``wid`` (the invocation's
+        write id) is recorded by the runtime at commit time; invalidated
+        secondaries hold no state, so nothing rides the invalidations.
         """
         rts = self.rts
         primary_node = rts.directory.primary_of(obj_id)

@@ -36,8 +36,15 @@ class TwoPhaseUpdateProtocol:
         self.writes_processed = 0
 
     def primary_write(self, proc: "SimProcess", obj_id: int, op: OperationDef,
-                      args: Tuple[Any, ...], kwargs: Optional[Dict[str, Any]]) -> Any:
-        """Execute a write at the primary with the two-phase update protocol."""
+                      args: Tuple[Any, ...], kwargs: Optional[Dict[str, Any]],
+                      wid: Optional[Tuple[int, int]] = None) -> Any:
+        """Execute a write at the primary with the two-phase update protocol.
+
+        ``wid`` is the invocation's cluster-unique write id; it rides the
+        phase-1 updates so every secondary records the write as applied.  A
+        secondary promoted after a primary crash then recognises the
+        client's re-issue of an in-flight write and does not apply it twice.
+        """
         rts = self.rts
         primary_node = rts.directory.primary_of(obj_id)
         manager = rts.managers[primary_node]
@@ -57,7 +64,8 @@ class TwoPhaseUpdateProtocol:
                     rts.send_protocol_message(
                         primary_node, node_id, KIND_UPDATE,
                         {"obj_id": obj_id, "txn_id": txn_id,
-                         "op_name": op.name, "args": args, "kwargs": kwargs or {}},
+                         "op_name": op.name, "args": args,
+                         "kwargs": kwargs or {}, "wid": wid},
                     )
                 rts.await_acks(proc, txn_id)
                 # Phase 2: unlock every secondary copy.
@@ -82,9 +90,11 @@ class TwoPhaseUpdateProtocol:
         if manager.has_valid_copy(obj_id):
             handle = rts.handle(obj_id)
             op = handle.spec_class.operation_def(payload["op_name"])
-            manager.apply_write(obj_id, op, payload["args"], payload["kwargs"],
-                                local_origin=False)
+            result = manager.apply_write(obj_id, op, payload["args"],
+                                         payload["kwargs"],
+                                         local_origin=False)
             manager.get(obj_id).locked = True
+            rts.record_applied(node_id, obj_id, payload.get("wid"), result)
             cpu = rts.cost_model.cpu
             rts.cluster.node(node_id).charge_overhead(
                 cpu.operation_dispatch_cost + op.work_units * cpu.work_unit_time

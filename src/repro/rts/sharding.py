@@ -38,7 +38,7 @@ from __future__ import annotations
 import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional
 
 from ..errors import ConfigurationError
 from .stats import ShardStats
@@ -109,6 +109,14 @@ class RebalanceParams:
         When set, the controller adds one broadcast group per active round
         (via the runtime's ``add_shard``) until the cluster runs this many,
         scaling the group set out *live* before spreading objects onto it.
+    cooldown:
+        Per-object churn damping, in virtual seconds: an object the
+        controller moved less than this long ago is skipped by the next
+        plan rounds, so near-balanced load stops shuffling the same object
+        back and forth between two groups.
+    queue_weight:
+        Weight of the sequencers' instantaneous queue depths in the
+        planner's per-shard load scores (see :class:`RebalancePlanner`).
     """
 
     interval: float = 0.005
@@ -117,6 +125,8 @@ class RebalanceParams:
     max_moves: int = 3
     quiet_rounds: int = 2
     grow_to: Optional[int] = None
+    cooldown: float = 0.02
+    queue_weight: float = 1.0
 
     def __post_init__(self) -> None:
         if self.interval <= 0.0:
@@ -125,6 +135,10 @@ class RebalanceParams:
             raise ConfigurationError("quiet_rounds must be >= 1")
         if self.grow_to is not None and self.grow_to < 1:
             raise ConfigurationError("grow_to must be >= 1 shard")
+        if self.cooldown < 0.0:
+            raise ConfigurationError("cooldown must be non-negative")
+        if self.queue_weight < 0.0:
+            raise ConfigurationError("queue_weight must be non-negative")
         # Planner construction re-validates imbalance/min_writes/max_moves.
 
 
@@ -449,7 +463,7 @@ class RebalancePlanner:
     Parameters
     ----------
     imbalance:
-        Hot/cool window-write ratio below which the placement counts as
+        Hot/cool load-score ratio below which the placement counts as
         balanced and no moves are proposed.
     min_writes:
         Minimum writes in the window before any decision is made (avoids
@@ -457,41 +471,70 @@ class RebalancePlanner:
     max_moves:
         Cap on moves per round; rebalancing is cheap but not free (each move
         costs one switch broadcast in two groups).
+    queue_weight:
+        Cost awareness: each shard's load score is its window writes plus
+        ``queue_weight`` times the sequencer's *current* service-queue
+        depth.  A backlogged sequencer is hotter than its arrival count
+        alone suggests (every queued message is service time not yet paid),
+        so the planner drains the shard that is actually melting, not just
+        the one that received the most writes.  ``0`` restores the pure
+        write-count heuristic.
+    exclude:
+        Optional ``obj_id -> bool`` predicate; candidates for which it
+        returns true are skipped.  The runtime's controller passes its
+        per-object move-cooldown here to damp churn.
     """
 
     def __init__(self, router: ShardRouter, imbalance: float = 1.5,
-                 min_writes: int = 32, max_moves: int = 3) -> None:
+                 min_writes: int = 32, max_moves: int = 3,
+                 queue_weight: float = 1.0,
+                 exclude: Optional[Callable[[int], bool]] = None) -> None:
         if imbalance <= 1.0:
             raise ConfigurationError("imbalance threshold must exceed 1.0")
         if min_writes < 1 or max_moves < 1:
             raise ConfigurationError("min_writes and max_moves must be >= 1")
+        if queue_weight < 0.0:
+            raise ConfigurationError("queue_weight must be non-negative")
         self.router = router
         self.imbalance = imbalance
         self.min_writes = min_writes
         self.max_moves = max_moves
+        self.queue_weight = queue_weight
+        self.exclude = exclude
+
+    def _scores(self, loads: Dict[int, int]) -> Dict[int, float]:
+        """Per-shard load scores: window writes + weighted queue depth."""
+        if not self.queue_weight:
+            return {shard: float(load) for shard, load in loads.items()}
+        depths = self.router.queue_depths()
+        return {shard: load + self.queue_weight * depths.get(shard, 0)
+                for shard, load in loads.items()}
 
     def _hot_and_cool(self) -> Optional[Any]:
         loads = self.router.window_loads()
         if len(loads) < 2 or sum(loads.values()) < self.min_writes:
             return None
-        hot = max(loads, key=lambda shard: (loads[shard], -shard))
-        cool = min(loads, key=lambda shard: (loads[shard], shard))
-        if loads[hot] < self.imbalance * max(1, loads[cool]):
+        scores = self._scores(loads)
+        hot = max(scores, key=lambda shard: (scores[shard], -shard))
+        cool = min(scores, key=lambda shard: (scores[shard], shard))
+        if scores[hot] < self.imbalance * max(1.0, scores[cool]):
             return None
-        return loads, hot, cool
+        return scores, hot, cool
 
     def plan(self) -> List[RebalanceMove]:
         """Moves off the hottest shard that shrink the hot/cool gap.
 
         Candidates are taken hottest-object-first; an object is skipped when
         moving it would overshoot the balance point (its window weight
-        exceeds what is left of the hot-cool deficit after earlier moves).
+        exceeds what is left of the hot-cool deficit after earlier moves),
+        or when the ``exclude`` predicate (the controller's move cooldown)
+        rules it out.
         """
         view = self._hot_and_cool()
         if view is None:
             return []
-        loads, hot, cool = view
-        deficit = loads[hot] - loads[cool]
+        scores, hot, cool = view
+        deficit = scores[hot] - scores[cool]
         candidates = sorted(
             self.router.window_object_writes(shard=hot).items(),
             key=lambda item: (-item[1], item[0]))
@@ -500,6 +543,8 @@ class RebalancePlanner:
         for obj_id, writes in candidates:
             if len(moves) >= self.max_moves or writes <= 0:
                 break
+            if self.exclude is not None and self.exclude(obj_id):
+                continue
             if writes >= deficit - 2 * moved:
                 continue  # would make the destination the new hot spot
             moves.append(RebalanceMove(obj_id=obj_id, src=hot, dst=cool))
@@ -516,10 +561,10 @@ class RebalancePlanner:
         view = self._hot_and_cool()
         if view is None:
             return None
-        loads, hot, cool = view
+        scores, hot, cool = view
         if self.router.assigned_shard(obj_id) != hot:
             return None
         writes = self.router.window_object_writes().get(obj_id, 0)
-        if writes <= 0 or writes >= loads[hot] - loads[cool]:
+        if writes <= 0 or writes >= scores[hot] - scores[cool]:
             return None
         return cool

@@ -114,6 +114,16 @@ class WorkloadReport:
         """A stable, rounded digest used by determinism checks and tests."""
         overall = self.percentile_row()
         extras: Dict[str, Any] = {}
+        recovery = self.rts_summary.get("recovery")
+        if recovery:
+            # Primary takeovers (who died, who took over, from copy or
+            # snapshot, how long the seat was dark) are part of the
+            # behaviour the determinism regression pins down.
+            extras["recovery"] = {
+                "count": recovery["primary_recoveries"],
+                "max_window": recovery["max_window"],
+                "log": [list(entry) for entry in recovery["log"]],
+            }
         rebalancing = self.rts_summary.get("rebalancing")
         if rebalancing:
             # Where and when objects moved is part of the behaviour the
@@ -204,7 +214,7 @@ class WorkloadRunner:
         scenario = ScenarioRegistry.create(self.scenario_kind, self.workload)
         spec = scenario.spec
         phases = spec.resolved_phases()
-        counts = {"reads": 0, "writes": 0}
+        counts = {"reads": 0, "writes": 0, "clients": 0}
         window = {"start": 0.0, "end": 0.0}
         facts: Dict[str, Any] = {}
 
@@ -255,7 +265,12 @@ class WorkloadRunner:
             rts.attach_latency_recorder(rts_recorder)
             window["start"] = proc.local_time
             clients = []
-            for node in cluster.nodes:
+            # Scenario kinds that crash machines mid-run reserve them here,
+            # so no client is stranded on a node scheduled to die.
+            hosts = scenario.client_nodes(cluster)
+            counts["clients"] = len(hosts) * self.clients_per_node
+            for node_id in hosts:
+                node = cluster.node(node_id)
                 for client_id in range(self.clients_per_node):
                     clients.append(node.kernel.spawn_thread(
                         client_body, node.node_id, client_id,
@@ -285,7 +300,7 @@ class WorkloadRunner:
             runtime=rts.name,
             workload=spec.name,
             num_nodes=cluster.num_nodes,
-            num_clients=cluster.num_nodes * self.clients_per_node,
+            num_clients=counts["clients"],
             total_ops=total_ops,
             reads=counts["reads"],
             writes=counts["writes"],

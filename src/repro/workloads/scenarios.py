@@ -22,7 +22,11 @@ cluster-benchmark literature care about:
   per-object policies (one cluster, two management strategies at once);
 * ``hotspot-shift``  — a counter farm whose hot keys rotate every workload
   phase (or arrival-trace segment), the moving-hotspot pattern that static
-  shard placement cannot follow but online rebalancing can.
+  shard placement cannot follow but online rebalancing can;
+* ``primary-churn``  — mixed-policy counters whose primary seats are parked
+  on reserved victim nodes that crash on a schedule mid-run: the scenario
+  that exercises primary-failure recovery end to end (and degrades to
+  crash-free traffic on runtimes without takeover support).
 
 New kinds register themselves with :class:`ScenarioRegistry` via the
 :func:`scenario` class decorator.
@@ -97,6 +101,15 @@ class Scenario(ABC):
     def default_spec(cls) -> WorkloadSpec:
         """The workload this scenario is usually driven with."""
         return WorkloadSpec(name=cls.kind)
+
+    def client_nodes(self, cluster) -> List[int]:
+        """Node ids that should host workload clients (default: all).
+
+        Scenario kinds that crash machines mid-run (``primary-churn``)
+        reserve their victims here, so no client is stranded on a machine
+        that is scheduled to die.
+        """
+        return [node.node_id for node in cluster.nodes]
 
     @abstractmethod
     def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
@@ -359,6 +372,117 @@ class HotspotShift(Scenario):
         assert total == totals["writes"], (
             f"shifting counter farm lost updates: {total} != {totals['writes']}")
         return {"counter_total": total}
+
+
+@scenario("primary-churn")
+class PrimaryChurn(Scenario):
+    """Counters under every management policy while their primaries die.
+
+    The scenario creates ``num_keys`` counters cycling through all four
+    management policies, parks the primary-copy counters' seats on reserved
+    *victim* nodes (which host no clients), and kills those victims on a
+    fixed schedule while the request mix keeps flowing.  On runtimes with
+    primary-failure recovery (the unified runtime on a broadcast-capable
+    network) every counter must survive with exactly-once semantics — the
+    ``validate`` hook checks conservation.  On runtimes without takeover
+    support the schedule is skipped and the scenario degrades to plain
+    mixed-policy counter traffic, so it still runs everywhere.
+    """
+
+    #: Policies assigned round-robin over the counters.
+    POLICIES = ("primary-invalidate", "primary-update", "broadcast",
+                "adaptive")
+    #: Virtual times at which the victims die, one entry per victim.
+    crash_times = (0.004, 0.009)
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        super().__init__(spec)
+        self.churn_active = False
+        self.victims: List[int] = []
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        # A little think time stretches the run across the crash schedule.
+        return WorkloadSpec(name=cls.kind, num_keys=8, read_fraction=0.5,
+                            think_time=0.0005)
+
+    def _pick_victims(self, cluster) -> List[int]:
+        count = min(len(self.crash_times), max(0, cluster.num_nodes - 2))
+        return [cluster.nodes[-1 - i].node_id for i in range(count)]
+
+    def client_nodes(self, cluster) -> List[int]:
+        reserved = set(self._pick_victims(cluster))
+        return [node.node_id for node in cluster.nodes
+                if node.node_id not in reserved]
+
+    @staticmethod
+    def _supports_churn(rts: RuntimeSystem) -> bool:
+        """Can this runtime survive (and therefore stage) primary crashes?"""
+        return (hasattr(rts, "relocate_primary")
+                and rts.cluster.network.supports_broadcast)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        is_hybrid = hasattr(rts, "relocate_primary")
+        self.churn_active = self._supports_churn(rts)
+        if is_hybrid and not rts.cluster.network.supports_broadcast:
+            # Per-object policies that include broadcast management need a
+            # broadcast-capable network; fall back to the runtime's default.
+            policies: Any = (None,) * len(self.POLICIES)
+        else:
+            policies = self.POLICIES
+        self.handles = [
+            rts.create_object(proc, IntObject, (0,), name=f"churn[{i}]",
+                              policy=policies[i % len(policies)])
+            for i in range(self.spec.num_keys)
+        ]
+        if not self.churn_active:
+            return
+        cluster = rts.cluster
+        self.victims = self._pick_victims(cluster)
+        if not self.victims:
+            self.churn_active = False
+            return
+        # Park every primary seat on a victim, round-robin, so each crash
+        # takes a live primary down with clients still writing through it.
+        seat = 0
+        for handle in self.handles:
+            if rts.policy_of(handle) in ("primary-invalidate",
+                                         "primary-update"):
+                rts.relocate_primary(
+                    proc, handle,
+                    target=self.victims[seat % len(self.victims)])
+                seat += 1
+
+        def crasher() -> None:
+            cproc = cluster.sim.current_process
+            for crash_at, victim in zip(self.crash_times, self.victims):
+                if cproc.local_time < crash_at:
+                    cproc.hold(crash_at - cproc.local_time)
+                cluster.node(victim).crash()
+
+        host = self.client_nodes(cluster)[0]
+        cluster.node(host).kernel.spawn_thread(crasher, name="primary-churn",
+                                               daemon=True)
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        handle = self.handles[request.key]
+        if request.is_write:
+            return rts.invoke(proc, handle, "add", (1,))
+        return rts.invoke(proc, handle, "read")
+
+    def validate(self, rts, proc, totals):
+        total = sum(rts.invoke(proc, handle, "read") for handle in self.handles)
+        assert total == totals["writes"], (
+            f"churned counters lost or duplicated updates: "
+            f"{total} != {totals['writes']}")
+        facts: Dict[str, Any] = {"counter_total": total,
+                                 "churn_active": self.churn_active}
+        if self.churn_active:
+            facts["crashed_nodes"] = [
+                victim for victim in self.victims
+                if not rts.cluster.node(victim).alive]
+            facts["recoveries"] = rts.stats.primary_recoveries
+        return facts
 
 
 @scenario("hot-spot")

@@ -6,7 +6,7 @@ import pytest
 
 from repro.amoeba.cluster import Cluster
 from repro.config import ClusterConfig
-from repro.errors import RpcError, RpcTimeoutError
+from repro.errors import RpcError, RpcPeerDeadError, RpcTimeoutError
 
 
 @pytest.fixture
@@ -91,7 +91,10 @@ class TestRpcBasics:
         with pytest.raises(RpcError):
             cluster.rpc_for(1).register_service("dup", lambda req: None)
 
-    def test_timeout_when_server_crashed(self, cluster):
+    def test_call_to_crashed_server_fails_fast(self, cluster):
+        """The failure detector fails a call to a known-dead server
+        immediately (no timeout burned waiting on a reply that cannot
+        come) — the primitive primary-failure recovery re-routes on."""
         cluster.rpc_for(1).register_service("echo", lambda req: req.payload)
         cluster.node(1).crash()
         errors = []
@@ -100,6 +103,57 @@ class TestRpcBasics:
             proc = cluster.sim.current_process
             try:
                 cluster.rpc_for(0).call(proc, 1, "echo", payload=1, timeout=0.5)
+            except RpcPeerDeadError:
+                errors.append("peer-dead")
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.run()
+        assert errors == ["peer-dead"]
+
+    def test_pending_call_fails_when_server_crashes_mid_call(self, cluster):
+        """A call already in flight when its server dies is woken with
+        RpcPeerDeadError by the cluster's crash listener."""
+        def black_hole(req):
+            proc = cluster.sim.current_process
+            proc.hold(10.0)
+            return "too late"
+
+        cluster.rpc_for(1).register_service("hole", black_hole,
+                                            may_block=True)
+        errors = []
+
+        def client():
+            proc = cluster.sim.current_process
+            try:
+                cluster.rpc_for(0).call(proc, 1, "hole", payload=1)
+            except RpcPeerDeadError:
+                errors.append("peer-dead")
+
+        def crasher():
+            proc = cluster.sim.current_process
+            proc.hold(0.01)
+            cluster.node(1).crash()
+
+        cluster.node(0).kernel.spawn_thread(client)
+        cluster.node(2).kernel.spawn_thread(crasher)
+        cluster.run()
+        assert errors == ["peer-dead"]
+
+    def test_timeout_when_server_is_slow(self, cluster):
+        """A live-but-slow server still triggers the classic timeout."""
+        def slow(req):
+            proc = cluster.sim.current_process
+            proc.hold(2.0)
+            return "late"
+
+        cluster.rpc_for(1).register_service("slow", slow, may_block=True)
+        errors = []
+
+        def client():
+            proc = cluster.sim.current_process
+            try:
+                cluster.rpc_for(0).call(proc, 1, "slow", payload=1,
+                                        timeout=0.5)
             except RpcTimeoutError:
                 errors.append("timeout")
 

@@ -235,6 +235,19 @@ class TestMigrationDuringSequencerCrash:
         assert_no_lost_or_duplicated_writes(state)
         check_write_histories(state)
 
+    def test_lost_switch_with_quiet_group_recovers_via_probe(self):
+        """Regression (hypothesis-found, seed 38496): the victim loses the
+        DATA carrying the migration switch, and — the object having moved
+        off the broadcast path — no later broadcast ever reveals the gap.
+        The deferred invalidation is out-of-band evidence of the loss; the
+        member's lag probe must recover the switch from a peer's retained
+        history instead of wedging the new primary's fan-out forever."""
+        state = run_crash_migration(38496, migrate_offset=-0.0005,
+                                    drop_data_to=3)
+        assert state["policy"] == "primary-invalidate"
+        assert_no_lost_or_duplicated_writes(state)
+        check_write_histories(state)
+
     def test_migration_without_crash_is_quiet(self):
         """Control run: no crash, no election — the switch alone does not
         disturb the group."""

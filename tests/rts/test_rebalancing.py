@@ -434,6 +434,31 @@ class TestRebalanceController:
         cluster.run()
         cluster.shutdown()
 
+    def test_move_cooldown_damps_repeat_moves(self):
+        """Churn damping: with a cooldown spanning the whole run, the
+        controller may move each object at most once, however many plan
+        rounds fire on near-balanced load."""
+        cluster, rts, handles = self.run_skewed(
+            rebalance={"interval": 0.002, "imbalance": 1.1, "min_writes": 8,
+                       "max_moves": 3, "cooldown": 10.0})
+        names = [m.name for m in rts.shard_moves]
+        assert rts.stats.shard_moves >= 1
+        assert len(names) == len(set(names)), names
+        # The predicate itself: a just-moved object reports in-cooldown.
+        moved = rts.shard_moves[0]
+        assert rts._in_move_cooldown(moved.obj_id)
+        cluster.shutdown()
+
+    def test_cooldown_expires_with_virtual_time(self):
+        cluster, rts, handles = self.run_skewed(
+            rebalance={"interval": 0.002, "imbalance": 1.3, "min_writes": 16,
+                       "cooldown": 0.001})
+        assert rts.stats.shard_moves >= 1
+        moved = rts.shard_moves[0].obj_id
+        # All moves are long past by the time the run drained.
+        assert not rts._in_move_cooldown(moved)
+        cluster.shutdown()
+
     def test_controller_runs_are_deterministic(self):
         first = self.run_skewed(rebalance={"interval": 0.002,
                                            "imbalance": 1.3,

@@ -256,6 +256,44 @@ class TestRebalancePlanner:
                 RebalancePlanner(router, imbalance=1.0)
             with pytest.raises(ConfigurationError):
                 RebalancePlanner(router, min_writes=0)
+            with pytest.raises(ConfigurationError):
+                RebalancePlanner(router, queue_weight=-1.0)
+
+    def test_queue_depth_makes_a_backlogged_shard_hot(self):
+        """Cost awareness: equal window writes, but one sequencer is deep in
+        backlog — the planner drains the shard that is actually melting."""
+        cluster, router = self.make_router()
+        with cluster:
+            for _ in range(10):
+                router.note_write(1, "a")  # shard 0
+            for _ in range(10):
+                router.note_write(2, "b")  # shard 1
+            router.queue_depths = lambda: {0: 12, 1: 0}
+            # Pure write counts see a balanced placement...
+            blind = RebalancePlanner(router, imbalance=1.5, min_writes=8,
+                                     queue_weight=0.0)
+            assert blind.plan() == []
+            # ... queue-weighted scores see shard 0 melting (10+12 vs 10)
+            # and move its object off.
+            aware = RebalancePlanner(router, imbalance=1.5, min_writes=8,
+                                     queue_weight=1.0)
+            assert aware.plan() == [RebalanceMove(obj_id=1, src=0, dst=1)]
+
+    def test_exclude_predicate_damps_churn(self):
+        """The controller's per-object cooldown plugs in as an exclusion:
+        a recently moved object is skipped, the next candidate moves."""
+        cluster, router = self.make_router()
+        with cluster:
+            for _ in range(10):
+                router.note_write(1, "hot")   # shard 0
+            for _ in range(6):
+                router.note_write(3, "warm")  # shard 0
+            for _ in range(2):
+                router.note_write(2, "cool")  # shard 1
+            planner = RebalancePlanner(router, imbalance=1.5, min_writes=8,
+                                       max_moves=1,
+                                       exclude=lambda obj_id: obj_id == 1)
+            assert planner.plan() == [RebalanceMove(obj_id=3, src=0, dst=1)]
 
 
 class TestShardedRtsDispatch:

@@ -10,7 +10,8 @@ from repro.workloads import PollableQueue, Scenario, ScenarioRegistry, WorkloadS
 from repro.workloads.scenarios import scenario
 
 BUILTIN_KINDS = ["counter-farm", "fifo-queue", "hot-spot", "hotspot-shift",
-                 "kv-table", "policy-mix", "read-mostly-catalog"]
+                 "kv-table", "policy-mix", "primary-churn",
+                 "read-mostly-catalog"]
 
 
 class TestRegistry:
