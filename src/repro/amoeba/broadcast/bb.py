@@ -39,8 +39,10 @@ class BBStrategy:
             )
             return False
         msg = member.node.make_message(
-            None, group.wire_kind(KIND_BB_DATA),
-            payload=record.payload, size=record.size,
+            None,
+            group.wire_kind(KIND_BB_DATA),
+            payload=record.payload,
+            size=record.size,
             uid=(record.uid.origin, record.uid.counter),
         )
         member.node.send(msg, on_sent=lambda _msg: member._arm_retry(record))

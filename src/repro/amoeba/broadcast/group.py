@@ -80,18 +80,30 @@ class GroupMember:
         #: prove the sequencer is alive (merely backlogged), so send retries
         #: keep backing off instead of escalating to an election.
         self._last_delivery_time = node.sim.now
-        for kind in (KIND_REQUEST, KIND_DATA, KIND_BB_DATA, KIND_ACCEPT,
-                     KIND_RETRANSMIT_REQ, KIND_RETRANSMIT, KIND_SYNC,
-                     KIND_ELECTION, KIND_COORDINATOR):
+        for kind in (
+            KIND_REQUEST,
+            KIND_DATA,
+            KIND_BB_DATA,
+            KIND_ACCEPT,
+            KIND_RETRANSMIT_REQ,
+            KIND_RETRANSMIT,
+            KIND_SYNC,
+            KIND_ELECTION,
+            KIND_COORDINATOR,
+        ):
             node.register_handler(group.wire_kind(kind), self._on_message)
 
     # ------------------------------------------------------------------ #
     # Sending
     # ------------------------------------------------------------------ #
 
-    def broadcast(self, payload: object, size: int = 0,
-                  on_delivered: Optional[Callable[[int], None]] = None,
-                  method: Optional[str] = None) -> MessageId:
+    def broadcast(
+        self,
+        payload: object,
+        size: int = 0,
+        on_delivered: Optional[Callable[[int], None]] = None,
+        method: Optional[str] = None,
+    ) -> MessageId:
         """Reliably, totally-ordered broadcast ``payload`` to the whole group.
 
         Returns the message's unique id.  Delivery (including at the sending
@@ -105,8 +117,9 @@ class GroupMember:
             size = max(1, estimate_size(payload))
         uid = MessageId(self.node_id, next(self._send_counter))
         chosen = method or self.group.choose_method(size)
-        record = SendRecord(uid=uid, payload=payload, size=size, method=chosen,
-                            on_delivered=on_delivered)
+        record = SendRecord(
+            uid=uid, payload=payload, size=size, method=chosen, on_delivered=on_delivered
+        )
         self._pending_sends[uid] = record
         if chosen == "pb":
             self.group.stats.pb_sends += 1
@@ -134,16 +147,16 @@ class GroupMember:
             self.node.kernel.cancel_timer(record.retry_timer)
         backoff = min(record.attempts, 4)
         record.retry_timer = self.node.kernel.set_timer(
-            self.group.retry_timeout * max(1, backoff),
-            self._on_retry_timeout, record.uid
+            self.group.retry_timeout * max(1, backoff), self._on_retry_timeout, record.uid
         )
 
     def _on_retry_timeout(self, uid: MessageId) -> None:
         record = self._pending_sends.get(uid)
         if record is None or record.delivered:
             return
-        progressing = (self.node.sim.now - self._last_delivery_time
-                       < self.group.params.election_timeout)
+        progressing = (
+            self.node.sim.now - self._last_delivery_time < self.group.params.election_timeout
+        )
         if record.attempts >= self.group.max_send_attempts and not progressing:
             # No deliveries either: the sequencer is probably gone; try to
             # elect a new one and keep the record pending so it is resent
@@ -178,8 +191,9 @@ class GroupMember:
             return
         if kind in (KIND_DATA, KIND_RETRANSMIT):
             uid = MessageId(*msg.headers["uid"])
-            self.engine.offer(msg.headers["seqno"], msg.headers["origin"], uid,
-                              msg.payload, msg.size)
+            self.engine.offer(
+                msg.headers["seqno"], msg.headers["origin"], uid, msg.payload, msg.size
+            )
             self._after_arrival()
             return
         if kind == KIND_ACCEPT:
@@ -195,8 +209,7 @@ class GroupMember:
             seqno = msg.headers["seqno"]
             served = False
             if self.group.sequencer_node_id == self.node_id:
-                served = self.group.sequencer.handle_retransmit_request(
-                    msg.src, seqno)
+                served = self.group.sequencer.handle_retransmit_request(msg.src, seqno)
             if msg.is_broadcast and not served:
                 # A broadcast gap request: the sequencer could not help (it
                 # is newly elected, its history evicted the message, or the
@@ -243,9 +256,9 @@ class GroupMember:
             return entry
         for buffered in self.engine.buffered_messages():
             if buffered.seqno == seqno:
-                return HistoryEntry(buffered.seqno, buffered.origin,
-                                    buffered.uid, buffered.payload,
-                                    buffered.size)
+                return HistoryEntry(
+                    buffered.seqno, buffered.origin, buffered.uid, buffered.payload, buffered.size
+                )
         return None
 
     def _gap_responder(self, seqno: int, salvo: int) -> bool:
@@ -267,9 +280,12 @@ class GroupMember:
             return
         self.group.stats.peer_retransmissions += 1
         msg = self.node.make_message(
-            requester, self.group.wire_kind(KIND_RETRANSMIT),
-            payload=entry.payload, size=entry.size,
-            seqno=entry.seqno, origin=entry.origin,
+            requester,
+            self.group.wire_kind(KIND_RETRANSMIT),
+            payload=entry.payload,
+            size=entry.size,
+            seqno=entry.seqno,
+            origin=entry.origin,
             uid=(entry.uid.origin, entry.uid.counter),
         )
         self.node.send(msg)
@@ -277,8 +293,8 @@ class GroupMember:
     def _deliver_ready(self) -> None:
         for delivered in self.engine.pop_deliverable():
             self._delivered_history[delivered.seqno] = HistoryEntry(
-                delivered.seqno, delivered.origin, delivered.uid,
-                delivered.payload, delivered.size)
+                delivered.seqno, delivered.origin, delivered.uid, delivered.payload, delivered.size
+            )
             while len(self._delivered_history) > self.group.params.history_size:
                 self._delivered_history.popitem(last=False)
             timer = self._gap_timers.pop(delivered.seqno, None)
@@ -298,9 +314,12 @@ class GroupMember:
             self.group.stats.per_member_deliveries[self.node_id] = (
                 self.group.stats.per_member_deliveries.get(self.node_id, 0) + 1
             )
-            self.node.sim.trace("grp.deliver",
-                                f"node {self.node_id} delivers #{delivered.seqno}",
-                                origin=delivered.origin, seqno=delivered.seqno)
+            self.node.sim.trace(
+                "grp.deliver",
+                f"node {self.node_id} delivers #{delivered.seqno}",
+                origin=delivered.origin,
+                seqno=delivered.seqno,
+            )
             if self.delivery_handler is not None:
                 self.delivery_handler(delivered)
 
@@ -339,12 +358,15 @@ class GroupMember:
         self.group.stats.control_bytes_sent += CONTROL_MESSAGE_SIZE
         sequencer_node = self.group.sequencer_node_id
         destination = None
-        if (prefer_sequencer and sequencer_node != self.node_id
-                and attempts <= 1):
+        if prefer_sequencer and sequencer_node != self.node_id and attempts <= 1:
             destination = sequencer_node
         msg = self.node.make_message(
-            destination, self.group.wire_kind(KIND_RETRANSMIT_REQ),
-            size=CONTROL_MESSAGE_SIZE, seqno=seqno, salvo=attempts)
+            destination,
+            self.group.wire_kind(KIND_RETRANSMIT_REQ),
+            size=CONTROL_MESSAGE_SIZE,
+            seqno=seqno,
+            salvo=attempts,
+        )
         self.node.send(msg)
 
     def _schedule_gap_requests(self) -> None:
@@ -380,8 +402,11 @@ class GroupMember:
         self.group.stats.elections += 1
         self._election_votes = {self.node_id: self.engine.highest_known_seqno}
         msg = self.node.make_message(
-            None, self.group.wire_kind(KIND_ELECTION), size=CONTROL_MESSAGE_SIZE,
-            candidate=self.node_id, high=self.engine.highest_known_seqno,
+            None,
+            self.group.wire_kind(KIND_ELECTION),
+            size=CONTROL_MESSAGE_SIZE,
+            candidate=self.node_id,
+            high=self.engine.highest_known_seqno,
         )
         self.node.send(msg)
         self._election_timer = self.node.kernel.set_timer(
@@ -396,16 +421,17 @@ class GroupMember:
             # Join the round: announce ourselves as well.
             self._election_votes = {self.node_id: self.engine.highest_known_seqno}
             reply = self.node.make_message(
-                None, self.group.wire_kind(KIND_ELECTION), size=CONTROL_MESSAGE_SIZE,
-                candidate=self.node_id, high=self.engine.highest_known_seqno,
+                None,
+                self.group.wire_kind(KIND_ELECTION),
+                size=CONTROL_MESSAGE_SIZE,
+                candidate=self.node_id,
+                high=self.engine.highest_known_seqno,
             )
             self.node.send(reply)
             self._election_timer = self.node.kernel.set_timer(
                 self.group.params.election_timeout, self._conclude_election
             )
-        self._election_votes[candidate] = max(
-            self._election_votes.get(candidate, -1), high
-        )
+        self._election_votes[candidate] = max(self._election_votes.get(candidate, -1), high)
 
     def _conclude_election(self) -> None:
         self._election_timer = None
@@ -420,8 +446,11 @@ class GroupMember:
         next_seq = max(votes.values()) + 1
         self.group.install_sequencer(self.node_id, next_seq)
         msg = self.node.make_message(
-            None, self.group.wire_kind(KIND_COORDINATOR), size=CONTROL_MESSAGE_SIZE,
-            sequencer=self.node_id, next_seq=next_seq,
+            None,
+            self.group.wire_kind(KIND_COORDINATOR),
+            size=CONTROL_MESSAGE_SIZE,
+            sequencer=self.node_id,
+            next_seq=next_seq,
         )
         self.node.send(msg)
         self._resend_pending()
@@ -451,13 +480,15 @@ class BroadcastGroup:
     is configurable so shards can spread their sequencers over the machines.
     """
 
-    def __init__(self, cluster: "Cluster", params: Optional[BroadcastParams] = None,
-                 group_id: int = 0,
-                 sequencer_node_id: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        cluster: "Cluster",
+        params: Optional[BroadcastParams] = None,
+        group_id: int = 0,
+        sequencer_node_id: Optional[int] = None,
+    ) -> None:
         if not cluster.network.supports_broadcast:
-            raise BroadcastError(
-                "the broadcast group requires a network with hardware broadcast"
-            )
+            raise BroadcastError("the broadcast group requires a network with hardware broadcast")
         self.cluster = cluster
         self.group_id = group_id
         self.params = params or cluster.cost_model.broadcast
@@ -466,8 +497,7 @@ class BroadcastGroup:
         self._bb = BBStrategy()
         #: Elected sequencer (initially the configured seat, defaulting to
         #: the lowest-numbered machine).
-        initial = (cluster.nodes[0].node_id if sequencer_node_id is None
-                   else sequencer_node_id)
+        initial = cluster.nodes[0].node_id if sequencer_node_id is None else sequencer_node_id
         self.sequencer_node_id = initial
         self.sequencer = Sequencer(self, cluster.node(initial))
         self.members: Dict[int, GroupMember] = {
@@ -557,12 +587,18 @@ class BroadcastGroup:
     # Convenience
     # ------------------------------------------------------------------ #
 
-    def broadcast_from(self, node_id: int, payload: object, size: int = 0,
-                       method: Optional[str] = None,
-                       on_delivered: Optional[Callable[[int], None]] = None) -> MessageId:
+    def broadcast_from(
+        self,
+        node_id: int,
+        payload: object,
+        size: int = 0,
+        method: Optional[str] = None,
+        on_delivered: Optional[Callable[[int], None]] = None,
+    ) -> MessageId:
         """Broadcast ``payload`` originating at ``node_id``."""
-        return self.members[node_id].broadcast(payload, size=size, method=method,
-                                               on_delivered=on_delivered)
+        return self.members[node_id].broadcast(
+            payload, size=size, method=method, on_delivered=on_delivered
+        )
 
     def delivered_counts(self) -> Dict[int, int]:
         """Number of messages delivered at each member (for tests)."""

@@ -39,8 +39,10 @@ class PBStrategy:
             )
             return False
         msg = member.node.make_message(
-            sequencer_node, group.wire_kind(KIND_REQUEST),
-            payload=record.payload, size=record.size,
+            sequencer_node,
+            group.wire_kind(KIND_REQUEST),
+            payload=record.payload,
+            size=record.size,
             uid=(record.uid.origin, record.uid.counter),
         )
         member.node.send(msg, on_sent=lambda _msg: member._arm_retry(record))

@@ -162,7 +162,8 @@ class OrderingEngine:
         if highest < self.next_expected:
             return []
         return [
-            seqno for seqno in range(self.next_expected, highest + 1)
+            seqno
+            for seqno in range(self.next_expected, highest + 1)
             if seqno not in self._ordered_buffer
         ]
 

@@ -134,7 +134,8 @@ class Sequencer:
             self.max_queue_depth = depth
         if self._service_timer is None:
             self._service_timer = self.node.kernel.set_timer(
-                self.node.cost_model.cpu.sequencing_cost, self._serve_next)
+                self.node.cost_model.cpu.sequencing_cost, self._serve_next
+            )
 
     def retire(self) -> None:
         """Stop serving: another sequencer has taken over this group.
@@ -170,7 +171,8 @@ class Sequencer:
         # service timer already.
         if self._service_queue and self._service_timer is None:
             self._service_timer = self.node.kernel.set_timer(
-                self.node.cost_model.cpu.sequencing_cost, self._serve_next)
+                self.node.cost_model.cpu.sequencing_cost, self._serve_next
+            )
 
     def _record(self, origin: int, uid: MessageId, payload: Any, size: int) -> HistoryEntry:
         seqno = self.next_seq
@@ -187,9 +189,9 @@ class Sequencer:
         # that makes a lone sequencer the cluster-wide write ceiling (and
         # what sharding over several groups spreads out).
         cpu = self.node.cost_model.cpu
-        self.node.charge_overhead(cpu.sequencing_cost
-                                  if cpu.sequencing_cost > 0.0
-                                  else cpu.operation_dispatch_cost)
+        self.node.charge_overhead(
+            cpu.sequencing_cost if cpu.sequencing_cost > 0.0 else cpu.operation_dispatch_cost
+        )
         self._arm_sync()
         return entry
 
@@ -210,9 +212,7 @@ class Sequencer:
         self._sync_remaining = self.sync_repeats
         if self._sync_timer is not None:
             self.node.kernel.cancel_timer(self._sync_timer)
-        self._sync_timer = self.node.kernel.set_timer(
-            self.group.retry_timeout, self._send_sync
-        )
+        self._sync_timer = self.node.kernel.set_timer(self.group.retry_timeout, self._send_sync)
 
     def _send_sync(self) -> None:
         self._sync_timer = None
@@ -220,15 +220,15 @@ class Sequencer:
             return
         self.sync_broadcasts += 1
         msg = self.node.make_message(
-            None, self.group.wire_kind(KIND_SYNC), size=CONTROL_MESSAGE_SIZE,
-            seqno=self.highest_assigned
+            None,
+            self.group.wire_kind(KIND_SYNC),
+            size=CONTROL_MESSAGE_SIZE,
+            seqno=self.highest_assigned,
         )
         self.node.send(msg)
         self._sync_remaining -= 1
         if self._sync_remaining > 0:
-            self._sync_timer = self.node.kernel.set_timer(
-                self.group.retry_timeout, self._send_sync
-            )
+            self._sync_timer = self.node.kernel.set_timer(self.group.retry_timeout, self._send_sync)
 
     # ------------------------------------------------------------------ #
     # Outgoing traffic
@@ -236,9 +236,12 @@ class Sequencer:
 
     def _broadcast_data(self, entry: HistoryEntry) -> None:
         msg = self.node.make_message(
-            None, self.group.wire_kind(KIND_DATA),
-            payload=entry.payload, size=entry.size,
-            seqno=entry.seqno, origin=entry.origin,
+            None,
+            self.group.wire_kind(KIND_DATA),
+            payload=entry.payload,
+            size=entry.size,
+            seqno=entry.seqno,
+            origin=entry.origin,
             uid=(entry.uid.origin, entry.uid.counter),
         )
         self.node.send(msg)
@@ -247,9 +250,12 @@ class Sequencer:
 
     def _broadcast_accept(self, entry: HistoryEntry) -> None:
         msg = self.node.make_message(
-            None, self.group.wire_kind(KIND_ACCEPT),
-            payload=None, size=CONTROL_MESSAGE_SIZE,
-            seqno=entry.seqno, origin=entry.origin,
+            None,
+            self.group.wire_kind(KIND_ACCEPT),
+            payload=None,
+            size=CONTROL_MESSAGE_SIZE,
+            seqno=entry.seqno,
+            origin=entry.origin,
             uid=(entry.uid.origin, entry.uid.counter),
         )
         self.node.send(msg)
@@ -272,9 +278,12 @@ class Sequencer:
         self._arm_sync()
         self.retransmissions += 1
         msg = self.node.make_message(
-            requester, self.group.wire_kind(KIND_RETRANSMIT),
-            payload=entry.payload, size=entry.size,
-            seqno=entry.seqno, origin=entry.origin,
+            requester,
+            self.group.wire_kind(KIND_RETRANSMIT),
+            payload=entry.payload,
+            size=entry.size,
+            seqno=entry.seqno,
+            origin=entry.origin,
             uid=(entry.uid.origin, entry.uid.counter),
         )
         self.node.send(msg)

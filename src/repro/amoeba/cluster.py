@@ -31,8 +31,9 @@ class Cluster:
         testbed) or ``"switched"`` (point-to-point only).
     """
 
-    def __init__(self, config: Optional[ClusterConfig] = None,
-                 network_type: str = "ethernet") -> None:
+    def __init__(
+        self, config: Optional[ClusterConfig] = None, network_type: str = "ethernet"
+    ) -> None:
         self.config = config or ClusterConfig()
         self.cost_model = self.config.cost_model
         self.sim = Simulator(
@@ -45,9 +46,7 @@ class Cluster:
             Node(self.sim, node_id, self.cost_model, network=self.network)
             for node_id in range(self.config.num_nodes)
         ]
-        self.rpc: Dict[int, RpcEndpoint] = {
-            node.node_id: RpcEndpoint(node) for node in self.nodes
-        }
+        self.rpc: Dict[int, RpcEndpoint] = {node.node_id: RpcEndpoint(node) for node in self.nodes}
         # Failure detection: a node crash fails every RPC still waiting on
         # that machine, cluster-wide, so callers observe the death instead
         # of blocking on a reply that cannot come.  (The stand-in for the
@@ -90,8 +89,7 @@ class Cluster:
             self.new_broadcast_group()
         return self.broadcast_groups[0]
 
-    def new_broadcast_group(self, sequencer_node_id: Optional[int] = None,
-                            params: Any = None):
+    def new_broadcast_group(self, sequencer_node_id: Optional[int] = None, params: Any = None):
         """Create an additional totally-ordered broadcast group.
 
         Each group gets the next free group id; its wire traffic is
@@ -106,17 +104,13 @@ class Cluster:
         """
         from .broadcast.group import BroadcastGroup  # deferred import
 
-        seat = (self.nodes[0].node_id if sequencer_node_id is None
-                else sequencer_node_id)
+        seat = self.nodes[0].node_id if sequencer_node_id is None else sequencer_node_id
         if not 0 <= seat < len(self.nodes):
-            raise ConfigurationError(
-                f"node {seat} does not exist; cannot host a sequencer seat")
+            raise ConfigurationError(f"node {seat} does not exist; cannot host a sequencer seat")
         if not self.nodes[seat].alive:
-            raise ConfigurationError(
-                f"node {seat} is crashed and cannot host a new sequencer seat")
+            raise ConfigurationError(f"node {seat} is crashed and cannot host a new sequencer seat")
         group_id = len(self.broadcast_groups)
-        group = BroadcastGroup(self, params=params, group_id=group_id,
-                               sequencer_node_id=seat)
+        group = BroadcastGroup(self, params=params, group_id=group_id, sequencer_node_id=seat)
         self.broadcast_groups[group_id] = group
         return group
 

@@ -37,9 +37,15 @@ class AmoebaKernel:
     # Threads
     # ------------------------------------------------------------------ #
 
-    def spawn_thread(self, target: Callable[..., Any], *args: Any,
-                     name: Optional[str] = None, daemon: bool = False,
-                     start_delay: float = 0.0, **kwargs: Any) -> SimProcess:
+    def spawn_thread(
+        self,
+        target: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        start_delay: float = 0.0,
+        **kwargs: Any,
+    ) -> SimProcess:
         """Create a thread (simulation process) pinned to this node.
 
         The thread is charged this node's context-switch cost at creation and
@@ -48,7 +54,8 @@ class AmoebaKernel:
         """
         thread_name = name or getattr(target, "__name__", "thread")
         proc = self.sim.spawn(
-            target, *args,
+            target,
+            *args,
             name=f"n{self.node.node_id}:{thread_name}",
             daemon=daemon,
             start_delay=start_delay + self.node.cost_model.cpu.context_switch_cost,

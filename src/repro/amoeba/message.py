@@ -42,9 +42,7 @@ def estimate_size(value: Any) -> int:
     if isinstance(value, (list, tuple, set, frozenset)):
         return 8 + sum(estimate_size(item) for item in value)
     if isinstance(value, dict):
-        return 8 + sum(
-            estimate_size(k) + estimate_size(v) for k, v in value.items()
-        )
+        return 8 + sum(estimate_size(k) + estimate_size(v) for k, v in value.items())
     marshal_size = getattr(value, "marshal_size", None)
     if callable(marshal_size):
         return int(marshal_size())
@@ -89,8 +87,7 @@ class Message:
     def is_broadcast(self) -> bool:
         return self.dst is BROADCAST
 
-    def reply_to(self, kind: str, payload: Any = None, size: int = 0,
-                 **headers: Any) -> "Message":
+    def reply_to(self, kind: str, payload: Any = None, size: int = 0, **headers: Any) -> "Message":
         """Build a unicast message back to this message's sender."""
         merged = {"in_reply_to": self.msg_id}
         merged.update(headers)

@@ -25,6 +25,7 @@ from ..config import NetworkParams
 from ..errors import NetworkError, RoutingError
 from ..sim.resources import FifoResource
 from .message import Message
+from .transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.kernel import Simulator
@@ -71,13 +72,22 @@ class NetworkStats:
         self.bytes_by_kind[msg.kind] = self.bytes_by_kind.get(msg.kind, 0) + msg.size
 
 
-class BaseNetwork:
-    """Common functionality shared by the network models."""
+class BaseNetwork(Transport):
+    """Common functionality shared by the network models.
+
+    This is the *simulated* implementation of the
+    :class:`~repro.amoeba.transport.Transport` seam: delivery happens through
+    virtual-time events, messages fragment into packets, and loss is injected
+    deterministically from a named rng stream.  The real-process backend
+    implements the same seam over asyncio UDP sockets
+    (:class:`repro.net.udp.UdpTransport`).
+    """
 
     supports_broadcast = False
 
-    def __init__(self, sim: "Simulator", params: Optional[NetworkParams] = None,
-                 name: str = "net") -> None:
+    def __init__(
+        self, sim: "Simulator", params: Optional[NetworkParams] = None, name: str = "net"
+    ) -> None:
         self.sim = sim
         self.params = params or NetworkParams()
         self.name = name
@@ -123,9 +133,7 @@ class BaseNetwork:
         the message has left the sender.
         """
         if msg.is_broadcast and not self.supports_broadcast:
-            raise NetworkError(
-                f"network {self.name!r} does not support hardware broadcast"
-            )
+            raise NetworkError(f"network {self.name!r} does not support hardware broadcast")
         if not msg.is_broadcast:
             # Validate the destination eagerly so misrouting fails loudly.
             self.nic_for(msg.dst)
@@ -143,8 +151,9 @@ class BaseNetwork:
             packets.append(Packet(msg, index, count, max(1, chunk)))
         return packets
 
-    def _transmit_packets(self, msg: Message, packets: List[Packet],
-                          on_sent: Optional[Callable[[Message], None]]) -> None:
+    def _transmit_packets(
+        self, msg: Message, packets: List[Packet], on_sent: Optional[Callable[[Message], None]]
+    ) -> None:
         raise NotImplementedError
 
     # -- delivery --------------------------------------------------------- #
@@ -172,13 +181,15 @@ class EthernetNetwork(BaseNetwork):
 
     supports_broadcast = True
 
-    def __init__(self, sim: "Simulator", params: Optional[NetworkParams] = None,
-                 name: str = "ethernet") -> None:
+    def __init__(
+        self, sim: "Simulator", params: Optional[NetworkParams] = None, name: str = "ethernet"
+    ) -> None:
         super().__init__(sim, params, name)
         self.medium = FifoResource(sim, capacity=1, name=f"{name}.medium")
 
-    def _transmit_packets(self, msg: Message, packets: List[Packet],
-                          on_sent: Optional[Callable[[Message], None]]) -> None:
+    def _transmit_packets(
+        self, msg: Message, packets: List[Packet], on_sent: Optional[Callable[[Message], None]]
+    ) -> None:
         for packet in packets:
             duration = self.params.transmit_time(packet.payload_bytes)
 
@@ -209,8 +220,9 @@ class SwitchedNetwork(BaseNetwork):
 
     supports_broadcast = False
 
-    def __init__(self, sim: "Simulator", params: Optional[NetworkParams] = None,
-                 name: str = "switch") -> None:
+    def __init__(
+        self, sim: "Simulator", params: Optional[NetworkParams] = None, name: str = "switch"
+    ) -> None:
         if params is None:
             params = NetworkParams(supports_broadcast=False)
         super().__init__(sim, params, name)
@@ -222,8 +234,9 @@ class SwitchedNetwork(BaseNetwork):
             self.sim, capacity=1, name=f"{self.name}.link{nic.node_id}"
         )
 
-    def _transmit_packets(self, msg: Message, packets: List[Packet],
-                          on_sent: Optional[Callable[[Message], None]]) -> None:
+    def _transmit_packets(
+        self, msg: Message, packets: List[Packet], on_sent: Optional[Callable[[Message], None]]
+    ) -> None:
         link = self._links[msg.src]
         for packet in packets:
             duration = self.params.transmit_time(packet.payload_bytes)

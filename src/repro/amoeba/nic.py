@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from .message import Message
 from .network import Packet
+from .transport import TransportEndpoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .network import BaseNetwork
@@ -30,8 +31,13 @@ class NicStats:
     packets_discarded: int = 0
 
 
-class NetworkInterface:
-    """Receive-side model of a node's network adapter."""
+class NetworkInterface(TransportEndpoint):
+    """Receive-side model of a node's network adapter.
+
+    This is the simulated backend's :class:`TransportEndpoint`: packets are
+    reassembled and the receive-interrupt/protocol CPU cost is charged before
+    the complete message reaches the node's dispatcher via :meth:`deliver`.
+    """
 
     def __init__(self, node: "Node") -> None:
         self.node = node
@@ -75,9 +81,18 @@ class NetworkInterface:
         node = self.node
         self.stats.messages_received += 1
         node.charge_overhead(node.cost_model.cpu.protocol_cost)
-        node.sim.trace("net.deliver", f"node {node.node_id} received {msg.kind}",
-                       msg_id=msg.msg_id, src=msg.src, size=msg.size)
+        node.sim.trace(
+            "net.deliver",
+            f"node {node.node_id} received {msg.kind}",
+            msg_id=msg.msg_id,
+            src=msg.src,
+            size=msg.size,
+        )
         node.dispatch(msg)
+
+    def deliver(self, msg: Message) -> None:
+        """Transport-seam entry: hand one complete message to the node."""
+        self._complete(msg)
 
     def drop_partial_state(self) -> None:
         """Forget all partially reassembled messages (used on node crash)."""

@@ -40,8 +40,13 @@ class NodeStats:
 class Node:
     """One simulated machine of the processor pool."""
 
-    def __init__(self, sim: "Simulator", node_id: int, cost_model: CostModel,
-                 network: Optional["BaseNetwork"] = None) -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        cost_model: CostModel,
+        network: Optional["BaseNetwork"] = None,
+    ) -> None:
         self.sim = sim
         self.node_id = node_id
         self.cost_model = cost_model
@@ -99,6 +104,16 @@ class Node:
             )
         handler(msg)
 
+    @property
+    def transport(self) -> Optional["BaseNetwork"]:
+        """The node's attached interconnect, seen through the transport seam.
+
+        An alias of :attr:`network`; code written against the
+        :class:`~repro.amoeba.transport.Transport` interface should prefer
+        this name, which the real-process backend mirrors.
+        """
+        return self.network
+
     def send(self, msg: Message, on_sent: Optional[Callable[[Message], None]] = None) -> None:
         """Send a message on the attached network."""
         if self.network is None:
@@ -109,11 +124,13 @@ class Node:
         self.stats.bytes_sent += msg.size
         self.network.send(msg, on_sent)
 
-    def make_message(self, dst: Optional[int], kind: str, payload: Any = None,
-                     size: int = 0, **headers: Any) -> Message:
+    def make_message(
+        self, dst: Optional[int], kind: str, payload: Any = None, size: int = 0, **headers: Any
+    ) -> Message:
         """Convenience constructor stamping this node as the source."""
-        return Message(src=self.node_id, dst=dst, kind=kind, payload=payload,
-                       size=size, headers=dict(headers))
+        return Message(
+            src=self.node_id, dst=dst, kind=kind, payload=payload, size=size, headers=dict(headers)
+        )
 
     # ------------------------------------------------------------------ #
     # CPU overhead accounting

@@ -84,8 +84,13 @@ class RpcEndpoint:
     # Server side
     # ------------------------------------------------------------------ #
 
-    def register_service(self, port: str, handler: Callable[[RpcRequest], Any],
-                         may_block: bool = False, service_cost: float = 0.0) -> None:
+    def register_service(
+        self,
+        port: str,
+        handler: Callable[[RpcRequest], Any],
+        may_block: bool = False,
+        service_cost: float = 0.0,
+    ) -> None:
         """Register ``handler`` for calls addressed to ``port`` on this node.
 
         ``may_block`` selects whether the handler runs in a dedicated server
@@ -119,14 +124,19 @@ class RpcEndpoint:
         self.calls_served += 1
         if may_block:
             self.node.kernel.spawn_thread(
-                self._run_handler_blocking, handler, request, msg,
-                name=f"rpc:{port}", daemon=True,
+                self._run_handler_blocking,
+                handler,
+                request,
+                msg,
+                name=f"rpc:{port}",
+                daemon=True,
             )
         else:
             self._run_handler_inline(handler, request, msg)
 
-    def _run_handler_inline(self, handler: Callable[[RpcRequest], Any],
-                            request: RpcRequest, msg: Message) -> None:
+    def _run_handler_inline(
+        self, handler: Callable[[RpcRequest], Any], request: RpcRequest, msg: Message
+    ) -> None:
         try:
             result = handler(request)
         except Exception as exc:  # noqa: BLE001 - surfaced to the caller
@@ -134,8 +144,9 @@ class RpcEndpoint:
             return
         self._send_reply(msg, result=result)
 
-    def _run_handler_blocking(self, handler: Callable[[RpcRequest], Any],
-                              request: RpcRequest, msg: Message) -> None:
+    def _run_handler_blocking(
+        self, handler: Callable[[RpcRequest], Any], request: RpcRequest, msg: Message
+    ) -> None:
         try:
             result = handler(request)
         except Exception as exc:  # noqa: BLE001 - surfaced to the caller
@@ -143,8 +154,9 @@ class RpcEndpoint:
             return
         self._send_reply(msg, result=result)
 
-    def _send_reply(self, request_msg: Message, result: Any = None,
-                    error: Optional[str] = None) -> None:
+    def _send_reply(
+        self, request_msg: Message, result: Any = None, error: Optional[str] = None
+    ) -> None:
         payload, size = result, 0
         if isinstance(result, RpcReply):
             payload, size = result.payload, result.size
@@ -154,10 +166,7 @@ class RpcEndpoint:
             kind=REPLY_KIND,
             payload=payload,
             size=size if size > 0 else max(1, estimate_size(payload)),
-            headers={
-                "rpc_id": request_msg.headers["rpc_id"],
-                "error": error,
-            },
+            headers={"rpc_id": request_msg.headers["rpc_id"], "error": error,},
         )
         self.node.send(reply)
 
@@ -165,8 +174,15 @@ class RpcEndpoint:
     # Client side
     # ------------------------------------------------------------------ #
 
-    def call(self, proc: "SimProcess", server_node: int, port: str, payload: Any = None,
-             size: int = 0, timeout: Optional[float] = None) -> Any:
+    def call(
+        self,
+        proc: "SimProcess",
+        server_node: int,
+        port: str,
+        payload: Any = None,
+        size: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Any:
         """Perform a blocking RPC from ``proc`` to ``port`` on ``server_node``.
 
         Local calls (``server_node`` equal to this node) still pay the
@@ -183,15 +199,20 @@ class RpcEndpoint:
                 raise RpcError(f"no service {port!r} on node {self.node.node_id}")
             handler, _may_block, service_cost = entry
             proc.advance(cpu.operation_dispatch_cost + service_cost)
-            request = RpcRequest(rpc_id, port, self.node.node_id, self.node.node_id,
-                                 payload, size or max(1, estimate_size(payload)))
+            request = RpcRequest(
+                rpc_id,
+                port,
+                self.node.node_id,
+                self.node.node_id,
+                payload,
+                size or max(1, estimate_size(payload)),
+            )
             result = handler(request)
             if isinstance(result, RpcReply):
                 return result.payload
             return result
 
-        if (self.node.network is not None
-                and not self.node.network.peer_alive(server_node)):
+        if self.node.network is not None and not self.node.network.peer_alive(server_node):
             # The failure detector already knows the server is down: fail
             # fast instead of parking on a reply that cannot come.
             raise RpcPeerDeadError(
@@ -212,9 +233,7 @@ class RpcEndpoint:
         proc.absorb_overhead(self.node.drain_overhead())
         proc.flush()
         if timeout is not None:
-            pending.timeout_timer = self.node.kernel.set_timer(
-                timeout, self._on_timeout, rpc_id
-            )
+            pending.timeout_timer = self.node.kernel.set_timer(timeout, self._on_timeout, rpc_id)
         self.node.send(request)
         proc.suspend()
         self._pending.pop(rpc_id, None)
@@ -224,8 +243,7 @@ class RpcEndpoint:
             )
         if pending.peer_dead:
             raise RpcPeerDeadError(
-                f"RPC {port!r} from node {self.node.node_id} failed: "
-                f"node {server_node} crashed"
+                f"RPC {port!r} from node {self.node.node_id} failed: " f"node {server_node} crashed"
             )
         proc.absorb_overhead(self.node.drain_overhead())
         error = pending.reply.headers.get("error")

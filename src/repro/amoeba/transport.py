@@ -1,0 +1,88 @@
+"""The backend-agnostic transport seam.
+
+Everything above the interconnect — the PB/BB broadcast protocol, RPC, the
+runtime systems — talks to the network through the narrow surface defined
+here, so the *same* protocol code can run on two very different backends:
+
+* the deterministic simulated interconnects of
+  :mod:`repro.amoeba.network` (``EthernetNetwork`` / ``SwitchedNetwork``),
+  where "time" is virtual and every run is byte-reproducible; and
+* the real-process backend of :mod:`repro.net`, where each node is an OS
+  process and messages travel as length-prefixed JSON datagrams over
+  asyncio UDP sockets (:class:`repro.net.udp.UdpTransport`).
+
+A transport moves whole :class:`~repro.amoeba.message.Message` values between
+*attached endpoints* addressed by integer node id.  ``dst=None`` (the
+:data:`~repro.amoeba.message.BROADCAST` marker) fans the message out to every
+attached endpoint except the sender — hardware broadcast on the simulated
+Ethernet, a configurable loopback fan-out on the UDP backend.  Delivery is
+asynchronous and may fail silently (packet loss); reliability is the
+protocol layers' job, which is exactly why they port across backends.
+
+The simulated backend keeps its historical entry points (``Cluster`` builds
+``BaseNetwork`` subclasses directly); this module only *names* the contract
+so that tests can assert both backends honour it and new code can be written
+against the seam instead of a concrete network class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .message import Message
+
+
+class TransportEndpoint(ABC):
+    """The receive side of one attached node.
+
+    The simulated :class:`~repro.amoeba.nic.NetworkInterface` implements this
+    by reassembling packets and charging receive-interrupt cost before
+    dispatching; the UDP backend decodes one datagram per message and
+    dispatches directly.
+    """
+
+    #: Address of this endpoint on its transport.
+    node_id: int
+
+    @abstractmethod
+    def deliver(self, msg: "Message") -> None:
+        """Hand one fully received message to the node's dispatcher."""
+
+
+class Transport(ABC):
+    """One interconnect instance moving messages between attached endpoints.
+
+    Implementations: :class:`repro.amoeba.network.BaseNetwork` (simulated,
+    virtual-time) and :class:`repro.net.udp.UdpTransport` (real asyncio UDP
+    sockets).  The contract both must honour:
+
+    * :meth:`send` is asynchronous: it queues ``msg`` and returns; delivery
+      happens later (virtual-time events or real datagrams).
+    * ``msg.dst is None`` is a broadcast to every attached endpoint except
+      the sender; a unicast destination must be attached (misrouting fails
+      loudly at send time).
+    * Messages may be lost; duplicate delivery never happens spontaneously
+      (retransmission-induced duplicates are the protocols' to handle).
+    * :meth:`peer_alive` is the failure-detection primitive protocol layers
+      consult before blocking on a reply.
+    """
+
+    @abstractmethod
+    def send(self, msg: "Message", on_sent: Optional[Callable[["Message"], None]] = None) -> None:
+        """Queue ``msg`` for transmission.
+
+        ``on_sent`` fires once the message has left the sender (after the
+        wire time on the simulated backend; immediately after the datagrams
+        are handed to the socket on the UDP backend).
+        """
+
+    @abstractmethod
+    def peer_alive(self, node_id: int) -> bool:
+        """Is the machine behind ``node_id`` believed to be up?"""
+
+    @property
+    @abstractmethod
+    def node_ids(self) -> List[int]:
+        """Sorted ids of every endpoint attached to this transport."""

@@ -1,0 +1,37 @@
+"""The real-process execution backend.
+
+Everything in :mod:`repro.sim` / :mod:`repro.amoeba` runs the shared-object
+protocols inside one deterministic discrete-event simulator.  This package
+runs the *same* protocol shapes — sharded fixed-sequencer total-order
+broadcast, per-object management policies (replicated-broadcast and
+primary-copy with takeover), per-client FIFO with exactly-once delivery —
+across real OS processes talking asyncio UDP on the loopback interface, with
+the simulator kept as the deterministic *oracle*: a sim run of the identical
+workload pins down the request streams and the equivalent final state the
+real run must converge to.
+
+Layout
+------
+``wire``          length-prefixed JSON framing of the existing
+                  :class:`~repro.amoeba.message.Message` type
+``udp``           :class:`UdpTransport` — the asyncio implementation of the
+                  :class:`~repro.amoeba.transport.Transport` seam
+``runtime``       the per-process protocol engine (ordering, primaries,
+                  heartbeats, takeover)
+``rts_adapter``   a RuntimeSystem facade so the existing workload
+                  :class:`~repro.workloads.scenarios.Scenario` classes run
+                  unchanged against the real backend
+``node_process``  the ``python -m repro.net.node_process`` child entry point
+``control``       JSON-lines control plane between harness and nodes
+``harness``       :class:`RealCluster` — spawns node processes, drives
+                  workloads, kills nodes, collects state
+``runner``        :func:`run_real_workload` producing the same
+                  :class:`~repro.workloads.runner.WorkloadReport` the sim
+                  backend produces
+``oracle``        record a sim run, replay it for real, check convergence
+"""
+
+from .harness import RealCluster, RealClusterConfig  # noqa: F401
+from .oracle import (check_convergence, expected_issued_writes,  # noqa: F401
+                     record_sim_oracle)
+from .runner import run_real_workload  # noqa: F401

@@ -1,0 +1,792 @@
+"""The per-process protocol engine of the real-socket backend.
+
+Each node process runs one :class:`RealRuntime` inside its asyncio event
+loop.  The engine re-expresses the simulator's protocol stack over the
+:class:`~repro.net.udp.UdpTransport`:
+
+* **sharded fixed-sequencer total order** — each broadcast group (shard) has
+  one *seat* node.  Writers send a request to the seat; the seat assigns the
+  next sequence number, fans the data message to every node, and every node
+  applies deliveries strictly in sequence-number order from a hold-back
+  queue.  Lost requests are retried by the writer (the seat deduplicates on
+  the request uid); lost data messages are recovered through gap requests
+  answered from the seat's history, triggered either by a later delivery or
+  by the seat's periodic sync beacon.
+* **primary-copy management** — writes go to the object's primary, which
+  serialises them, applies them at the next version, fans version-ordered
+  update messages and acknowledges the writer only once every live peer has
+  acknowledged the update.  Writers retry with a stable write id (*wid*);
+  the primary's applied-wid table makes retries exactly-once.
+* **failure detection and takeover** — every node heartbeats; a silent peer
+  is declared dead, its acknowledgement debts are released, and for every
+  object whose primary died the lowest-id live node proposes itself through
+  the object's shard's total order with a state-carrying takeover record.
+  Applying the takeover is a hard state reset on every replica — the
+  convergence point — and the adopted wid table keeps client retries that
+  straddle the failover exactly-once.
+
+The engine reuses the simulator's object model verbatim
+(:class:`~repro.rts.object_model.ObjectSpec`, ``execute_operation``), so an
+operation applied in the same order on both backends produces the same
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from ..amoeba.message import Message
+from ..errors import NetworkError, RtsError, UnknownObjectError
+from ..rts.object_model import RETRY, ObjectSpec, execute_operation
+from .udp import UdpTransport
+from .wire import jsonify
+
+#: Wire encoding of the :data:`~repro.rts.object_model.RETRY` sentinel.
+RETRY_MARKER = {"__retry__": True}
+
+#: Real-backend management policies (the harness maps the richer simulator
+#: policy names onto these two protocol families).
+REAL_POLICIES = ("broadcast", "primary-update")
+
+
+def resolve_spec(path: str) -> Type[ObjectSpec]:
+    """Import an ``ObjectSpec`` subclass from a ``module:Class`` path."""
+    module_name, _, class_name = path.partition(":")
+    if not class_name:
+        raise RtsError(f"spec path {path!r} is not 'module:Class'")
+    spec_class = getattr(importlib.import_module(module_name), class_name)
+    if not (isinstance(spec_class, type) and issubclass(spec_class, ObjectSpec)):
+        raise RtsError(f"{path!r} does not name an ObjectSpec subclass")
+    return spec_class
+
+
+def spec_path(spec_class: Type[ObjectSpec]) -> str:
+    """The ``module:Class`` path under which a spec class is importable."""
+    return f"{spec_class.__module__}:{spec_class.__qualname__}"
+
+
+@dataclass(frozen=True)
+class RealTimings:
+    """Protocol timers, in real seconds.
+
+    The defaults favour fast CI convergence on loopback; the failure
+    detector is deliberately generous so a briefly descheduled process is
+    not declared dead under load.
+    """
+
+    heartbeat_interval: float = 0.15
+    dead_after: float = 0.75
+    retry_interval: float = 0.1
+    sync_interval: float = 0.1
+    gap_delay: float = 0.05
+    #: Hard ceiling on one write submission; hitting it means the protocol
+    #: is wedged and the test should fail loudly instead of hanging.
+    submit_deadline: float = 30.0
+
+    def as_payload(self) -> Dict[str, float]:
+        return {
+            "heartbeat_interval": self.heartbeat_interval,
+            "dead_after": self.dead_after,
+            "retry_interval": self.retry_interval,
+            "sync_interval": self.sync_interval,
+            "gap_delay": self.gap_delay,
+            "submit_deadline": self.submit_deadline,
+        }
+
+
+@dataclass
+class RealObject:
+    """One shared object's replica state inside a node process."""
+
+    obj_id: int
+    name: str
+    spec_class: Type[ObjectSpec]
+    instance: ObjectSpec
+    policy: str
+    shard: int
+    primary: int
+    #: Primary-path version counter (last applied update, on every replica).
+    version: int = 0
+    #: wid -> result of every applied primary-path write (exactly-once table;
+    #: carried through takeover so retries across the failover deduplicate).
+    applied_wids: Dict[str, Any] = field(default_factory=dict)
+    #: Every applied write, in application order: [client_node, client_id,
+    #: cseq, op].  Identical on all replicas once quiesced.
+    applied_log: List[List[Any]] = field(default_factory=list)
+    #: Member hold-back for out-of-version-order updates.
+    pending_updates: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    #: Primary-side retransmission history: version -> update record.
+    update_log: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    #: Primary-side acknowledgement debts: version -> nodes yet to ack.
+    pending_acks: Dict[int, set] = field(default_factory=dict)
+    ack_events: Dict[int, asyncio.Event] = field(default_factory=dict)
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+@dataclass
+class _SeatState:
+    """Sequencer state for one shard this node is the seat of."""
+
+    next_seqno: int = 1
+    history: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    uid_to_seqno: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _MemberState:
+    """Ordered-delivery state for one shard, on every node."""
+
+    next_expected: int = 1
+    holdback: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+
+@dataclass
+class RealRuntimeStats:
+    ordered_writes: int = 0
+    primary_writes: int = 0
+    local_reads: int = 0
+    guard_retries: int = 0
+    deduplicated_requests: int = 0
+    deduplicated_writes: int = 0
+    gap_requests: int = 0
+    retransmissions: int = 0
+    takeovers: int = 0
+    peers_declared_dead: int = 0
+
+
+class RealRuntime:
+    """Protocol engine for one node of the real-process backend."""
+
+    def __init__(self, node_id: int, transport: UdpTransport,
+                 timings: Optional[RealTimings] = None) -> None:
+        self.node_id = node_id
+        self.transport = transport
+        self.timings = timings or RealTimings()
+        self.stats = RealRuntimeStats()
+        self.objects: Dict[int, RealObject] = {}
+        self.seats: Dict[int, int] = {}
+        self._seat_state: Dict[int, _SeatState] = {}
+        self._member_state: Dict[int, _MemberState] = {}
+        self._waiters: Dict[str, asyncio.Future] = {}
+        self._uid_counter = itertools.count(1)
+        self._last_heard: Dict[int, float] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._running = False
+        self._handlers = {
+            "net.req": self._handle_req,
+            "net.data": self._handle_data,
+            "net.gapreq": self._handle_gapreq,
+            "net.sync": self._handle_sync,
+            "net.hb": self._handle_hb,
+            "net.pwrite": self._handle_pwrite,
+            "net.pupd": self._handle_pupd,
+            "net.pupdack": self._handle_pupdack,
+            "net.pgap": self._handle_pgap,
+            "net.pack": self._handle_pack,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+
+    def set_seats(self, seats: Dict[int, int]) -> None:
+        """Install the shard -> seat-node table (identical cluster-wide)."""
+        self.seats = {int(shard): int(node) for shard, node in seats.items()}
+        for shard, seat in self.seats.items():
+            self._member_state.setdefault(shard, _MemberState())
+            if seat == self.node_id:
+                self._seat_state.setdefault(shard, _SeatState())
+
+    def install_objects(self, table: List[Dict[str, Any]]) -> None:
+        """Create local replicas from the harness's object table."""
+        for row in table:
+            policy = row["policy"]
+            if policy not in REAL_POLICIES:
+                raise RtsError(f"real backend cannot manage policy {policy!r}")
+            spec_class = resolve_spec(row["spec"])
+            instance = spec_class.create(tuple(row.get("args", ())),
+                                         dict(row.get("kwargs", {})))
+            obj = RealObject(
+                obj_id=int(row["obj_id"]),
+                name=row["name"],
+                spec_class=spec_class,
+                instance=instance,
+                policy=policy,
+                shard=int(row["shard"]),
+                primary=int(row["primary"]),
+            )
+            self.objects[obj.obj_id] = obj
+
+    async def start(self) -> None:
+        self.transport.on_message = self._dispatch
+        now = time.monotonic()
+        for node_id in self.transport.node_ids:
+            if node_id != self.node_id:
+                self._last_heard[node_id] = now
+        self._running = True
+        self._tasks = [
+            asyncio.ensure_future(self._heartbeat_loop()),
+            asyncio.ensure_future(self._monitor_loop()),
+            asyncio.ensure_future(self._sync_loop()),
+        ]
+
+    async def stop(self) -> None:
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+
+    # ------------------------------------------------------------------ #
+    # Public operation API (called from the event loop)
+    # ------------------------------------------------------------------ #
+
+    def object_by_name(self, name: str) -> RealObject:
+        for obj in self.objects.values():
+            if obj.name == name:
+                return obj
+        raise UnknownObjectError(f"no object named {name!r} on node {self.node_id}")
+
+    async def submit(self, obj_id: int, op_name: str, args: Tuple[Any, ...] = (),
+                     kwargs: Optional[Dict[str, Any]] = None,
+                     client: Tuple[int, int] = (0, 0), cseq: int = 0) -> Any:
+        """Invoke one operation; returns its result (reads run locally)."""
+        obj = self.objects.get(obj_id)
+        if obj is None:
+            raise UnknownObjectError(f"no object {obj_id} on node {self.node_id}")
+        op = obj.spec_class.operation_def(op_name)
+        if not op.is_write:
+            self.stats.local_reads += 1
+            return execute_operation(obj.instance, op, tuple(args), kwargs)
+        while True:
+            if obj.policy == "broadcast":
+                result = await self._submit_ordered_op(obj, op_name, args,
+                                                       kwargs, client, cseq)
+            else:
+                result = await self._submit_primary(obj, op_name, args,
+                                                    kwargs, client, cseq)
+            if result == RETRY_MARKER:
+                # Guard not satisfied when the write reached the front of the
+                # total order; state was untouched, so re-issue after a beat.
+                self.stats.guard_retries += 1
+                await asyncio.sleep(self.timings.gap_delay)
+                continue
+            return result
+
+    # ------------------------------------------------------------------ #
+    # Ordered-broadcast write path
+    # ------------------------------------------------------------------ #
+
+    def _new_uid(self) -> str:
+        return f"{self.node_id}:{next(self._uid_counter)}"
+
+    async def _submit_ordered_op(self, obj: RealObject, op_name: str, args,
+                                 kwargs, client, cseq) -> Any:
+        self.stats.ordered_writes += 1
+        body = {
+            "type": "op",
+            "obj_id": obj.obj_id,
+            "op": op_name,
+            "args": jsonify(list(args)),
+            "kwargs": jsonify(dict(kwargs or {})),
+            "client": [int(client[0]), int(client[1])],
+            "cseq": int(cseq),
+            "origin": self.node_id,
+        }
+        return await self._submit_ordered(obj.shard, body)
+
+    async def _submit_ordered(self, shard: int, body: Dict[str, Any]) -> Any:
+        uid = self._new_uid()
+        body = dict(body, uid=uid)
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._waiters[uid] = fut
+        seat = self.seats[shard]
+        payload = {"shard": shard, "uid": uid, "body": body}
+        deadline = time.monotonic() + self.timings.submit_deadline
+        try:
+            while not fut.done():
+                if time.monotonic() > deadline:
+                    raise NetworkError(
+                        f"ordered write {uid} on shard {shard} did not "
+                        f"complete within {self.timings.submit_deadline}s")
+                if seat == self.node_id:
+                    self._sequence(shard, uid, body, requester=self.node_id)
+                else:
+                    self.transport.send(Message(
+                        src=self.node_id, dst=seat, kind="net.req",
+                        payload=payload))
+                await self._wait(fut, self.timings.retry_interval)
+            return fut.result()
+        finally:
+            self._waiters.pop(uid, None)
+
+    @staticmethod
+    async def _wait(fut: asyncio.Future, timeout: float) -> None:
+        try:
+            await asyncio.wait_for(asyncio.shield(fut), timeout)
+        except asyncio.TimeoutError:
+            pass
+
+    def _handle_req(self, msg: Message) -> None:
+        payload = msg.payload
+        shard = int(payload["shard"])
+        if self.seats.get(shard) != self.node_id:
+            return  # stale routing; the writer will retry
+        self._sequence(shard, payload["uid"], payload["body"],
+                       requester=msg.src)
+
+    def _sequence(self, shard: int, uid: str, body: Dict[str, Any],
+                  requester: int) -> None:
+        """Seat side: assign the next seqno (or retransmit a duplicate)."""
+        seat = self._seat_state[shard]
+        known = seat.uid_to_seqno.get(uid)
+        if known is not None:
+            # Duplicate request: the writer missed the data message; resend
+            # it point-to-point so recovery does not wait for a sync beacon.
+            self.stats.deduplicated_requests += 1
+            if requester != self.node_id:
+                self.stats.retransmissions += 1
+                self.transport.send(Message(
+                    src=self.node_id, dst=requester, kind="net.data",
+                    payload={"shard": shard, "seqno": known,
+                             "body": seat.history[known]}))
+            return
+        seqno = seat.next_seqno
+        seat.next_seqno += 1
+        seat.history[seqno] = body
+        seat.uid_to_seqno[uid] = seqno
+        self.transport.send(Message(
+            src=self.node_id, dst=None, kind="net.data",
+            payload={"shard": shard, "seqno": seqno, "body": body}))
+        self._accept_data(shard, seqno, body)
+
+    def _handle_data(self, msg: Message) -> None:
+        payload = msg.payload
+        self._accept_data(int(payload["shard"]), int(payload["seqno"]),
+                          payload["body"])
+
+    def _accept_data(self, shard: int, seqno: int, body: Dict[str, Any]) -> None:
+        member = self._member_state.get(shard)
+        if member is None:
+            return
+        if seqno < member.next_expected:
+            return  # duplicate of something already applied
+        member.holdback[seqno] = body
+        self._drain(shard, member)
+        if member.holdback:
+            asyncio.ensure_future(self._gap_check(shard, member.next_expected))
+
+    def _drain(self, shard: int, member: _MemberState) -> None:
+        while member.next_expected in member.holdback:
+            body = member.holdback.pop(member.next_expected)
+            member.next_expected += 1
+            self._apply_ordered(body)
+
+    async def _gap_check(self, shard: int, stalled_at: int) -> None:
+        await asyncio.sleep(self.timings.gap_delay)
+        member = self._member_state[shard]
+        if not member.holdback or member.next_expected != stalled_at:
+            return  # the gap filled itself (or moved) in the meantime
+        self._request_gap(shard, member)
+
+    def _request_gap(self, shard: int, member: _MemberState) -> None:
+        seat = self.seats[shard]
+        if seat == self.node_id:
+            return
+        upto = max(member.holdback) if member.holdback else member.next_expected
+        self.stats.gap_requests += 1
+        self.transport.send(Message(
+            src=self.node_id, dst=seat, kind="net.gapreq",
+            payload={"shard": shard, "from": member.next_expected,
+                     "to": upto}))
+
+    def _handle_gapreq(self, msg: Message) -> None:
+        payload = msg.payload
+        shard = int(payload["shard"])
+        seat = self._seat_state.get(shard)
+        if seat is None:
+            return
+        for seqno in range(int(payload["from"]), int(payload["to"]) + 1):
+            body = seat.history.get(seqno)
+            if body is None:
+                continue
+            self.stats.retransmissions += 1
+            self.transport.send(Message(
+                src=self.node_id, dst=msg.src, kind="net.data",
+                payload={"shard": shard, "seqno": seqno, "body": body}))
+
+    async def _sync_loop(self) -> None:
+        """Seats periodically announce their next seqno so a lost *final*
+        data message (with nothing after it to expose the gap) is found."""
+        while self._running:
+            await asyncio.sleep(self.timings.sync_interval)
+            for shard, seat in self._seat_state.items():
+                self.transport.send(Message(
+                    src=self.node_id, dst=None, kind="net.sync",
+                    payload={"shard": shard, "next_seqno": seat.next_seqno}))
+
+    def _handle_sync(self, msg: Message) -> None:
+        payload = msg.payload
+        shard = int(payload["shard"])
+        member = self._member_state.get(shard)
+        if member is None:
+            return
+        if member.next_expected < int(payload["next_seqno"]):
+            self._request_gap(shard, member)
+
+    # -- ordered apply ---------------------------------------------------- #
+
+    def _apply_ordered(self, body: Dict[str, Any]) -> None:
+        kind = body["type"]
+        if kind == "op":
+            self._apply_ordered_op(body)
+        elif kind == "takeover":
+            self._apply_takeover(body)
+        else:  # pragma: no cover - protocol bug guard
+            raise NetworkError(f"unknown ordered body type {kind!r}")
+
+    def _apply_ordered_op(self, body: Dict[str, Any]) -> None:
+        obj = self.objects[int(body["obj_id"])]
+        op = obj.spec_class.operation_def(body["op"])
+        result = execute_operation(obj.instance, op, tuple(body["args"]),
+                                   dict(body["kwargs"]))
+        if result is RETRY:
+            self._resolve(body, RETRY_MARKER)
+            return
+        client = body["client"]
+        obj.applied_log.append([int(client[0]), int(client[1]),
+                                int(body["cseq"]), body["op"]])
+        self._resolve(body, result)
+
+    def _resolve(self, body: Dict[str, Any], result: Any) -> None:
+        """Wake the local writer if this node originated the write."""
+        if body.get("origin") != self.node_id:
+            return
+        fut = self._waiters.get(body["uid"])
+        if fut is not None and not fut.done():
+            fut.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # Primary-copy write path
+    # ------------------------------------------------------------------ #
+
+    async def _submit_primary(self, obj: RealObject, op_name: str, args,
+                              kwargs, client, cseq) -> Any:
+        self.stats.primary_writes += 1
+        wid = f"{int(client[0])}.{int(client[1])}.{int(cseq)}"
+        payload = {
+            "obj_id": obj.obj_id,
+            "op": op_name,
+            "args": jsonify(list(args)),
+            "kwargs": jsonify(dict(kwargs or {})),
+            "client": [int(client[0]), int(client[1])],
+            "cseq": int(cseq),
+            "wid": wid,
+        }
+        deadline = time.monotonic() + self.timings.submit_deadline
+        loop = asyncio.get_running_loop()
+        while True:
+            if time.monotonic() > deadline:
+                raise NetworkError(
+                    f"primary write {wid} on {obj.name!r} did not complete "
+                    f"within {self.timings.submit_deadline}s")
+            if obj.primary == self.node_id:
+                return await self._primary_apply(obj, payload)
+            fut: asyncio.Future = loop.create_future()
+            self._waiters[wid] = fut
+            try:
+                # The primary may change under us (takeover); re-read it on
+                # every retry so re-issues chase the current seat.
+                self.transport.send(Message(
+                    src=self.node_id, dst=obj.primary, kind="net.pwrite",
+                    payload=payload))
+                await self._wait(fut, self.timings.retry_interval)
+                if fut.done():
+                    return fut.result()
+            finally:
+                self._waiters.pop(wid, None)
+
+    def _handle_pwrite(self, msg: Message) -> None:
+        payload = msg.payload
+        obj = self.objects.get(int(payload["obj_id"]))
+        if obj is None or obj.primary != self.node_id:
+            return  # stale routing; the writer will retry elsewhere
+        asyncio.ensure_future(self._primary_apply_and_reply(obj, payload,
+                                                            msg.src))
+
+    async def _primary_apply_and_reply(self, obj: RealObject,
+                                       payload: Dict[str, Any],
+                                       writer: int) -> None:
+        result = await self._primary_apply(obj, payload)
+        if obj.primary != self.node_id:
+            return  # lost the seat while applying (cannot happen today)
+        self.transport.send(Message(
+            src=self.node_id, dst=writer, kind="net.pack",
+            payload={"wid": payload["wid"], "result": jsonify(result)
+                     if result != RETRY_MARKER else RETRY_MARKER}))
+
+    async def _primary_apply(self, obj: RealObject,
+                             payload: Dict[str, Any]) -> Any:
+        wid = payload["wid"]
+        async with obj.lock:
+            if wid in obj.applied_wids:
+                self.stats.deduplicated_writes += 1
+                return obj.applied_wids[wid]
+            op = obj.spec_class.operation_def(payload["op"])
+            result = execute_operation(obj.instance, op,
+                                       tuple(payload["args"]),
+                                       dict(payload["kwargs"]))
+            if result is RETRY:
+                return RETRY_MARKER
+            result = jsonify(result)
+            obj.version += 1
+            version = obj.version
+            record = dict(payload, version=version, result=result)
+            obj.update_log[version] = record
+            obj.applied_wids[wid] = result
+            client = payload["client"]
+            obj.applied_log.append([int(client[0]), int(client[1]),
+                                    int(payload["cseq"]), payload["op"]])
+            peers = [node for node in self.transport.node_ids
+                     if node != self.node_id and self.transport.peer_alive(node)]
+            debt = set(peers)
+            obj.pending_acks[version] = debt
+            event = asyncio.Event()
+            obj.ack_events[version] = event
+            self.transport.send(Message(src=self.node_id, dst=None,
+                                        kind="net.pupd", payload=record))
+            try:
+                while debt:
+                    try:
+                        await asyncio.wait_for(event.wait(),
+                                               self.timings.retry_interval)
+                    except asyncio.TimeoutError:
+                        for node in list(debt):
+                            if not self.transport.peer_alive(node):
+                                debt.discard(node)
+                                continue
+                            self.stats.retransmissions += 1
+                            self.transport.send(Message(
+                                src=self.node_id, dst=node, kind="net.pupd",
+                                payload=record))
+            finally:
+                obj.pending_acks.pop(version, None)
+                obj.ack_events.pop(version, None)
+            return result
+
+    def _handle_pupd(self, msg: Message) -> None:
+        payload = msg.payload
+        obj = self.objects.get(int(payload["obj_id"]))
+        if obj is None or msg.src != obj.primary:
+            return  # stale update from a deposed (dead) primary
+        version = int(payload["version"])
+        if version <= obj.version:
+            self._ack_update(obj, version)  # duplicate; re-ack
+            return
+        if version == obj.version + 1:
+            self._apply_update(obj, payload)
+            while obj.version + 1 in obj.pending_updates:
+                self._apply_update(obj,
+                                   obj.pending_updates.pop(obj.version + 1))
+        else:
+            obj.pending_updates[version] = payload
+            self.stats.gap_requests += 1
+            self.transport.send(Message(
+                src=self.node_id, dst=obj.primary, kind="net.pgap",
+                payload={"obj_id": obj.obj_id, "have": obj.version}))
+
+    def _apply_update(self, obj: RealObject, payload: Dict[str, Any]) -> None:
+        op = obj.spec_class.operation_def(payload["op"])
+        # Deterministic operations on identical state yield the primary's
+        # result; storing it locally keeps the wid table takeover-portable.
+        execute_operation(obj.instance, op, tuple(payload["args"]),
+                          dict(payload["kwargs"]))
+        obj.version = int(payload["version"])
+        obj.applied_wids[payload["wid"]] = payload["result"]
+        client = payload["client"]
+        obj.applied_log.append([int(client[0]), int(client[1]),
+                                int(payload["cseq"]), payload["op"]])
+        self._ack_update(obj, obj.version)
+
+    def _ack_update(self, obj: RealObject, version: int) -> None:
+        self.transport.send(Message(
+            src=self.node_id, dst=obj.primary, kind="net.pupdack",
+            payload={"obj_id": obj.obj_id, "version": version}))
+
+    def _handle_pupdack(self, msg: Message) -> None:
+        payload = msg.payload
+        obj = self.objects.get(int(payload["obj_id"]))
+        if obj is None:
+            return
+        version = int(payload["version"])
+        debt = obj.pending_acks.get(version)
+        if debt is None:
+            return
+        debt.discard(msg.src)
+        if not debt:
+            event = obj.ack_events.get(version)
+            if event is not None:
+                event.set()
+
+    def _handle_pgap(self, msg: Message) -> None:
+        payload = msg.payload
+        obj = self.objects.get(int(payload["obj_id"]))
+        if obj is None or obj.primary != self.node_id:
+            return
+        for version in range(int(payload["have"]) + 1, obj.version + 1):
+            record = obj.update_log.get(version)
+            if record is None:
+                continue
+            self.stats.retransmissions += 1
+            self.transport.send(Message(src=self.node_id, dst=msg.src,
+                                        kind="net.pupd", payload=record))
+
+    def _handle_pack(self, msg: Message) -> None:
+        payload = msg.payload
+        fut = self._waiters.get(payload["wid"])
+        if fut is not None and not fut.done():
+            fut.set_result(payload["result"])
+
+    # ------------------------------------------------------------------ #
+    # Failure detection and takeover
+    # ------------------------------------------------------------------ #
+
+    async def _heartbeat_loop(self) -> None:
+        while self._running:
+            self.transport.send(Message(src=self.node_id, dst=None,
+                                        kind="net.hb", payload=None))
+            await asyncio.sleep(self.timings.heartbeat_interval)
+
+    def _handle_hb(self, msg: Message) -> None:
+        self._last_heard[msg.src] = time.monotonic()
+
+    async def _monitor_loop(self) -> None:
+        while self._running:
+            await asyncio.sleep(self.timings.heartbeat_interval)
+            now = time.monotonic()
+            for node_id, heard in list(self._last_heard.items()):
+                if not self.transport.peer_alive(node_id):
+                    continue
+                if now - heard > self.timings.dead_after:
+                    self._declare_dead(node_id)
+
+    def _declare_dead(self, node_id: int) -> None:
+        self.stats.peers_declared_dead += 1
+        self.transport.mark_dead(node_id)
+        # Release every acknowledgement debt owed by the dead peer, so
+        # primaries here stop waiting for acks that cannot come.
+        for obj in self.objects.values():
+            for version, debt in list(obj.pending_acks.items()):
+                debt.discard(node_id)
+                if not debt:
+                    event = obj.ack_events.get(version)
+                    if event is not None:
+                        event.set()
+        live = [node for node in self.transport.node_ids
+                if self.transport.peer_alive(node)]
+        if not live or min(live) != self.node_id:
+            return
+        # Lowest-id survivor proposes takeovers for the dead node's objects.
+        for obj in self.objects.values():
+            if obj.primary == node_id and obj.policy == "primary-update":
+                asyncio.ensure_future(self._takeover(obj, node_id))
+
+    async def _takeover(self, obj: RealObject, old_primary: int) -> None:
+        async with obj.lock:
+            body = {
+                "type": "takeover",
+                "obj_id": obj.obj_id,
+                "origin": self.node_id,
+                "old_primary": old_primary,
+                "new_primary": self.node_id,
+                "state": jsonify(obj.instance.marshal_state()),
+                "version": obj.version,
+                "wids": jsonify(obj.applied_wids),
+                "log": jsonify(obj.applied_log),
+            }
+        await self._submit_ordered(obj.shard, body)
+
+    def _apply_takeover(self, body: Dict[str, Any]) -> None:
+        obj = self.objects[int(body["obj_id"])]
+        if obj.primary != int(body["old_primary"]):
+            return  # stale proposal; someone already took this object over
+        obj.primary = int(body["new_primary"])
+        obj.instance.unmarshal_state(dict(body["state"]))
+        obj.version = int(body["version"])
+        obj.applied_wids = dict(body["wids"])
+        obj.applied_log = [list(entry) for entry in body["log"]]
+        obj.pending_updates.clear()
+        obj.update_log.clear()
+        self.stats.takeovers += 1
+        self._resolve(body, True)
+
+    # ------------------------------------------------------------------ #
+    # Introspection for the control plane
+    # ------------------------------------------------------------------ #
+
+    def status(self) -> Dict[str, Any]:
+        """Quiescence-relevant counters, all JSON-native."""
+        return {
+            "node_id": self.node_id,
+            "shards": {str(shard): {"next_expected": member.next_expected,
+                                    "holdback": len(member.holdback)}
+                       for shard, member in self._member_state.items()},
+            "seats": {str(shard): seat.next_seqno
+                      for shard, seat in self._seat_state.items()},
+            "pending_ops": len(self._waiters),
+            "primary_pending": sum(len(obj.pending_acks)
+                                   for obj in self.objects.values()),
+            "pending_updates": sum(len(obj.pending_updates)
+                                   for obj in self.objects.values()),
+            "dead": sorted(node for node in self.transport.node_ids
+                           if not self.transport.peer_alive(node)),
+        }
+
+    def collect(self) -> Dict[str, Any]:
+        """Final state dump for the oracle's convergence check."""
+        objects = {}
+        for obj in sorted(self.objects.values(), key=lambda o: o.obj_id):
+            objects[str(obj.obj_id)] = {
+                "name": obj.name,
+                "policy": obj.policy,
+                "shard": obj.shard,
+                "primary": obj.primary,
+                "version": obj.version,
+                "state": jsonify(obj.instance.marshal_state()),
+                "applied_log": jsonify(obj.applied_log),
+            }
+        return {
+            "node_id": self.node_id,
+            "objects": objects,
+            "transport": self.transport.summary(),
+            "stats": {
+                "ordered_writes": self.stats.ordered_writes,
+                "primary_writes": self.stats.primary_writes,
+                "local_reads": self.stats.local_reads,
+                "guard_retries": self.stats.guard_retries,
+                "deduplicated_requests": self.stats.deduplicated_requests,
+                "deduplicated_writes": self.stats.deduplicated_writes,
+                "gap_requests": self.stats.gap_requests,
+                "retransmissions": self.stats.retransmissions,
+                "takeovers": self.stats.takeovers,
+                "peers_declared_dead": self.stats.peers_declared_dead,
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.kind)
+        if handler is None:  # pragma: no cover - protocol bug guard
+            raise NetworkError(f"node {self.node_id} cannot handle {msg.kind!r}")
+        handler(msg)

@@ -1,0 +1,122 @@
+"""Wire framing: length-prefixed JSON encoding of the existing Message type.
+
+One frame is a 4-byte big-endian payload length followed by a UTF-8 JSON
+object with the fields of :class:`~repro.amoeba.message.Message`.  On the UDP
+data plane one datagram carries exactly one frame (the prefix doubles as a
+truncation check); on TCP streams frames are concatenated and
+:class:`StreamDecoder` re-splits them.
+
+JSON cannot tell tuples from lists, so payloads and headers must be built
+from JSON-native values (dicts, lists, strings, numbers, booleans, None).
+The real protocol controls every payload it sends, and
+:func:`jsonify` normalises recursively for state snapshots that may contain
+tuples.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Iterator, List
+
+from ..amoeba.message import Message
+from ..errors import NetworkError
+
+#: Largest frame the backend will encode or accept.  Loopback UDP handles
+#: ~64 KiB datagrams; protocol messages (including takeover state snapshots
+#: for the small workload objects) stay far below this.
+MAX_FRAME = 60_000
+
+_PREFIX = struct.Struct(">I")
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively normalise ``value`` into JSON-native types.
+
+    Tuples become lists, dict keys become strings; anything not JSON-native
+    raises :class:`NetworkError` so protocol bugs fail loudly at the sender
+    rather than as a decode error at the receiver.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    raise NetworkError(f"value {value!r} is not wire-encodable")
+
+
+def encode_message(msg: Message) -> bytes:
+    """Encode one message as a length-prefixed JSON frame."""
+    body = json.dumps(
+        {
+            "src": msg.src,
+            "dst": msg.dst,
+            "kind": msg.kind,
+            "payload": jsonify(msg.payload),
+            "size": msg.size,
+            "headers": jsonify(msg.headers),
+            "msg_id": msg.msg_id,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise NetworkError(
+            f"message {msg.kind!r} encodes to {len(body)} bytes "
+            f"(wire limit {MAX_FRAME})")
+    return _PREFIX.pack(len(body)) + body
+
+
+def decode_message(frame: bytes) -> Message:
+    """Decode one complete frame back into a Message.
+
+    Raises :class:`NetworkError` on truncated or trailing bytes, so a
+    corrupted datagram is dropped by the caller instead of half-parsed.
+    """
+    if len(frame) < _PREFIX.size:
+        raise NetworkError(f"short frame: {len(frame)} bytes")
+    (length,) = _PREFIX.unpack_from(frame)
+    body = frame[_PREFIX.size:]
+    if length != len(body) or length > MAX_FRAME:
+        raise NetworkError(
+            f"frame length mismatch: prefix {length}, body {len(body)}")
+    fields = json.loads(body.decode("utf-8"))
+    return Message(
+        src=fields["src"],
+        dst=fields["dst"],
+        kind=fields["kind"],
+        payload=fields["payload"],
+        size=fields["size"],
+        headers=fields["headers"],
+        msg_id=fields["msg_id"],
+    )
+
+
+class StreamDecoder:
+    """Incremental frame splitter for TCP byte streams."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Message]:
+        """Add bytes; return every message completed by them (in order)."""
+        self._buffer.extend(data)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[Message]:
+        while True:
+            if len(self._buffer) < _PREFIX.size:
+                return
+            (length,) = _PREFIX.unpack_from(self._buffer)
+            if length > MAX_FRAME:
+                raise NetworkError(f"oversized frame announced: {length}")
+            end = _PREFIX.size + length
+            if len(self._buffer) < end:
+                return
+            frame = bytes(self._buffer[:end])
+            del self._buffer[:end]
+            yield decode_message(frame)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

@@ -747,7 +747,12 @@ class HybridRts(RuntimeSystem):
                     # The router attributes it to the object's *current*
                     # shard, so the counters follow the object across moves.
                     if not shard_write_noted:
-                        self.router.note_write(obj_id, handle.name)
+                        # The note carries the invocation's payload size so
+                        # the router's byte window sees the same skew the
+                        # wire does (args dominate; kwargs are rare).
+                        self.router.note_write(
+                            obj_id, handle.name,
+                            nbytes=estimate_size(args) + estimate_size(kwargs))
                         shard_write_noted = True
                         if self.rebalance is not None:
                             self._maybe_start_rebalancer()
@@ -2327,6 +2332,7 @@ class HybridRts(RuntimeSystem):
                                    min_writes=params.min_writes,
                                    max_moves=params.max_moves,
                                    queue_weight=params.queue_weight,
+                                   byte_weight=params.byte_weight,
                                    exclude=self._in_move_cooldown)
         try:
             quiet = 0

@@ -117,6 +117,10 @@ class RebalanceParams:
     queue_weight:
         Weight of the sequencers' instantaneous queue depths in the
         planner's per-shard load scores (see :class:`RebalancePlanner`).
+    byte_weight:
+        Weight of write payload bytes in the planner's load scores; ``0``
+        (default) keeps the classic count-only heuristic (see
+        :class:`RebalancePlanner`).
     """
 
     interval: float = 0.005
@@ -127,6 +131,7 @@ class RebalanceParams:
     grow_to: Optional[int] = None
     cooldown: float = 0.02
     queue_weight: float = 1.0
+    byte_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.interval <= 0.0:
@@ -139,6 +144,8 @@ class RebalanceParams:
             raise ConfigurationError("cooldown must be non-negative")
         if self.queue_weight < 0.0:
             raise ConfigurationError("queue_weight must be non-negative")
+        if self.byte_weight < 0.0:
+            raise ConfigurationError("byte_weight must be non-negative")
         # Planner construction re-validates imbalance/min_writes/max_moves.
 
 
@@ -291,6 +298,11 @@ class ShardRouter:
             shard: 0 for shard in range(num_shards)
         }
         self._window_obj_writes: Dict[int, int] = {}
+        #: Byte-weighted load window: write payload bytes per shard / object.
+        self._window_shard_bytes: Dict[int, int] = {
+            shard: 0 for shard in range(num_shards)
+        }
+        self._window_obj_bytes: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Placement
@@ -337,6 +349,10 @@ class ShardRouter:
         if window:
             self._window_shard_writes[old] -= window
             self._window_shard_writes[new_shard] += window
+        nbytes = self._window_obj_bytes.get(obj_id, 0)
+        if nbytes:
+            self._window_shard_bytes[old] -= nbytes
+            self._window_shard_bytes[new_shard] += nbytes
         self.placement_epoch += 1
         return old
 
@@ -366,6 +382,7 @@ class ShardRouter:
         self.num_shards += 1
         self.shard_stats[shard] = ShardStats()
         self._window_shard_writes[shard] = 0
+        self._window_shard_bytes[shard] = 0
         if isinstance(self.policy, HashPlacement):
             self.policy = HashPlacement(self.num_shards, by=self.policy.by)
         self.placement_epoch += 1
@@ -380,18 +397,31 @@ class ShardRouter:
         self.shard_stats[shard].note_create()
         return shard
 
-    def note_write(self, obj_id: int, name: str) -> int:
-        """Count one write invocation against the object's *current* shard."""
+    def note_write(self, obj_id: int, name: str, nbytes: int = 0) -> int:
+        """Count one write invocation against the object's *current* shard.
+
+        ``nbytes`` is the write's payload size; it feeds the byte-weighted
+        load window (``0`` keeps the windows count-only, which is what
+        callers that do not model payload sizes pass).
+        """
         shard = self.assign(obj_id, name)
         self.shard_stats[shard].note_write()
         self._window_shard_writes[shard] += 1
         self._window_obj_writes[obj_id] = (
             self._window_obj_writes.get(obj_id, 0) + 1)
+        if nbytes:
+            self._window_shard_bytes[shard] += nbytes
+            self._window_obj_bytes[obj_id] = (
+                self._window_obj_bytes.get(obj_id, 0) + nbytes)
         return shard
 
     def window_loads(self) -> Dict[int, int]:
         """Writes per shard since the last window reset."""
         return dict(self._window_shard_writes)
+
+    def window_byte_loads(self) -> Dict[int, int]:
+        """Write payload bytes per shard since the last window reset."""
+        return dict(self._window_shard_bytes)
 
     def window_object_writes(self, shard: Optional[int] = None) -> Dict[int, int]:
         """Writes per object since the last reset (optionally one shard's)."""
@@ -401,11 +431,22 @@ class ShardRouter:
                 for obj_id, writes in self._window_obj_writes.items()
                 if self._assigned.get(obj_id) == shard}
 
+    def window_object_bytes(self, shard: Optional[int] = None) -> Dict[int, int]:
+        """Payload bytes per object since the last reset (optionally one shard's)."""
+        if shard is None:
+            return dict(self._window_obj_bytes)
+        return {obj_id: nbytes
+                for obj_id, nbytes in self._window_obj_bytes.items()
+                if self._assigned.get(obj_id) == shard}
+
     def reset_window(self) -> None:
         """Start a fresh load window (after a plan round or a move)."""
         for shard in self._window_shard_writes:
             self._window_shard_writes[shard] = 0
         self._window_obj_writes.clear()
+        for shard in self._window_shard_bytes:
+            self._window_shard_bytes[shard] = 0
+        self._window_obj_bytes.clear()
 
     # ------------------------------------------------------------------ #
     # Lookup / reporting
@@ -479,6 +520,14 @@ class RebalancePlanner:
         so the planner drains the shard that is actually melting, not just
         the one that received the most writes.  ``0`` restores the pure
         write-count heuristic.
+    byte_weight:
+        Payload awareness: adds ``byte_weight`` times the window's write
+        payload *bytes* (per shard and per candidate object) to the load
+        scores.  Two shards with equal write counts can carry wildly
+        unequal byte traffic when value sizes are skewed (see
+        ``WorkloadSpec.value_sizes``); a positive weight makes the planner
+        move the object that is actually saturating the wire.  ``0``
+        (default) ignores payload sizes entirely.
     exclude:
         Optional ``obj_id -> bool`` predicate; candidates for which it
         returns true are skipped.  The runtime's controller passes its
@@ -487,7 +536,7 @@ class RebalancePlanner:
 
     def __init__(self, router: ShardRouter, imbalance: float = 1.5,
                  min_writes: int = 32, max_moves: int = 3,
-                 queue_weight: float = 1.0,
+                 queue_weight: float = 1.0, byte_weight: float = 0.0,
                  exclude: Optional[Callable[[int], bool]] = None) -> None:
         if imbalance <= 1.0:
             raise ConfigurationError("imbalance threshold must exceed 1.0")
@@ -495,20 +544,39 @@ class RebalancePlanner:
             raise ConfigurationError("min_writes and max_moves must be >= 1")
         if queue_weight < 0.0:
             raise ConfigurationError("queue_weight must be non-negative")
+        if byte_weight < 0.0:
+            raise ConfigurationError("byte_weight must be non-negative")
         self.router = router
         self.imbalance = imbalance
         self.min_writes = min_writes
         self.max_moves = max_moves
         self.queue_weight = queue_weight
+        self.byte_weight = byte_weight
         self.exclude = exclude
 
     def _scores(self, loads: Dict[int, int]) -> Dict[int, float]:
-        """Per-shard load scores: window writes + weighted queue depth."""
-        if not self.queue_weight:
-            return {shard: float(load) for shard, load in loads.items()}
-        depths = self.router.queue_depths()
-        return {shard: load + self.queue_weight * depths.get(shard, 0)
-                for shard, load in loads.items()}
+        """Per-shard load scores: writes + weighted queue depth + weighted bytes."""
+        scores = {shard: float(load) for shard, load in loads.items()}
+        if self.queue_weight:
+            depths = self.router.queue_depths()
+            for shard in scores:
+                scores[shard] += self.queue_weight * depths.get(shard, 0)
+        if self.byte_weight:
+            byte_loads = self.router.window_byte_loads()
+            for shard in scores:
+                scores[shard] += self.byte_weight * byte_loads.get(shard, 0)
+        return scores
+
+    def _object_weights(self, shard: int) -> Dict[int, float]:
+        """Per-object window weights on ``shard``, byte-weighted when enabled."""
+        weights = {obj_id: float(writes) for obj_id, writes
+                   in self.router.window_object_writes(shard=shard).items()}
+        if self.byte_weight:
+            for obj_id, nbytes in self.router.window_object_bytes(
+                    shard=shard).items():
+                weights[obj_id] = (weights.get(obj_id, 0.0)
+                                   + self.byte_weight * nbytes)
+        return weights
 
     def _hot_and_cool(self) -> Optional[Any]:
         loads = self.router.window_loads()
@@ -536,19 +604,19 @@ class RebalancePlanner:
         scores, hot, cool = view
         deficit = scores[hot] - scores[cool]
         candidates = sorted(
-            self.router.window_object_writes(shard=hot).items(),
+            self._object_weights(hot).items(),
             key=lambda item: (-item[1], item[0]))
         moves: List[RebalanceMove] = []
-        moved = 0
-        for obj_id, writes in candidates:
-            if len(moves) >= self.max_moves or writes <= 0:
+        moved = 0.0
+        for obj_id, weight in candidates:
+            if len(moves) >= self.max_moves or weight <= 0:
                 break
             if self.exclude is not None and self.exclude(obj_id):
                 continue
-            if writes >= deficit - 2 * moved:
+            if weight >= deficit - 2 * moved:
                 continue  # would make the destination the new hot spot
             moves.append(RebalanceMove(obj_id=obj_id, src=hot, dst=cool))
-            moved += writes
+            moved += weight
         return moves
 
     def suggest(self, obj_id: int) -> Optional[int]:
@@ -564,7 +632,7 @@ class RebalancePlanner:
         scores, hot, cool = view
         if self.router.assigned_shard(obj_id) != hot:
             return None
-        writes = self.router.window_object_writes().get(obj_id, 0)
-        if writes <= 0 or writes >= scores[hot] - scores[cool]:
+        weight = self._object_weights(hot).get(obj_id, 0.0)
+        if weight <= 0 or weight >= scores[hot] - scores[cool]:
             return None
         return cool

@@ -165,10 +165,31 @@ class WorkloadRunner:
                  num_shards: int = 1, batching: Optional[Any] = None,
                  rts_options: Optional[Dict[str, Any]] = None,
                  config: Optional[ClusterConfig] = None,
-                 network_type: Optional[str] = None) -> None:
+                 network_type: Optional[str] = None,
+                 backend: str = "sim") -> None:
         """``network_type`` overrides the runtime's natural interconnect
         (e.g. run the p2p runtime on the shared Ethernet so a cross-runtime
-        comparison holds the hardware fixed)."""
+        comparison holds the hardware fixed).
+
+        ``backend`` selects the execution substrate: ``"sim"`` (default)
+        runs inside the deterministic discrete-event simulator; ``"real"``
+        runs the same scenario across real OS processes over UDP sockets
+        (see :mod:`repro.net`), reporting real wall-clock throughput.
+        """
+        if backend not in ("sim", "real"):
+            raise ConfigurationError(
+                f"unknown backend {backend!r} (use 'sim' or 'real')")
+        self.backend = backend
+        if backend == "real":
+            if runtime != "broadcast":
+                raise ConfigurationError(
+                    "the real backend maps per-object policies itself; "
+                    "select it with runtime='broadcast'")
+            if batching is not None or rts_options or config or network_type:
+                raise ConfigurationError(
+                    "batching / rts_options / config / network_type are "
+                    "simulator-only knobs; the real backend does not "
+                    "accept them")
         if runtime not in RUNTIME_KINDS:
             raise ConfigurationError(
                 f"unknown runtime kind {runtime!r} (use one of {RUNTIME_KINDS})")
@@ -199,6 +220,15 @@ class WorkloadRunner:
 
     def run(self) -> WorkloadReport:
         """Execute the workload to completion; returns the full report."""
+        if self.backend == "real":
+            # Deferred import: the sim path must not depend on repro.net.
+            from ..net.runner import run_real_workload
+
+            return run_real_workload(
+                scenario=self.scenario_kind, workload=self.workload,
+                num_nodes=self.num_nodes,
+                clients_per_node=self.clients_per_node, seed=self.seed,
+                num_shards=max(1, self.num_shards))
         config = self.config or ClusterConfig(num_nodes=self.num_nodes, seed=self.seed)
         cluster = Cluster(config, network_type=self.network_type)
         try:

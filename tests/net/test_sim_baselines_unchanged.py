@@ -1,0 +1,43 @@
+"""The transport-seam refactor must not move the simulator by one byte.
+
+The simulated NIC/network layer now implements the extracted
+:class:`~repro.amoeba.transport.Transport` interface the real backend plugs
+into.  That refactor is only safe if it is *inert*: every committed smoke
+baseline (`benchmarks/baselines/*.json`) must be reproduced byte-for-byte
+by the seeded smoke suites.  Any drift — an extra message, a reordered
+delivery, a changed latency — shows up here as a byte diff.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: smoke-producing benchmark script -> committed baseline it must reproduce.
+BASELINES = {
+    "bench_workload_scenarios.py": "workloads.json",
+    "bench_adaptive_migration.py": "adaptive.json",
+    "bench_rebalancing.py": "rebalance.json",
+    "bench_primary_recovery.py": "recovery.json",
+}
+
+
+@pytest.mark.parametrize("script,baseline", sorted(BASELINES.items()))
+def test_smoke_reproduces_committed_baseline(tmp_path, script, baseline):
+    out = tmp_path / "smoke.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    subprocess.run(
+        [sys.executable, str(REPO / "benchmarks" / script),
+         "--smoke", "--out", str(out)],
+        check=True, env=env, cwd=str(REPO), timeout=300)
+    committed = (REPO / "benchmarks" / "baselines" / baseline).read_bytes()
+    assert out.read_bytes() == committed, (
+        f"{script} --smoke no longer reproduces baselines/{baseline}; "
+        "the simulated backend's behaviour changed")

@@ -119,6 +119,11 @@ class TestRebalanceParams:
             RebalanceParams(quiet_rounds=0)
         with pytest.raises(ConfigurationError):
             RebalanceParams(grow_to=0)
+        with pytest.raises(ConfigurationError):
+            RebalanceParams(byte_weight=-0.5)
+
+    def test_byte_weight_defaults_off(self):
+        assert RebalanceParams().byte_weight == 0.0
 
 
 class TestShardRouter:
@@ -175,6 +180,24 @@ class TestShardRouter:
             assert router.window_loads() == {0: 0, 1: 0}
             # Cumulative per-shard stats are untouched by the reset.
             assert router.shard_stats[0].writes == 6
+
+    def test_byte_window_tracks_and_follows_moves(self):
+        with Cluster(ClusterConfig(num_nodes=4, seed=1)) as cluster:
+            router = ShardRouter(cluster, num_shards=2)
+            for _ in range(3):
+                router.note_write(1, "a", nbytes=100)  # shard 0
+            router.note_write(2, "b", nbytes=40)       # shard 1
+            router.note_write(2, "b")                  # size-less write
+            assert router.window_byte_loads() == {0: 300, 1: 40}
+            assert router.window_object_bytes() == {1: 300, 2: 40}
+            # ... but the count window still sees every write.
+            assert router.window_loads() == {0: 3, 1: 2}
+            router.move(1, 1)
+            assert router.window_byte_loads() == {0: 0, 1: 340}
+            assert router.window_object_bytes(shard=1) == {1: 300, 2: 40}
+            router.reset_window()
+            assert router.window_byte_loads() == {0: 0, 1: 0}
+            assert router.window_object_bytes() == {}
 
     def test_add_shard_prefers_seatless_live_nodes(self):
         with Cluster(ClusterConfig(num_nodes=4, seed=1)) as cluster:
@@ -258,6 +281,8 @@ class TestRebalancePlanner:
                 RebalancePlanner(router, min_writes=0)
             with pytest.raises(ConfigurationError):
                 RebalancePlanner(router, queue_weight=-1.0)
+            with pytest.raises(ConfigurationError):
+                RebalancePlanner(router, byte_weight=-1.0)
 
     def test_queue_depth_makes_a_backlogged_shard_hot(self):
         """Cost awareness: equal window writes, but one sequencer is deep in
@@ -278,6 +303,47 @@ class TestRebalancePlanner:
             aware = RebalancePlanner(router, imbalance=1.5, min_writes=8,
                                      queue_weight=1.0)
             assert aware.plan() == [RebalanceMove(obj_id=1, src=0, dst=1)]
+
+    def test_byte_traffic_makes_a_shard_hot(self):
+        """Payload awareness: equal write counts, but one shard's writes
+        carry big values — the byte-weighted planner drains it."""
+        cluster, router = self.make_router()
+        with cluster:
+            for _ in range(5):
+                router.note_write(1, "fat", nbytes=600)   # shard 0
+            for _ in range(5):
+                router.note_write(3, "thin")              # shard 0
+            for _ in range(10):
+                router.note_write(2, "cool")              # shard 1
+            # Count-only scores see a balanced placement (10 vs 10)...
+            blind = RebalancePlanner(router, imbalance=1.5, min_writes=8,
+                                     queue_weight=0.0)
+            assert blind.plan() == []
+            # ... byte-weighted scores see shard 0 carrying 3000 B of
+            # payload (10 + 30 vs 10).  The fat object itself would
+            # overshoot (weight 35 >= deficit 30), so its thin co-resident
+            # moves off the byte-hot shard.
+            aware = RebalancePlanner(router, imbalance=1.5, min_writes=8,
+                                     queue_weight=0.0, byte_weight=0.01)
+            assert aware.plan() == [RebalanceMove(obj_id=3, src=0, dst=1)]
+            assert aware.suggest(3) == 1
+            assert aware.suggest(1) is None  # would overshoot
+
+    def test_byte_heavy_monolith_moves_when_it_improves_the_hot_bin(self):
+        cluster, router = self.make_router()
+        with cluster:
+            for _ in range(16):
+                router.note_write(1, "mono", nbytes=125)  # 2000 B on shard 0
+            for _ in range(2):
+                router.note_write(3, "small")
+            router.note_write(2, "cool")  # register, then silence shard 1
+            router._window_shard_writes[1] = 0
+            router._window_obj_writes.pop(2, None)
+            # Weight 16 + 20 = 36 < deficit 38: the monolith moves whole.
+            planner = RebalancePlanner(router, imbalance=1.5, min_writes=8,
+                                       max_moves=1, queue_weight=0.0,
+                                       byte_weight=0.01)
+            assert planner.plan() == [RebalanceMove(obj_id=1, src=0, dst=1)]
 
     def test_exclude_predicate_damps_churn(self):
         """The controller's per-object cooldown plugs in as an exclusion:

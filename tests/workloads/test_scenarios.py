@@ -109,3 +109,34 @@ class TestDefaultSpecs:
         assert len({key0, key1, key2}) == 3
         # Consecutive phases put the hottest key on different id-hash shards.
         assert key0 % 4 != key1 % 4
+
+
+class TestKVTablePayloadSizes:
+    class _RecordingRts:
+        def __init__(self):
+            self.calls = []
+
+        def invoke(self, proc, handle, op, args=(), kwargs=None):
+            self.calls.append((op, args))
+
+    def perform_write(self, spec, key):
+        from repro.workloads import Request
+
+        scenario_obj = ScenarioRegistry.create("kv-table", spec)
+        scenario_obj.handles = [object()]  # skip setup; perform only invokes
+        rts = self._RecordingRts()
+        scenario_obj.perform(rts, None, Request(seq=7, key=key, is_write=True,
+                                                phase=0))
+        return rts.calls[0]
+
+    def test_default_writes_the_sequence_number(self):
+        op, args = self.perform_write(WorkloadSpec(), key=1)
+        assert (op, args) == ("store", ("k1", 7))
+
+    def test_value_sizes_pad_the_stored_payload(self):
+        spec = WorkloadSpec(num_keys=4, value_sizes=(8, 512))
+        op, args = self.perform_write(spec, key=1)
+        assert op == "store"
+        assert args[0] == "k1"
+        assert args[1].startswith("7:")
+        assert len(args[1]) == len("7:") + 512
