@@ -29,7 +29,15 @@ import json
 import sys
 
 HIGHER_IS_BETTER = {"throughput", "post_window_throughput"}
-LOWER_IS_BETTER = {"p50", "p95", "p99", "recovery_window", "max_write_latency"}
+LOWER_IS_BETTER = {
+    "p50",
+    "p95",
+    "p99",
+    "recovery_window",
+    "max_write_latency",
+    "drain_window",
+    "max_rejoin_window",
+}
 
 
 def iter_metrics(node, path=()):

@@ -63,6 +63,16 @@ class GroupMember:
         self.node_id = node.node_id
         self.engine = OrderingEngine()
         self.delivery_handler: Optional[DeliveryHandler] = None
+        #: False between a node's recovery and the completion of its rejoin
+        #: catch-up: an unsynced member's delivered history was wiped by the
+        #: crash, so it must neither answer gap requests nor chase the gap
+        #: between its fresh engine and the group's current seqno (the rejoin
+        #: seed covers that span out of band).
+        self.synced = True
+        #: The uid of this member's in-flight rejoin anchor broadcast: when
+        #: it comes back sequenced, delivery fast-forwards to its seqno and
+        #: the member is synced again.
+        self._anchor_uid: Optional[MessageId] = None
         #: Recently delivered messages, retained so this member can seed a
         #: sequencer history if it wins an election after a crash, and so it
         #: can answer broadcast gap requests from lagging peers.
@@ -92,6 +102,11 @@ class GroupMember:
             KIND_COORDINATOR,
         ):
             node.register_handler(group.wire_kind(kind), self._on_message)
+        # A crash loses this member's volatile protocol state; the loss is
+        # applied when the node comes back (wiping a dead member changes
+        # nothing observable, and the election path still seeds the new
+        # sequencer from the best surviving member's history).
+        node.on_recover(self.wipe_for_rejoin)
 
     # ------------------------------------------------------------------ #
     # Sending
@@ -191,6 +206,12 @@ class GroupMember:
             return
         if kind in (KIND_DATA, KIND_RETRANSMIT):
             uid = MessageId(*msg.headers["uid"])
+            if self._anchor_uid is not None and uid == self._anchor_uid:
+                # The rejoin anchor came back sequenced: everything before it
+                # is covered by the seed, so re-enter the order right here.
+                self.engine.fast_forward(msg.headers["seqno"])
+                self._anchor_uid = None
+                self.synced = True
             self.engine.offer(
                 msg.headers["seqno"], msg.headers["origin"], uid, msg.payload, msg.size
             )
@@ -269,12 +290,21 @@ class GroupMember:
         designee only costs one retry interval before the next member is
         tried.  This caps recovery traffic at one reply per request instead
         of one per holder.
+
+        Members that have not completed their rejoin catch-up are skipped:
+        a recovered member's delivered history was wiped with the crash, so
+        designating it would silently stall the requester for a salvo (and
+        the answer it *could* give from a fresh engine would be nothing).
         """
-        ids = sorted(self.group.members)
+        ids = sorted(nid for nid, member in self.group.members.items() if member.synced)
+        if not ids:
+            return False
         return ids[(seqno + salvo) % len(ids)] == self.node_id
 
     def _answer_gap_request(self, requester: int, seqno: int) -> None:
         """Serve a peer's broadcast gap request from local delivered state."""
+        if not self.synced:
+            return
         entry = self.lookup_entry(seqno)
         if entry is None or requester == self.node_id:
             return
@@ -338,6 +368,8 @@ class GroupMember:
         and it is the caller's job to re-probe — there is deliberately no
         self-re-arm here, so probing a not-yet-sequenced seqno cannot spin.
         """
+        if not self.synced:
+            return  # the rejoin seed, not gap recovery, covers the span
         seqno = self.engine.next_expected
         if seqno in self._gap_timers:
             return  # in-band gap recovery is already chasing it
@@ -370,6 +402,11 @@ class GroupMember:
         self.node.send(msg)
 
     def _schedule_gap_requests(self) -> None:
+        if not self.synced:
+            # A fresh engine behind a live group would see everything up to
+            # the current seqno as "missing" and storm the group with gap
+            # requests; the rejoin anchor + seed close that span instead.
+            return
         for seqno in self.engine.missing_seqnos():
             if seqno in self._gap_timers:
                 continue
@@ -468,6 +505,78 @@ class GroupMember:
         for record in list(self._pending_sends.values()):
             if not record.delivered:
                 self._transmit(record)
+
+    # ------------------------------------------------------------------ #
+    # Rejoin (crash -> recover catch-up)
+    # ------------------------------------------------------------------ #
+
+    def wipe_for_rejoin(self) -> None:
+        """Apply the crash's loss of volatile protocol state (at recover time).
+
+        Everything the protocol accumulated — the ordering engine, delivered
+        history, pending sends, gap/election/retry timers — died with the
+        machine; only the uid counter survives (the stand-in for a restart
+        incarnation number: a recovered member must never reuse a message id,
+        or the sequencer's dedup table would swallow its new sends).  The
+        member stays ``synced = False`` until a higher layer completes the
+        rejoin catch-up.
+        """
+        for timer in self._gap_timers.values():
+            self.node.kernel.cancel_timer(timer)
+        self._gap_timers.clear()
+        self._gap_attempts.clear()
+        for record in self._pending_sends.values():
+            if record.retry_timer is not None:
+                self.node.kernel.cancel_timer(record.retry_timer)
+        self._pending_sends.clear()
+        if self._election_timer is not None:
+            self.node.kernel.cancel_timer(self._election_timer)
+            self._election_timer = None
+        self._election_votes = {}
+        self._delivered_history.clear()
+        self.engine = OrderingEngine()
+        self._last_delivery_time = self.node.sim.now
+        self._anchor_uid = None
+        self.synced = False
+
+    def begin_rejoin(
+        self,
+        payload: object,
+        size: int = 0,
+        on_delivered: Optional[Callable[[int], None]] = None,
+    ) -> MessageId:
+        """Broadcast this member's rejoin anchor marker.
+
+        The marker's assigned sequence number becomes the member's re-entry
+        point into the group's total order: when the marker comes back
+        sequenced, delivery fast-forwards to it and the member is synced
+        again.  The state covering everything ordered *before* the anchor
+        arrives out of band (the rejoin seed a peer sends on delivering the
+        marker).  Forced onto the PB path so the anchor always returns as
+        sequenced data.
+        """
+        uid = self.broadcast(payload, size=size, method="pb", on_delivered=on_delivered)
+        # Safe to set after the send: the sequenced copy arrives in a later
+        # event (the rejoining node never hosts the sequencer seat — the
+        # rejoin hands a held seat off before anchoring).
+        self._anchor_uid = uid
+        return uid
+
+    def mark_synced(self) -> None:
+        """Degraded rejoin: declare this member caught up without an anchor
+        (used when no synced peer survives to seed it)."""
+        self._anchor_uid = None
+        self.synced = True
+
+    def resume_delivery(self, from_seqno: int) -> None:
+        """Skip this member's delivery cursor past ``from_seqno`` and flush.
+
+        The rejoin seed covered the order up to and including ``from_seqno``
+        out of band; anything later that already arrived sequenced delivers
+        now.
+        """
+        self.engine.fast_forward(from_seqno + 1)
+        self._after_arrival()
 
 
 class BroadcastGroup:
@@ -576,6 +685,43 @@ class BroadcastGroup:
             self.sequencer.adopt_state(next_seq)
             return
         self.install_sequencer(node_id, next_seq)
+
+    def handoff_sequencer(self, node_id: int, trust_old: bool = True) -> int:
+        """Hand the sequencer seat to ``node_id`` without an election.
+
+        Two planned (non-crash) seat transfers need this: draining a node
+        out of the cluster, and a recovered node giving up a seat it held
+        when it crashed.  With ``trust_old`` the numbering simply continues
+        from the old seat (callers drain its queue first); without it the
+        old seat's state is treated as lost — the rejoin case — and the
+        successor renumbers after the highest sequence number any live,
+        synced member has evidence of, exactly as an election winner would.
+        The new seat announces itself so members resend their pending
+        broadcasts at it.  Returns the adopted ``next_seq``.
+        """
+        if node_id == self.sequencer_node_id:
+            return self.sequencer.next_seq
+        if trust_old:
+            next_seq = self.sequencer.next_seq
+        else:
+            highest = 0
+            for member in self.members.values():
+                if member.node.alive and member.synced:
+                    highest = max(highest, member.engine.highest_known_seqno)
+            next_seq = highest + 1
+        self.install_sequencer(node_id, next_seq)
+        node = self.cluster.node(node_id)
+        self.stats.control_bytes_sent += CONTROL_MESSAGE_SIZE
+        node.send(
+            node.make_message(
+                None,
+                self.wire_kind(KIND_COORDINATOR),
+                size=CONTROL_MESSAGE_SIZE,
+                sequencer=node_id,
+                next_seq=next_seq,
+            )
+        )
+        return next_seq
 
     def crash_sequencer(self) -> int:
         """Failure injection: crash the current sequencer node; returns its id."""

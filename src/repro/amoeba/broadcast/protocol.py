@@ -151,6 +151,22 @@ class OrderingEngine:
             self.delivered_count += 1
         return out
 
+    def fast_forward(self, seqno: int) -> None:
+        """Skip delivery forward so ``seqno`` is the next message delivered.
+
+        Used by the rejoin catch-up: a recovered member is seeded with a
+        state snapshot that already covers everything sequenced before its
+        rejoin anchor, so the history before the anchor must never be
+        delivered (it would double-apply against the snapshot).
+        """
+        if seqno <= self.next_expected:
+            return
+        for buffered in [s for s in self._ordered_buffer if s < seqno]:
+            del self._ordered_buffer[buffered]
+        for pending in [s for s in self._pending_accepts if s < seqno]:
+            del self._pending_accepts[pending]
+        self.next_expected = seqno
+
     def note_highest(self, seqno: int) -> None:
         """Record that sequence numbers up to ``seqno`` exist (sync heartbeat)."""
         if seqno > self.announced_highest:

@@ -63,6 +63,10 @@ class Node:
         #: Callbacks fired (synchronously) when this node crashes; protocol
         #: layers use them to stop waiting on acknowledgements from the dead.
         self._crash_listeners: List[Callable[[], None]] = []
+        #: Callbacks fired (synchronously) when this node recovers; protocol
+        #: layers use them to start the rejoin catch-up before the member is
+        #: treated as healthy again.
+        self._recover_listeners: List[Callable[[], None]] = []
         self.network: Optional["BaseNetwork"] = None
         if network is not None:
             network.attach(self.nic)
@@ -169,6 +173,10 @@ class Node:
         """Register a callback fired when (and each time) this node crashes."""
         self._crash_listeners.append(callback)
 
+    def on_recover(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired when (and each time) this node recovers."""
+        self._recover_listeners.append(callback)
+
     def crash(self) -> None:
         """Simulate a node crash: all subsequent traffic to the node is dropped."""
         self.alive = False
@@ -178,9 +186,17 @@ class Node:
             callback()
 
     def recover(self) -> None:
-        """Bring a crashed node back (its volatile protocol state stays lost)."""
+        """Bring a crashed node back (its volatile protocol state stays lost).
+
+        Recovery listeners run after the node is marked alive so they can
+        send and receive; they are responsible for re-seeding the protocol
+        state that died with the crash (replica copies, delivery history)
+        before the member serves the cluster again.
+        """
         self.alive = True
         self.sim.trace("node.recover", f"node {self.node_id} recovered")
+        for callback in list(self._recover_listeners):
+            callback()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Node {self.node_id}{'' if self.alive else ' (crashed)'}>"

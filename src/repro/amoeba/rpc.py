@@ -269,6 +269,18 @@ class RpcEndpoint:
         pending.timed_out = True
         pending.process.wake()
 
+    def pending_to(self, server_node: int) -> int:
+        """Outstanding calls from this endpoint addressed to ``server_node``.
+
+        A planned drain waits for this to reach zero everywhere before
+        retiring the machine, so no client ever sees a dead-peer failure.
+        """
+        return sum(
+            1
+            for pending in self._pending.values()
+            if pending.server_node == server_node and not pending.completed
+        )
+
     def fail_pending_to(self, server_node: int) -> None:
         """Fail every outstanding call addressed to a crashed server.
 

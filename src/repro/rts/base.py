@@ -71,6 +71,13 @@ class RtsStats:
     #: re-issues that the applied-write-id table recognised as duplicates.
     primary_recoveries: int = 0
     deduplicated_writes: int = 0
+    #: Elasticity-loop events: completed rejoin catch-ups of recovered
+    #: nodes, planned node drains, broadcast groups merged away, and
+    #: primary seats handed back to a rejoined heaviest writer.
+    node_rejoins: int = 0
+    nodes_drained: int = 0
+    shards_removed: int = 0
+    seats_handed_back: int = 0
     per_object_reads: Dict[int, int] = field(default_factory=dict)
     per_object_writes: Dict[int, int] = field(default_factory=dict)
 

@@ -175,7 +175,9 @@ class ConsistencyChecker:
 
     # ------------------------------------------------------------------ #
 
-    def check_all(self, replay: Optional[Dict[int, Tuple[Type[ObjectSpec], Tuple[Any, ...]]]] = None) -> None:
+    def check_all(
+        self, replay: Optional[Dict[int, Tuple[Type[ObjectSpec], Tuple[Any, ...]]]] = None
+    ) -> None:
         """Run every check; ``replay`` maps object ids to (spec, init args)."""
         self.check_write_order_agreement()
         self.check_process_monotonicity()

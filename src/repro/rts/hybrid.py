@@ -101,7 +101,7 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple, Type
 
-from ..amoeba.broadcast.protocol import DeliveredMessage
+from ..amoeba.broadcast.protocol import CONTROL_MESSAGE_SIZE, DeliveredMessage
 from ..amoeba.message import estimate_size
 from ..amoeba.rpc import RpcReply, RpcRequest
 from ..errors import ConfigurationError, RpcPeerDeadError, RtsError
@@ -142,6 +142,12 @@ MIGRATED = object()
 #: Point-to-point protocol message kinds (unchanged from the classic p2p RTS).
 KIND_ACK = "p2p.ack"
 KIND_DROP = "p2p.drop"
+
+#: Out-of-band rejoin traffic: a donor unicasts a recovered member the state
+#: covering everything ordered before its rejoin anchor, and the member can
+#: re-request the seed if the chosen donor died before sending it.
+KIND_SEED = "rts.seed"
+KIND_SEED_REQ = "rts.seed_req"
 
 PORT_READ = "orca.obj.read"
 PORT_WRITE = "orca.obj.write"
@@ -229,6 +235,40 @@ class RecoveryRecord:
         if self.completed_at is None:
             return None
         return self.completed_at - self.crashed_at
+
+
+@dataclass
+class RejoinRecord:
+    """One recovered node's catch-up back to full membership.
+
+    ``completed_at - recovered_at`` is the window during which the member
+    was alive but not yet a full member (reads served stale or not at all,
+    gap requests skipped it); ``objects_reseeded`` counts the replica
+    copies the rejoin seeds restored.
+    """
+
+    node_id: int
+    recovered_at: float
+    completed_at: Optional[float] = None
+    objects_reseeded: int = 0
+    seats_handed_back: int = 0
+
+    @property
+    def window(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.recovered_at
+
+
+@dataclass
+class DrainRecord:
+    """One planned node departure: every seat evacuated, then the exit."""
+
+    node_id: int
+    started_at: float
+    primary_seats_moved: int = 0
+    sequencer_seats_moved: int = 0
+    completed_at: Optional[float] = None
 
 
 class _WriteBatcher:
@@ -462,6 +502,11 @@ class HybridRts(RuntimeSystem):
         self._lag_probes: Dict[Tuple[int, int], int] = {}
         #: Objects frozen at their primary for a state transfer.
         self._frozen: Set[int] = set()
+        #: (primary, obj_id) -> count of primary-write commits in flight
+        #: there; a freeze drains this to zero before snapshotting (two
+        #: overlapping two-phase rounds share one replica lock bit, so the
+        #: lock alone cannot prove quiescence).
+        self._inflight_writes: Dict[Tuple[int, int], int] = {}
         #: Objects with a switch still being delivered somewhere.
         self._migrating: Set[int] = set()
         #: Objects inside a migrate() call that has not yet broadcast its
@@ -499,6 +544,29 @@ class HybridRts(RuntimeSystem):
         #: rebalance controller's per-object churn cooldown).
         self._last_moved_at: Dict[int, float] = {}
 
+        # -- elasticity: rejoin, drain, scale-in -------------------------- #
+        #: Nodes whose rejoin catch-up has not completed: they must not be
+        #: targeted by seat moves or act as seed donors, and cluster-wide
+        #: reconfiguration (migrations, shard moves) pauses while this is
+        #: non-empty, so a seed is never computed against routes that shift
+        #: under it.
+        self._catching_up: Set[int] = set()
+        #: Nodes being drained out of the cluster (drain_node in progress).
+        self._draining: Set[int] = set()
+        #: Per-node rejoin incarnation counter: a crash during catch-up
+        #: abandons the old rejoin thread and invalidates its seeds.
+        self._rejoin_epoch: Dict[int, int] = {}
+        #: (node_id, shard) pairs whose out-of-band seed has not arrived.
+        self._awaiting_seed: Set[Tuple[int, int]] = set()
+        #: Deliveries a rejoining member received between its anchor and
+        #: its seed, replayed in order once the seed installs.
+        self._seed_buffer: Dict[Tuple[int, int], List[DeliveredMessage]] = {}
+        self._recovery_wired = False
+        self.rejoins: List[RejoinRecord] = []
+        self.drains: List[DrainRecord] = []
+        #: Broadcast groups retired by remove_shard, in retirement order.
+        self.removed_shards: List[int] = []
+
         initial = self.default_policy
         needs_broadcast = (isinstance(initial, AdaptivePolicy)
                            or initial.mechanism == MECHANISM_BROADCAST)
@@ -531,6 +599,7 @@ class HybridRts(RuntimeSystem):
             self.group = self.router.group_for(0)
             for shard in range(self.router.num_shards):
                 self._wire_shard(shard)
+            self._wire_recovery()
         return self.router
 
     def _wire_shard(self, shard: int) -> None:
@@ -587,6 +656,22 @@ class HybridRts(RuntimeSystem):
             rpc.register_service(PORT_MIGRATE,
                                  lambda req, n=nid: self._serve_migrate(n, req),
                                  may_block=True)
+        self._wire_recovery()
+
+    def _wire_recovery(self) -> None:
+        """Register the rejoin listeners and seed handlers once per cluster."""
+        if self._recovery_wired:
+            return
+        self._recovery_wired = True
+        for node in self.cluster.nodes:
+            nid = node.node_id
+            node.on_recover(lambda n=nid: self._on_node_recover(n))
+            node.on_crash(lambda n=nid: self._abort_rejoin(n))
+            node.register_handler(
+                KIND_SEED, lambda m, n=nid: self._on_seed(n, m.payload))
+            node.register_handler(
+                KIND_SEED_REQ,
+                lambda m, n=nid: self._on_seed_request(n, m.payload))
 
     # ------------------------------------------------------------------ #
     # Policy bookkeeping
@@ -922,6 +1007,20 @@ class HybridRts(RuntimeSystem):
                     delivered: DeliveredMessage) -> None:
         payload = delivered.payload
         kind = payload[0]
+        seed_key = (node_id, shard)
+        if seed_key in self._awaiting_seed and not (
+                kind == "rejoin" and payload[1] == node_id):
+            # This member re-entered the order at its rejoin anchor but the
+            # out-of-band seed (the state covering everything before the
+            # anchor) has not arrived yet; buffer post-anchor deliveries
+            # for ordered replay on top of the seeded state.  Only the
+            # member's own anchor passes through (it wakes the rejoin
+            # thread and carries no state).
+            self._seed_buffer.setdefault(seed_key, []).append(delivered)
+            return
+        if kind == "rejoin":
+            self._apply_rejoin(node_id, shard, delivered)
+            return
         manager = self.managers[node_id]
         node = self.cluster.node(node_id)
         cpu = self.cost_model.cpu
@@ -1150,7 +1249,7 @@ class HybridRts(RuntimeSystem):
         wid = (proc.name, next(self._write_ids))
         while True:
             if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
-                return MIGRATED
+                return self._migrated_result(obj_id, wid)
             primary = self.directory.primary_of(obj_id)
             if not self.cluster.node(primary).alive:
                 # The primary died; wait out the takeover, then re-route.
@@ -1161,7 +1260,7 @@ class HybridRts(RuntimeSystem):
                 # delivered the switch) before it can serialise new ones.
                 self._await_switch(proc, nid, obj_id)
                 if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
-                    return MIGRATED
+                    return self._migrated_result(obj_id, wid)
                 if obj_id in self._frozen:
                     proc.hold(self.cost_model.cpu.protocol_cost * 4)
                     continue
@@ -1190,7 +1289,7 @@ class HybridRts(RuntimeSystem):
                     self._await_recovery(proc, obj_id)
                     continue
                 if isinstance(result, str) and result == MARKER_MIGRATED:
-                    return MIGRATED
+                    return self._migrated_result(obj_id, wid)
                 if isinstance(result, str) and result == MARKER_MIGRATING:
                     proc.hold(self.cost_model.cpu.protocol_cost * 4)
                     continue
@@ -1201,6 +1300,23 @@ class HybridRts(RuntimeSystem):
             # Guarded write rejected: wait a little and retry at the primary.
             self.stats.guard_retries += 1
             proc.hold(self.cost_model.cpu.protocol_cost * 4)
+
+    def _migrated_result(self, obj_id: int, wid) -> Any:
+        """Route a primary write bounced by a concurrent mechanism switch.
+
+        The commit record is the authority on whether an earlier issue of
+        this write already committed under the primary regime (its reply
+        may have died with the primary).  Re-routing a committed write to
+        the broadcast path would apply it a second time — broadcast writes
+        carry no ids — so return the recorded result instead.
+        """
+        committed = self._last_committed.get(obj_id)
+        if committed is not None:
+            duplicate, recorded = self._lookup_applied(committed[2], wid)
+            if duplicate:
+                self.stats.deduplicated_writes += 1
+                return recorded
+        return MIGRATED
 
     def _commit_primary_write(self, proc: "SimProcess", obj_id: int, op,
                               args, kwargs, wid) -> Any:
@@ -1217,8 +1333,17 @@ class HybridRts(RuntimeSystem):
         if duplicate:
             self.stats.deduplicated_writes += 1
             return recorded
-        result = self._protocol_for_obj(obj_id).primary_write(
-            proc, obj_id, op, args, kwargs, wid=wid)
+        key = (primary, obj_id)
+        self._inflight_writes[key] = self._inflight_writes.get(key, 0) + 1
+        try:
+            result = self._protocol_for_obj(obj_id).primary_write(
+                proc, obj_id, op, args, kwargs, wid=wid)
+        finally:
+            remaining = self._inflight_writes.get(key, 0) - 1
+            if remaining > 0:
+                self._inflight_writes[key] = remaining
+            else:
+                self._inflight_writes.pop(key, None)
         if result is not RETRY:
             if wid is not None:
                 table[wid[0]] = (wid[1], result)
@@ -1651,6 +1776,12 @@ class HybridRts(RuntimeSystem):
             return False
         if obj_id in self._migrating and not self._migration_settled(obj_id):
             return False
+        if self._catching_up:
+            # A recovered member's rejoin seed is being computed against
+            # the current policies and epochs; switching under it could
+            # strand the member on the wrong side of the switch.  Abort
+            # cleanly — callers retry once the catch-up completes.
+            return False
         self._migrating.discard(obj_id)
         current_mechanism = self._mechanism_of(obj_id)
         self._migrate_in_progress.add(obj_id)
@@ -1676,8 +1807,9 @@ class HybridRts(RuntimeSystem):
             if target.mechanism == MECHANISM_PRIMARY:
                 self._migrate_to_primary(proc, handle, target.name,
                                          primary_override=primary)
-            else:
-                self._migrate_to_broadcast(proc, handle)
+            elif not self._migrate_to_broadcast(proc, handle):
+                self._migrating.discard(obj_id)
+                return False
             return True
         except RpcPeerDeadError:
             # The primary died while this migration was freezing it: abort
@@ -1755,18 +1887,27 @@ class HybridRts(RuntimeSystem):
                                 epoch, None, None))
 
     def _migrate_to_broadcast(self, proc: "SimProcess",
-                              handle: ObjectHandle) -> None:
+                              handle: ObjectHandle) -> bool:
         """primary -> broadcast: freeze, snapshot, switch carrying the state."""
         obj_id = handle.obj_id
         node = self._node_of(proc)
         primary = self.directory.primary_of(obj_id)
+        epoch_before = self._epoch_by_obj.get(obj_id, 0)
         if node.node_id == primary:
             state, version = self._freeze_and_snapshot(proc, primary, obj_id)
         else:
             state, version = self.cluster.rpc_for(node.node_id).call(
                 proc, primary, PORT_MIGRATE, payload={"obj_id": obj_id},
                 size=24)
-        epoch = self._epoch_by_obj.get(obj_id, 0) + 1
+        if self._epoch_by_obj.get(obj_id, 0) != epoch_before:
+            # The primary died right after serving the freeze and a crash
+            # takeover already switched the object to a successor, which
+            # may have accepted writes this snapshot predates: broadcasting
+            # it would erase them (its younger epoch wins at every member).
+            # Abort; the object stays under the recovered regime.
+            self._frozen.discard(obj_id)
+            return False
+        epoch = epoch_before + 1
         self._epoch_by_obj[obj_id] = epoch
         self._policy_by_obj[obj_id] = "broadcast"
         # New writes now route through the broadcast; ones sequenced before
@@ -1781,16 +1922,29 @@ class HybridRts(RuntimeSystem):
                                ("switch", obj_id, "broadcast", -1, state,
                                 version, epoch, None, None),
                                size=32 + estimate_size(state))
+        return True
 
     def _freeze_and_snapshot(self, proc: "SimProcess", primary: int,
                              obj_id: int) -> Tuple[Any, int]:
-        """Drain in-flight writes at the primary, freeze it, snapshot state."""
+        """Freeze the primary, drain in-flight writes, snapshot state.
+
+        The freeze comes first so writes arriving during the drain bounce
+        (``MARKER_MIGRATING``) instead of starting new coherence rounds.
+        The drain must wait on the in-flight commit *count*, not just the
+        replica lock: concurrent two-phase rounds share one lock bit, so
+        the first round's unlock can expose an unlocked replica while a
+        second round is still awaiting acks — snapshotting there would
+        miss a write the client is told committed.
+        """
         self._await_switch(proc, primary, obj_id)
-        replica = self.managers[primary].get(obj_id)
-        while replica.locked:
-            replica.on_next_change(lambda p=proc: p.wake())
-            proc.suspend()
         self._frozen.add(obj_id)
+        replica = self.managers[primary].get(obj_id)
+        while replica.locked or self._inflight_writes.get((primary, obj_id)):
+            if replica.locked:
+                replica.on_next_change(lambda p=proc: p.wake())
+                proc.suspend()
+            else:
+                proc.hold(self.cost_model.cpu.protocol_cost)
         return replica.instance.marshal_state(), replica.version
 
     def _serve_migrate(self, nid: int, request: RpcRequest) -> RpcReply:
@@ -1978,6 +2132,11 @@ class HybridRts(RuntimeSystem):
             return False
         if obj_id in self._migrating and not self._migration_settled(obj_id):
             return False
+        if self._catching_up:
+            # A rejoin seed is captured against the current shard routes;
+            # moving the object between orders under it could lose the
+            # member the object entirely.  Abort cleanly.
+            return False
         self._migrating.discard(obj_id)
         self._migrate_in_progress.add(obj_id)
         try:
@@ -2086,6 +2245,11 @@ class HybridRts(RuntimeSystem):
         if not self.cluster.node(target).alive:
             raise RtsError(f"node {target} is crashed and cannot become "
                            f"the primary of {handle.name!r}")
+        if target in self._catching_up or target in self._draining:
+            # Alive but not (or not staying) a full member: a seat parked
+            # there would serve from un-reseeded state or be orphaned the
+            # moment the drain retires the machine.  Abort cleanly.
+            return False
         if target == self.directory.primary_of(obj_id):
             return False
         if not self.cluster.node(self.directory.primary_of(obj_id)).alive:
@@ -2101,6 +2265,7 @@ class HybridRts(RuntimeSystem):
         try:
             node = self._node_of(proc)
             primary = self.directory.primary_of(obj_id)
+            epoch_before = self._epoch_by_obj.get(obj_id, 0)
             if node.node_id == primary:
                 state, version = self._freeze_and_snapshot(proc, primary,
                                                            obj_id)
@@ -2119,9 +2284,16 @@ class HybridRts(RuntimeSystem):
                 # the bounced writers resume against it.
                 self._frozen.discard(obj_id)
                 return False
+            if self._epoch_by_obj.get(obj_id, 0) != epoch_before:
+                # The old primary died right after serving the freeze and a
+                # crash takeover already reseated the object: its successor
+                # may hold writes this snapshot predates, so broadcasting
+                # the snapshot would erase them.  Abort cleanly.
+                self._frozen.discard(obj_id)
+                return False
             table = dict(self._applied_table(primary, obj_id))
             self._migrating.add(obj_id)
-            epoch = self._epoch_by_obj.get(obj_id, 0) + 1
+            epoch = epoch_before + 1
             self._epoch_by_obj[obj_id] = epoch
             entry = self.directory.entry(obj_id)
             scope = tuple(sorted(set(entry.copyset) | {primary, target}))
@@ -2293,6 +2465,496 @@ class HybridRts(RuntimeSystem):
                     "takeover switch; the object is lost (as in the paper)")
             proc.hold(self.cost_model.cpu.protocol_cost * 4)
 
+    # ------------------------------------------------------------------ #
+    # Elasticity: rejoin after recovery, planned drain, live scale-in
+    # ------------------------------------------------------------------ #
+
+    def is_caught_up(self, node_id: int) -> bool:
+        """Has ``node_id`` completed its rejoin catch-up (or never needed one)?"""
+        if node_id in self._catching_up:
+            return False
+        if self.router is not None:
+            for shard in self.router.active_shards():
+                if not self.router.group_for(shard).member(node_id).synced:
+                    return False
+        return True
+
+    def _abort_rejoin(self, crashed: int) -> None:
+        """A crash voids any rejoin catch-up in progress for the node.
+
+        Bumping the rejoin epoch makes the running catch-up thread abandon
+        itself at its next blocking point and invalidates any seed still in
+        flight toward the dead machine, so a *second* recovery starts from
+        a clean slate instead of accepting state captured for the first.
+        """
+        if crashed in self._catching_up:
+            self._catching_up.discard(crashed)
+            self._rejoin_epoch[crashed] = self._rejoin_epoch.get(crashed, 0) + 1
+        for key in [k for k in self._awaiting_seed if k[0] == crashed]:
+            self._awaiting_seed.discard(key)
+        for key in [k for k in self._seed_buffer if k[0] == crashed]:
+            del self._seed_buffer[key]
+        # Commits that died mid-flight on the crashed machine must not
+        # wedge a later freeze of a recovered or relocated seat.
+        for key in [k for k in self._inflight_writes if k[0] == crashed]:
+            del self._inflight_writes[key]
+
+    def _on_node_recover(self, recovered: int) -> None:
+        """React to a machine recovery: apply the crash's loss, start catch-up.
+
+        Runs synchronously in the recover listener.  The crash's loss of
+        RTS state is applied here rather than at crash time (so runs that
+        never recover a node behave exactly as before): every replica the
+        machine held — both mechanisms — its applied-write tables, epoch
+        cursors, deferred traffic and write batchers are gone.  A rejoin
+        thread then re-earns membership shard by shard before the member
+        serves the cluster again.
+        """
+        manager = self.managers[recovered]
+        for obj_id in list(manager.replicas):
+            manager.discard(obj_id)
+            self._forget_directory_copy(obj_id, recovered)
+        for table in (self._applied, self._future_writes, self._deferred,
+                      self._node_epoch, self._dest_epoch):
+            for key in [k for k in table if k[0] == recovered]:
+                del table[key]
+        kernel = self.cluster.node(recovered).kernel
+        for key in [k for k in self._batchers if k[0] == recovered]:
+            batcher = self._batchers.pop(key)
+            if batcher._timer is not None:
+                kernel.cancel_timer(batcher._timer)
+            if batcher._backoff_timer is not None:
+                kernel.cancel_timer(batcher._backoff_timer)
+        generation = self._rejoin_epoch.get(recovered, 0) + 1
+        self._rejoin_epoch[recovered] = generation
+        self._catching_up.add(recovered)
+        record = RejoinRecord(node_id=recovered, recovered_at=self.sim.now)
+        self.rejoins.append(record)
+        kernel.spawn_thread(self._rejoin_body, recovered, generation, record,
+                            name=f"rejoin:{recovered}", daemon=True)
+
+    def _forget_directory_copy(self, obj_id: int, node_id: int) -> None:
+        """Drop a wiped machine from one object's copyset (primary stays:
+        a dead/blank seat is the crash takeover's business, not ours)."""
+        try:
+            entry = self.directory.entry(obj_id)
+        except RtsError:
+            return
+        if entry.primary_node != node_id:
+            entry.copyset.discard(node_id)
+
+    def _rejoin_body(self, recovered: int, generation: int,
+                     record: RejoinRecord) -> None:
+        """Catch-up thread on a recovered node: seats, anchors, seeds, epochs."""
+        proc = self.sim.current_process
+        node = self.cluster.node(recovered)
+
+        def abandoned() -> bool:
+            return (self._rejoin_epoch.get(recovered, 0) != generation
+                    or not node.alive)
+
+        if self.router is not None:
+            for shard in self.router.active_shards():
+                if abandoned():
+                    return
+                self._rejoin_shard(proc, recovered, shard, generation)
+        if abandoned():
+            return
+        # Primary-mechanism objects carry no state in the seeds (their
+        # copies re-replicate on demand); jump this member's epoch cursors
+        # to the present so coherence traffic is not deferred forever
+        # waiting on pre-crash switches the member will never deliver.
+        # max() only: a post-anchor switch replayed from the seed buffer
+        # may already have advanced a cursor past the global value here.
+        for handle in sorted(self.handles(), key=lambda h: h.obj_id):
+            obj_id = handle.obj_id
+            if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+                continue
+            key = (recovered, obj_id)
+            self._node_epoch[key] = max(
+                self._node_epoch.get(key, 0),
+                self._epoch_by_obj.get(obj_id, 0))
+            self._dest_epoch[key] = max(
+                self._dest_epoch.get(key, 0),
+                self._dest_epoch_required.get(obj_id, 0))
+        self._catching_up.discard(recovered)
+        self.stats.node_rejoins += 1
+        record.completed_at = self.sim.now
+        # Seat hand-back happens after the member is a full member again
+        # (the relocation guard would refuse a catching-up target).
+        record.seats_handed_back = self._hand_back_seats(proc, recovered)
+        self.stats.seats_handed_back += record.seats_handed_back
+
+    def _rejoin_shard(self, proc: "SimProcess", recovered: int, shard: int,
+                      generation: int) -> None:
+        """Re-enter one broadcast group's total order (anchor + seed)."""
+        group = self.router.group_for(shard)
+        member = group.member(recovered)
+        node = self.cluster.node(recovered)
+        if group.sequencer_node_id == recovered:
+            # The seat's in-memory state died with the crash; hand it to
+            # the lowest caught-up peer, renumbering from live evidence.
+            donors = self._seed_donors(shard, recovered)
+            if not donors:
+                # Sole survivor: re-found the order from scratch.  Whatever
+                # predated the crash is lost cluster-wide.
+                group.install_sequencer(recovered, 1)
+                member.mark_synced()
+                return
+            group.handoff_sequencer(donors[0], trust_old=False)
+        key = (recovered, shard)
+        self._awaiting_seed.add(key)
+        invocation_id = next(self._invocation_ids)
+        self._pending[invocation_id] = _PendingWrite(proc=proc)
+        proc.flush()
+        member.begin_rejoin(("rejoin", recovered, generation, invocation_id),
+                            size=CONTROL_MESSAGE_SIZE)
+        proc.suspend()
+        self._pending.pop(invocation_id, None)
+        # Await the out-of-band seed; re-request on a timeout (the donor
+        # chosen at the anchor's delivery may have died before sending, or
+        # its unicast may have been lost).
+        while key in self._awaiting_seed:
+            proc.hold(group.retry_timeout)
+            if (self._rejoin_epoch.get(recovered, 0) != generation
+                    or not node.alive):
+                return
+            if key in self._awaiting_seed:
+                self._request_seed(recovered, shard, generation)
+
+    def _seed_donors(self, shard: int, rejoining: int) -> List[int]:
+        """Live, synced, caught-up members able to seed a rejoin (sorted)."""
+        group = self.router.group_for(shard)
+        return sorted(
+            nid for nid, member in group.members.items()
+            if member.node.alive and member.synced and nid != rejoining
+            and nid not in self._catching_up)
+
+    def _apply_rejoin(self, node_id: int, shard: int,
+                      delivered: DeliveredMessage) -> None:
+        """One member's delivery of a recovered peer's rejoin anchor.
+
+        At the rejoining member itself the anchor's arrival already
+        fast-forwarded the ordering engine (group layer); here it only
+        wakes the rejoin thread.  At every other member, the lowest-id
+        eligible peer captures the seed — the shard's object states exactly
+        as of the anchor's position in the order — and unicasts it.
+        """
+        _, rejoining, generation, invocation_id = delivered.payload
+        node = self.cluster.node(node_id)
+        node.charge_overhead(self.cost_model.cpu.operation_dispatch_cost)
+        if node_id == rejoining:
+            self._resolve(invocation_id, None)
+            return
+        if self._rejoin_epoch.get(rejoining, 0) != generation:
+            return  # a newer crash already voided this rejoin
+        donors = self._seed_donors(shard, rejoining)
+        if donors and donors[0] == node_id:
+            # ``upto`` is the anchor's own position: at this point in the
+            # delivery loop the donor's state reflects exactly the order up
+            # to and including the anchor (later messages in the same
+            # deliverable batch have not run their handlers yet).
+            self._send_seed(node_id, rejoining, shard, generation,
+                            upto=delivered.seqno)
+
+    def _send_seed(self, donor: int, rejoining: int, shard: int,
+                   generation: int, upto: int) -> None:
+        """Capture and unicast one shard's rejoin seed from ``donor``.
+
+        The capture is synchronous at the donor's delivery position
+        ``upto``: the recipient skips delivering anything at or below it,
+        so seed state plus replayed order reconstruct the donor's history
+        exactly.  Broadcast-mechanism objects routed through this shard
+        travel with state, version and epoch cursors; primary-mechanism
+        objects need no state here (copies re-replicate on demand).
+        """
+        manager = self.managers[donor]
+        objects: List[Tuple[Any, ...]] = []
+        payload_bytes = 0
+        for handle in sorted(self.handles(), key=lambda h: h.obj_id):
+            obj_id = handle.obj_id
+            if self._mechanism_of(obj_id) != MECHANISM_BROADCAST:
+                continue
+            if self.router.assign(obj_id, handle.name) != shard:
+                continue
+            if not manager.has_valid_copy(obj_id):
+                continue
+            replica = manager.get(obj_id)
+            objects.append((obj_id, replica.instance.marshal_state(),
+                            replica.version,
+                            self._node_epoch.get((donor, obj_id), 0),
+                            self._dest_epoch.get((donor, obj_id), 0)))
+            payload_bytes += replica.instance.state_size()
+        node = self.cluster.node(donor)
+        node.send(node.make_message(
+            rejoining, KIND_SEED, size=32 + payload_bytes,
+            payload={"shard": shard, "generation": generation, "upto": upto,
+                     "objects": objects}))
+
+    def _request_seed(self, rejoining: int, shard: int,
+                      generation: int) -> None:
+        """Re-request a seed that never arrived (donor died or loss)."""
+        donors = self._seed_donors(shard, rejoining)
+        if not donors:
+            # Degraded rejoin: nobody left who could seed this member.
+            # Whatever predated the anchor is lost cluster-wide; proceed
+            # with what the order delivers from here on.
+            self._finish_seed(rejoining, shard, upto=0)
+            return
+        node = self.cluster.node(rejoining)
+        node.send(node.make_message(
+            donors[0], KIND_SEED_REQ, size=CONTROL_MESSAGE_SIZE,
+            payload={"shard": shard, "requester": rejoining,
+                     "generation": generation}))
+
+    def _on_seed_request(self, node_id: int, payload: Dict[str, Any]) -> None:
+        """A donor answers a rejoiner's re-request with a fresh seed."""
+        rejoining = payload["requester"]
+        shard = payload["shard"]
+        generation = payload["generation"]
+        if self._rejoin_epoch.get(rejoining, 0) != generation:
+            return
+        member = self.router.group_for(shard).member(node_id)
+        if (not member.node.alive or not member.synced
+                or node_id in self._catching_up):
+            return  # cannot serve a seed we do not fully hold ourselves
+        # Outside a delivery handler every delivered message has been
+        # applied, so the donor's position is its delivery cursor.
+        self._send_seed(node_id, rejoining, shard, generation,
+                        upto=member.engine.next_expected - 1)
+
+    def _on_seed(self, node_id: int, payload: Dict[str, Any]) -> None:
+        """The rejoining member installs a seed and opens its delivery gate."""
+        shard = payload["shard"]
+        key = (node_id, shard)
+        if key not in self._awaiting_seed:
+            return  # duplicate (two donors raced); the first one won
+        if self._rejoin_epoch.get(node_id, 0) != payload["generation"]:
+            return  # stale seed from a rejoin a later crash voided
+        manager = self.managers[node_id]
+        count = 0
+        for obj_id, state, version, node_epoch, dest_epoch in payload["objects"]:
+            handle = self.handle(obj_id)
+            instance = handle.spec_class()
+            instance.unmarshal_state(state)
+            manager.discard(obj_id)
+            manager.install(obj_id, handle.name, instance, version=version)
+            self.stats.replicas_created += 1
+            self._node_epoch[(node_id, obj_id)] = node_epoch
+            if dest_epoch:
+                self._dest_epoch[(node_id, obj_id)] = dest_epoch
+            self._wake_replica_waiters(node_id, obj_id)
+            count += 1
+        record = self._rejoin_record(node_id)
+        if record is not None:
+            record.objects_reseeded += count
+        self._finish_seed(node_id, shard, upto=payload["upto"])
+
+    def _finish_seed(self, node_id: int, shard: int, upto: int) -> None:
+        """Open the delivery gate: replay buffered deliveries, then flush.
+
+        Order matters: the buffered deliveries (received between anchor and
+        seed) carry the *earliest* post-``upto`` positions, so they replay
+        before :meth:`GroupMember.resume_delivery` skips the cursor past
+        ``upto`` and flushes anything later still parked in the engine.
+        """
+        key = (node_id, shard)
+        self._awaiting_seed.discard(key)
+        for delivered in self._seed_buffer.pop(key, []):
+            if delivered.seqno <= upto:
+                continue  # covered by the seed snapshot
+            self._on_deliver(node_id, shard, delivered)
+        self.router.group_for(shard).member(node_id).resume_delivery(upto)
+
+    def _rejoin_record(self, node_id: int) -> Optional[RejoinRecord]:
+        for record in reversed(self.rejoins):
+            if record.node_id == node_id:
+                return record
+        return None
+
+    def _hand_back_seats(self, proc: "SimProcess", recovered: int) -> int:
+        """Hand primary seats back toward a rejoined heaviest writer."""
+        handed = 0
+        for handle in sorted(self.handles(), key=lambda h: h.obj_id):
+            obj_id = handle.obj_id
+            if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+                continue
+            if self.directory.primary_of(obj_id) == recovered:
+                continue
+            if self._heaviest_writer(obj_id) != recovered:
+                continue
+            if self.relocate_primary(proc, handle, target=recovered):
+                handed += 1
+        return handed
+
+    # -- planned drain --------------------------------------------------- #
+
+    def drain_node(self, proc: "SimProcess", node_id: int) -> bool:
+        """Evacuate every seat from ``node_id``, then retire the machine.
+
+        The planned counterpart of crash recovery: primary seats relocate
+        to the heaviest remaining writers, sequencer seats hand off after
+        their queues drain, and the node leaves only once no RPC anywhere
+        is still addressed to it — so a drained exit causes zero dead-peer
+        failures, zero elections, and zero takeovers.  Returns ``False``
+        if a drain of this node is already running.
+        """
+        node = self.cluster.node(node_id)
+        if not node.alive:
+            raise RtsError(
+                f"drain_node() drains live nodes; node {node_id} is crashed "
+                "(crash recovery owns dead ones)")
+        if node_id in self._catching_up:
+            raise RtsError(
+                f"node {node_id} is still catching up from a recovery and "
+                "cannot be drained yet")
+        if node_id in self._draining:
+            return False
+        if not any(n.alive and n.node_id != node_id
+                   for n in self.cluster.nodes):
+            raise RtsError(
+                f"cannot drain node {node_id}: it is the last live machine")
+        self._draining.add(node_id)
+        record = DrainRecord(node_id=node_id, started_at=self.sim.now)
+        self.drains.append(record)
+        try:
+            for handle in sorted(self.handles(), key=lambda h: h.obj_id):
+                obj_id = handle.obj_id
+                if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
+                    continue
+                while self.directory.primary_of(obj_id) == node_id:
+                    target = self._drain_target(obj_id, node_id)
+                    if target is None:
+                        raise RtsError(
+                            f"cannot drain node {node_id}: no full member "
+                            f"left to take the primary seat of object "
+                            f"{obj_id}")
+                    if self.relocate_primary(proc, handle, target=target):
+                        record.primary_seats_moved += 1
+                        break
+                    # Transient refusal (a switch still settling); retry.
+                    proc.hold(self.cost_model.cpu.protocol_cost * 4)
+            if self.router is not None:
+                for shard in self.router.active_shards():
+                    group = self.router.group_for(shard)
+                    if group.sequencer_node_id != node_id:
+                        continue
+                    while group.sequencer.queue_depth > 0:
+                        proc.hold(group.retry_timeout)
+                    target = self._drain_sequencer_target(group, node_id)
+                    if target is None:
+                        raise RtsError(
+                            f"cannot drain node {node_id}: no full member "
+                            f"left to take shard {shard}'s sequencer seat")
+                    group.handoff_sequencer(target, trust_old=True)
+                    record.sequencer_seats_moved += 1
+            self._await_node_quiesced(proc, node_id)
+            node.crash()
+            self.stats.nodes_drained += 1
+            record.completed_at = self.sim.now
+            return True
+        finally:
+            self._draining.discard(node_id)
+
+    def _drain_target(self, obj_id: int, leaving: int) -> Optional[int]:
+        """The heaviest-writing full member to inherit a drained seat."""
+        decider = self.replication.decider
+        candidates = [
+            node.node_id for node in self.cluster.nodes
+            if node.alive and node.node_id != leaving
+            and node.node_id not in self._catching_up
+            and node.node_id not in self._draining]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda nid: (
+            decider.stats_for(obj_id, nid).total_writes, -nid))
+
+    def _drain_sequencer_target(self, group: "BroadcastGroup",
+                                leaving: int) -> Optional[int]:
+        """Lowest-id full member to inherit a drained sequencer seat."""
+        candidates = [
+            nid for nid, member in group.members.items()
+            if member.node.alive and member.synced and nid != leaving
+            and nid not in self._catching_up and nid not in self._draining]
+        return min(candidates) if candidates else None
+
+    def _await_node_quiesced(self, proc: "SimProcess", node_id: int) -> None:
+        """Wait until no RPC anywhere is still addressed to ``node_id``.
+
+        After the final poll returns clean, the caller retires the node in
+        the same event — no other process can slip a new call in between,
+        and all new traffic routes at the relocated seats anyway.
+        """
+        while any(endpoint.pending_to(node_id)
+                  for endpoint in self.cluster.rpc.values()):
+            proc.hold(self.cost_model.cpu.protocol_cost * 4)
+
+    # -- live scale-in (merge a broadcast group away) --------------------- #
+
+    def remove_shard(self, proc: "SimProcess", shard: int) -> bool:
+        """Merge broadcast group ``shard`` away while the cluster runs.
+
+        The reverse of :meth:`add_shard`: the group stops accepting
+        placements (retired in the router), every object it orders is
+        drained onto the remaining groups with :meth:`move_shard` (the
+        same epoch-stamped drain-and-switch barrier, so no write is lost
+        or reordered), and once every live member has delivered the
+        group's full order its sequencer retires.  Returns ``False`` when
+        the shard is already retired or a rejoin catch-up is in progress.
+        """
+        router = self._ensure_router()
+        if not 0 <= shard < router.num_shards:
+            raise ConfigurationError(
+                f"cannot remove shard {shard}: only {router.num_shards} "
+                "shards exist")
+        if shard in router.retired:
+            return False  # idempotent: a second remove is a no-op
+        if router.num_active_shards <= 1:
+            raise ConfigurationError("cannot remove the last active shard")
+        if self._catching_up:
+            return False  # a rejoin seed is computed against current routes
+        # Retire first: placements and planner moves stop targeting the
+        # group immediately, so the evacuation below cannot race new
+        # arrivals (already-assigned objects keep their recorded shard).
+        router.retire_shard(shard)
+        evacuees = sorted(
+            handle.obj_id for handle in self.handles()
+            if router.assigned_shard(handle.obj_id) == shard)
+        destinations = router.active_shards()
+        for index, obj_id in enumerate(evacuees):
+            handle = self.handle(obj_id)
+            dest = destinations[index % len(destinations)]
+            attempts = 0
+            while router.assigned_shard(obj_id) == shard:
+                if self.move_shard(proc, handle, dest):
+                    break
+                attempts += 1
+                if attempts > 256:
+                    raise RtsError(
+                        f"cannot evacuate object {obj_id} off retiring "
+                        f"shard {shard}: moves keep being refused")
+                proc.hold(self.cost_model.cpu.protocol_cost * 4)
+        group = router.group_for(shard)
+        self._await_group_drained(proc, group)
+        group.sequencer.retire()
+        self.stats.shards_removed += 1
+        self.removed_shards.append(shard)
+        return True
+
+    def _await_group_drained(self, proc: "SimProcess",
+                             group: "BroadcastGroup") -> None:
+        """Wait until a group's order is fully served and fully delivered."""
+        def drained() -> bool:
+            if group.sequencer.queue_depth > 0:
+                return False
+            highest = group.sequencer.highest_assigned
+            return all(
+                member.engine.next_expected > highest
+                for member in group.members.values()
+                if member.node.alive and member.synced)
+        while not drained():
+            proc.hold(group.retry_timeout)
+
     # -- the background rebalancing controller --------------------------- #
 
     def _maybe_start_rebalancer(self) -> None:
@@ -2349,9 +3011,22 @@ class HybridRts(RuntimeSystem):
                     continue
                 last_total = total
                 quiet = 0
+                live = sum(1 for n in self.cluster.nodes if n.alive)
                 if (params.grow_to is not None
-                        and self.router.num_shards < params.grow_to):
+                        and self.router.num_active_shards
+                        < min(params.grow_to, live)):
+                    # Never outgrow the machines: every group needs a
+                    # sequencer seat on a live node.
                     self.add_shard()
+                elif (params.shrink_to is not None
+                        and self.router.num_active_shards > params.shrink_to
+                        and not self._catching_up):
+                    idle = self._coolest_idle_shard(params)
+                    if idle is not None:
+                        # At most one merge per round: scale-in is the
+                        # expensive direction (a full drain-and-switch per
+                        # evacuated object) and the next window re-earns it.
+                        self.remove_shard(proc, idle)
                 moves = planner.plan()
                 for move in moves:
                     self.move_shard(proc, self.handle(move.obj_id), move.dst)
@@ -2366,6 +3041,22 @@ class HybridRts(RuntimeSystem):
                     last_total = self._total_shard_writes()
         finally:
             self._rebalancer_active = False
+
+    def _coolest_idle_shard(self, params: "RebalanceParams") -> Optional[int]:
+        """The active shard to merge away, or ``None`` if none is idle.
+
+        Only a shard whose window load is at or below ``shrink_below``
+        qualifies: merging a busy group would stuff its traffic onto the
+        survivors and immediately re-trigger growth.
+        """
+        active = self.router.active_shards()
+        if len(active) <= 1:
+            return None
+        loads = self.router.window_loads()
+        coolest = min(active, key=lambda s: (loads.get(s, 0), s))
+        if loads.get(coolest, 0) > params.shrink_below:
+            return None
+        return coolest
 
     def _in_move_cooldown(self, obj_id: int) -> bool:
         """Churn damping: an object the controller moved less than
@@ -2439,5 +3130,26 @@ class HybridRts(RuntimeSystem):
                 "log": [(r.name, r.old_primary, r.new_primary,
                          "snapshot" if r.from_snapshot else "copy")
                         for r in self.recoveries],
+            }
+        if (self.stats.node_rejoins or self.stats.nodes_drained
+                or self.stats.shards_removed):
+            windows = [r.window for r in self.rejoins if r.window is not None]
+            summary["elasticity"] = {
+                "node_rejoins": self.stats.node_rejoins,
+                "nodes_drained": self.stats.nodes_drained,
+                "shards_removed": self.stats.shards_removed,
+                "seats_handed_back": self.stats.seats_handed_back,
+                "objects_reseeded": sum(r.objects_reseeded
+                                        for r in self.rejoins),
+                "max_rejoin_window": (round(max(windows), 9)
+                                      if windows else None),
+                "rejoin_log": [
+                    (r.node_id, r.objects_reseeded, r.seats_handed_back)
+                    for r in self.rejoins if r.completed_at is not None],
+                "drain_log": [
+                    (d.node_id, d.primary_seats_moved,
+                     d.sequencer_seats_moved)
+                    for d in self.drains if d.completed_at is not None],
+                "removed_shards": list(self.removed_shards),
             }
         return summary

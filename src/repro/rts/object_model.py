@@ -133,7 +133,9 @@ class ObjectSpec:
             ) from None
 
     @classmethod
-    def create(cls, args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None) -> "ObjectSpec":
+    def create(
+        cls, args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None
+    ) -> "ObjectSpec":
         """Instantiate the type and run its ``init``."""
         instance = cls()
         instance.init(*args, **(kwargs or {}))

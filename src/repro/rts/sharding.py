@@ -38,7 +38,7 @@ from __future__ import annotations
 import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Set
 
 from ..errors import ConfigurationError
 from .stats import ShardStats
@@ -109,6 +109,20 @@ class RebalanceParams:
         When set, the controller adds one broadcast group per active round
         (via the runtime's ``add_shard``) until the cluster runs this many,
         scaling the group set out *live* before spreading objects onto it.
+        Growth is additionally capped at the number of live nodes: a shard
+        beyond that has no machine left to give its sequencer seat a core of
+        its own, so adding it cannot spread the ordering load further.
+    shrink_to:
+        The symmetric scale-in target: when set, the controller retires the
+        coolest active shard (via the runtime's ``remove_shard``) — one per
+        round — while more than this many are active *and* that shard's
+        window load has fallen to ``shrink_below`` writes or fewer, merging
+        idle total orders away so their sequencer seats stop costing
+        heartbeats and seat bookkeeping.
+    shrink_below:
+        Idleness threshold for ``shrink_to``: a shard is only merged away
+        when its window counted at most this many writes (default 8), so
+        scale-in never steals a group that still carries real traffic.
     cooldown:
         Per-object churn damping, in virtual seconds: an object the
         controller moved less than this long ago is skipped by the next
@@ -129,6 +143,8 @@ class RebalanceParams:
     max_moves: int = 3
     quiet_rounds: int = 2
     grow_to: Optional[int] = None
+    shrink_to: Optional[int] = None
+    shrink_below: int = 8
     cooldown: float = 0.02
     queue_weight: float = 1.0
     byte_weight: float = 0.0
@@ -140,6 +156,15 @@ class RebalanceParams:
             raise ConfigurationError("quiet_rounds must be >= 1")
         if self.grow_to is not None and self.grow_to < 1:
             raise ConfigurationError("grow_to must be >= 1 shard")
+        if self.shrink_to is not None and self.shrink_to < 1:
+            raise ConfigurationError("shrink_to must be >= 1 shard")
+        if (self.grow_to is not None and self.shrink_to is not None
+                and self.shrink_to > self.grow_to):
+            raise ConfigurationError(
+                "shrink_to must not exceed grow_to (the controller would "
+                "oscillate between growing and merging the same group)")
+        if self.shrink_below < 0:
+            raise ConfigurationError("shrink_below must be non-negative")
         if self.cooldown < 0.0:
             raise ConfigurationError("cooldown must be non-negative")
         if self.queue_weight < 0.0:
@@ -289,6 +314,11 @@ class ShardRouter:
         }
         #: Routing generation: bumped by every move and every added shard.
         self.placement_epoch = 0
+        #: Shards whose total order was merged away (``remove_shard``).
+        #: Groups are positional in ``self.groups`` and their wire-kind
+        #: namespaces stay registered on every node, so a retired shard is
+        #: marked, never deleted — its id must not be reused.
+        self.retired: Set[int] = set()
         #: obj_id -> current shard (seeded from the policy on first use).
         self._assigned: Dict[int, int] = {}
         #: obj_id -> shard, for objects moved off their creation placement.
@@ -313,10 +343,18 @@ class ShardRouter:
         return self.policy.shard_of(obj_id, name)
 
     def assign(self, obj_id: int, name: str) -> int:
-        """The object's current shard, seeding the assignment on first use."""
+        """The object's current shard, seeding the assignment on first use.
+
+        A policy placement that lands on a retired shard is deterministically
+        remapped onto the active shard list (the policies are static hash
+        functions and know nothing about retirement).
+        """
         shard = self._assigned.get(obj_id)
         if shard is None:
             shard = self.policy.shard_of(obj_id, name)
+            if shard in self.retired:
+                active = self.active_shards()
+                shard = active[shard % len(active)]
             self._assigned[obj_id] = shard
         return shard
 
@@ -337,6 +375,10 @@ class ShardRouter:
             raise ConfigurationError(
                 f"cannot move object {obj_id} to shard {new_shard}: only "
                 f"{self.num_shards} shards exist")
+        if new_shard in self.retired:
+            raise ConfigurationError(
+                f"cannot move object {obj_id} to shard {new_shard}: the "
+                "shard is retired")
         old = self._assigned.get(obj_id)
         if old is None:
             raise ConfigurationError(
@@ -369,7 +411,9 @@ class ShardRouter:
         shard = self.num_shards
         if sequencer_node_id is None:
             seats: Dict[int, int] = {}
-            for group in self.groups:
+            for existing, group in enumerate(self.groups):
+                if existing in self.retired:
+                    continue  # a retired sequencer seat carries no load
                 seats[group.sequencer_node_id] = seats.get(
                     group.sequencer_node_id, 0) + 1
             live = [node.node_id for node in self.cluster.nodes if node.alive]
@@ -387,6 +431,38 @@ class ShardRouter:
             self.policy = HashPlacement(self.num_shards, by=self.policy.by)
         self.placement_epoch += 1
         return shard
+
+    def retire_shard(self, shard: int) -> None:
+        """Mark ``shard`` retired: no placement, moves, or planning reach it.
+
+        Routing-table surgery only, like :meth:`move` — evacuating the
+        objects still assigned to the shard and draining/retiring its
+        sequencer is the runtime's job
+        (:meth:`repro.rts.hybrid.HybridRts.remove_shard`).  The group object
+        itself stays in place (its id is positional and its wire-kind
+        namespace is registered on every node), it just stops being a
+        routing destination.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"cannot retire shard {shard}: only {self.num_shards} "
+                "shards exist")
+        if shard in self.retired:
+            raise ConfigurationError(f"shard {shard} is already retired")
+        if self.num_active_shards <= 1:
+            raise ConfigurationError(
+                "cannot retire the last active shard")
+        self.retired.add(shard)
+        self.placement_epoch += 1
+
+    def active_shards(self) -> List[int]:
+        """Shard ids still accepting placement, in ascending order."""
+        return [shard for shard in range(self.num_shards)
+                if shard not in self.retired]
+
+    @property
+    def num_active_shards(self) -> int:
+        return self.num_shards - len(self.retired)
 
     # ------------------------------------------------------------------ #
     # Load accounting
@@ -479,6 +555,9 @@ class ShardRouter:
         }
         if self.overrides:
             summary["overrides"] = dict(sorted(self.overrides.items()))
+        if self.retired:
+            summary["retired_shards"] = sorted(self.retired)
+            summary["num_active_shards"] = self.num_active_shards
         return summary
 
 
@@ -579,7 +658,9 @@ class RebalancePlanner:
         return weights
 
     def _hot_and_cool(self) -> Optional[Any]:
-        loads = self.router.window_loads()
+        loads = {shard: load
+                 for shard, load in self.router.window_loads().items()
+                 if shard not in self.router.retired}
         if len(loads) < 2 or sum(loads.values()) < self.min_writes:
             return None
         scores = self._scores(loads)

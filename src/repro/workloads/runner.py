@@ -124,6 +124,18 @@ class WorkloadReport:
                 "max_window": recovery["max_window"],
                 "log": [list(entry) for entry in recovery["log"]],
             }
+        elasticity = self.rts_summary.get("elasticity")
+        if elasticity:
+            # Rejoins, drains and group merges (who, how many objects were
+            # reseeded, which seats moved) are behaviour the determinism
+            # regression pins down, exactly like takeovers.
+            extras["elasticity"] = {
+                "node_rejoins": elasticity["node_rejoins"],
+                "nodes_drained": elasticity["nodes_drained"],
+                "shards_removed": elasticity["shards_removed"],
+                "rejoin_log": [list(entry)
+                               for entry in elasticity["rejoin_log"]],
+            }
         rebalancing = self.rts_summary.get("rebalancing")
         if rebalancing:
             # Where and when objects moved is part of the behaviour the

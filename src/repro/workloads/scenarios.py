@@ -26,7 +26,13 @@ cluster-benchmark literature care about:
 * ``primary-churn``  — mixed-policy counters whose primary seats are parked
   on reserved victim nodes that crash on a schedule mid-run: the scenario
   that exercises primary-failure recovery end to end (and degrades to
-  crash-free traffic on runtimes without takeover support).
+  crash-free traffic on runtimes without takeover support);
+* ``rolling-restart`` — mixed-policy counters while every non-client node is
+  crashed, recovered and caught back up in sequence: the elasticity loop
+  (takeover, rejoin, seat handback) under live traffic;
+* ``scale-in``       — a counter farm whose broadcast-group count is merged
+  down mid-run via ``remove_shard``, the inverse of the rebalancer's live
+  group growth.
 
 New kinds register themselves with :class:`ScenarioRegistry` via the
 :func:`scenario` class decorator.
@@ -489,6 +495,223 @@ class PrimaryChurn(Scenario):
                 victim for victim in self.victims
                 if not rts.cluster.node(victim).alive]
             facts["recoveries"] = rts.stats.primary_recoveries
+        return facts
+
+
+@scenario("rolling-restart")
+class RollingRestart(Scenario):
+    """Mixed-policy counters while every non-client node restarts in turn.
+
+    Clients live on the first two machines only; every other machine is a
+    *victim* that gets crashed, dwells dead for a moment, recovers with its
+    memory wiped, and is polled until the runtime reports it caught back up
+    (history reseeded, membership re-armed) — then the next victim goes
+    down.  Primary seats are parked round-robin on the victims up front so
+    each crash forces a takeover and each rejoin re-seats real object
+    copies.  ``validate`` asserts conservation: a full rolling restart of
+    the cluster must lose or duplicate nothing.
+
+    On runtimes without a rejoin protocol (no ``is_caught_up``) the restart
+    schedule is skipped and the scenario degrades to plain mixed-policy
+    counter traffic.
+    """
+
+    #: Policies assigned round-robin over the counters.
+    POLICIES = ("primary-invalidate", "primary-update", "broadcast",
+                "adaptive")
+    #: Virtual time of the first crash.
+    first_crash_at = 0.003
+    #: How long a victim stays dead before it is recovered.
+    dwell = 0.0015
+    #: Pause between a victim reporting caught-up and the next crash.
+    gap = 0.001
+    #: Catch-up poll interval (and its safety bound, in polls).
+    poll = 0.0005
+    max_polls = 2000
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        super().__init__(spec)
+        self.churn_active = False
+        self.victims: List[int] = []
+        self.restarted: List[int] = []
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        # Think time stretches the run across the whole restart schedule.
+        return WorkloadSpec(name=cls.kind, num_keys=8, read_fraction=0.5,
+                            think_time=0.0005)
+
+    def _pick_victims(self, cluster) -> List[int]:
+        # Keep the first two machines for clients; roll everything else.
+        return [node.node_id for node in cluster.nodes[2:]]
+
+    def client_nodes(self, cluster) -> List[int]:
+        reserved = set(self._pick_victims(cluster))
+        return [node.node_id for node in cluster.nodes
+                if node.node_id not in reserved]
+
+    @staticmethod
+    def _supports_restart(rts: RuntimeSystem) -> bool:
+        """Can this runtime catch a wiped machine back up after recovery?"""
+        return (hasattr(rts, "is_caught_up")
+                and rts.cluster.network.supports_broadcast)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        is_hybrid = hasattr(rts, "relocate_primary")
+        self.churn_active = self._supports_restart(rts)
+        if is_hybrid and not rts.cluster.network.supports_broadcast:
+            policies: Any = (None,) * len(self.POLICIES)
+        else:
+            policies = self.POLICIES
+        self.handles = [
+            rts.create_object(proc, IntObject, (0,), name=f"roll[{i}]",
+                              policy=policies[i % len(policies)])
+            for i in range(self.spec.num_keys)
+        ]
+        if not self.churn_active:
+            return
+        cluster = rts.cluster
+        self.victims = self._pick_victims(cluster)
+        if not self.victims:
+            self.churn_active = False
+            return
+        # Park the primary seats on the victims so every restart takes a
+        # live primary down and every rejoin has seats to re-seat.
+        seat = 0
+        for handle in self.handles:
+            if rts.policy_of(handle) in ("primary-invalidate",
+                                         "primary-update"):
+                rts.relocate_primary(
+                    proc, handle,
+                    target=self.victims[seat % len(self.victims)])
+                seat += 1
+
+        def restarter() -> None:
+            rproc = cluster.sim.current_process
+            if rproc.local_time < self.first_crash_at:
+                rproc.hold(self.first_crash_at - rproc.local_time)
+            for victim in self.victims:
+                cluster.node(victim).crash()
+                rproc.hold(self.dwell)
+                cluster.node(victim).recover()
+                for _ in range(self.max_polls):
+                    if rts.is_caught_up(victim):
+                        break
+                    rproc.hold(self.poll)
+                else:  # pragma: no cover - deterministic safety bound
+                    raise AssertionError(
+                        f"node {victim} never caught up after recovery")
+                self.restarted.append(victim)
+                rproc.hold(self.gap)
+
+        host = self.client_nodes(cluster)[0]
+        cluster.node(host).kernel.spawn_thread(restarter,
+                                               name="rolling-restart",
+                                               daemon=True)
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        handle = self.handles[request.key]
+        if request.is_write:
+            return rts.invoke(proc, handle, "add", (1,))
+        return rts.invoke(proc, handle, "read")
+
+    def validate(self, rts, proc, totals):
+        if self.churn_active:
+            # Clients may drain before the last victim finishes its
+            # restart; the schedule must still run to completion (the
+            # restarter is a daemon thread), so wait it out, bounded.
+            for _ in range(self.max_polls):
+                if len(self.restarted) == len(self.victims):
+                    break
+                proc.hold(self.poll)
+        total = sum(rts.invoke(proc, handle, "read") for handle in self.handles)
+        assert total == totals["writes"], (
+            f"rolling restart lost or duplicated updates: "
+            f"{total} != {totals['writes']}")
+        facts: Dict[str, Any] = {"counter_total": total,
+                                 "churn_active": self.churn_active}
+        if self.churn_active:
+            assert self.restarted == self.victims, (
+                f"restart schedule incomplete: {self.restarted} != "
+                f"{self.victims}")
+            dead = [n.node_id for n in rts.cluster.nodes if not n.alive]
+            assert not dead, f"nodes still dead after rolling restart: {dead}"
+            facts["restarted_nodes"] = list(self.restarted)
+            facts["rejoins"] = rts.stats.node_rejoins
+            facts["reseeded"] = sum(r.objects_reseeded for r in rts.rejoins)
+        return facts
+
+
+@scenario("scale-in")
+class ScaleIn(Scenario):
+    """A counter farm whose broadcast-group count shrinks under load.
+
+    Run it with ``num_shards`` > 1: a shrinker thread merges the
+    highest-numbered active group away at each scheduled time via
+    ``remove_shard`` while the request mix keeps flowing, so objects are
+    evacuated through their group's total order mid-traffic.  ``validate``
+    asserts conservation.  On runtimes without live group removal (or with
+    a single group) the schedule degrades to plain counter traffic.
+    """
+
+    #: Virtual times at which one group is merged away.
+    shrink_times = (0.004, 0.008)
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        super().__init__(spec)
+        self.scale_active = False
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(name=cls.kind, num_keys=16, read_fraction=0.5,
+                            think_time=0.0005)
+
+    @staticmethod
+    def _supports_scale_in(rts: RuntimeSystem) -> bool:
+        return (hasattr(rts, "remove_shard")
+                and rts.cluster.network.supports_broadcast
+                and getattr(rts, "router", None) is not None
+                and rts.router.num_active_shards > 1)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.handles = [
+            rts.create_object(proc, IntObject, (0,), name=f"farm[{i}]")
+            for i in range(self.spec.num_keys)
+        ]
+        self.scale_active = self._supports_scale_in(rts)
+        if not self.scale_active:
+            return
+        cluster = rts.cluster
+
+        def shrinker() -> None:
+            sproc = cluster.sim.current_process
+            for shrink_at in self.shrink_times:
+                if sproc.local_time < shrink_at:
+                    sproc.hold(shrink_at - sproc.local_time)
+                active = rts.router.active_shards()
+                if len(active) <= 1:
+                    break
+                rts.remove_shard(sproc, active[-1])
+
+        cluster.node(0).kernel.spawn_thread(shrinker, name="scale-in",
+                                            daemon=True)
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        handle = self.handles[request.key]
+        if request.is_write:
+            return rts.invoke(proc, handle, "add", (1,))
+        return rts.invoke(proc, handle, "read")
+
+    def validate(self, rts, proc, totals):
+        total = sum(rts.invoke(proc, handle, "read") for handle in self.handles)
+        assert total == totals["writes"], (
+            f"scale-in lost updates: {total} != {totals['writes']}")
+        facts: Dict[str, Any] = {"counter_total": total,
+                                 "scale_active": self.scale_active}
+        if self.scale_active:
+            facts["shards_removed"] = rts.stats.shards_removed
+            facts["active_shards"] = rts.router.num_active_shards
+            facts["removed"] = list(rts.removed_shards)
         return facts
 
 

@@ -513,3 +513,81 @@ class TestSequencerElection:
                 assert log[nid] == reference
             labels = [p[0] for _, p in reference]
             assert labels == ["pre"] * 5 + ["post"] * 5
+
+
+class TestRejoinedMembersAndGapRecovery:
+    """A recovered member's history died with it: until a higher layer
+    completes its catch-up it must neither be designated to answer gap
+    requests nor answer them — a zombie designee would stall every
+    requester for a salvo and could only reply with nothing."""
+
+    def test_wiped_member_is_never_the_designated_gap_responder(self):
+        with make_cluster(4, seed=7) as cluster:
+            collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            for i in range(5):
+                group.broadcast_from(1, payload=i, size=100)
+            cluster.run()
+            cluster.node(3).crash()
+            cluster.node(3).recover()
+            member = group.member(3)
+            assert member.synced is False
+            assert member.lookup_entry(3) is None  # history wiped
+            # Whatever the seqno or retry salvo, the rotation must never
+            # land on the zombie — and even if a request reached it, the
+            # answer path bows out.
+            for seqno in range(1, 8):
+                for salvo in range(6):
+                    assert not member._gap_responder(seqno, salvo)
+            before = group.stats.peer_retransmissions
+            member._answer_gap_request(requester=1, seqno=3)
+            assert group.stats.peer_retransmissions == before
+
+    def test_loss_recovery_converges_around_a_rejoining_member(self):
+        """The end-to-end regression: with a wiped recovered member in the
+        group, a peer that lost a message (and gets no help from the
+        sequencer) still recovers promptly through a *synced* peer."""
+        cost_model = CostModel().with_overrides(broadcast={"method": "bb"})
+        cluster = Cluster(ClusterConfig(num_nodes=4, seed=5,
+                                        cost_model=cost_model))
+        with cluster:
+            log = collect_deliveries(cluster)
+            group = cluster.broadcast_group
+            bb_kind = group.wire_kind(KIND_BB_DATA)
+            retx_kind = group.wire_kind(KIND_RETRANSMIT)
+
+            def drop_bb_from_1(packet):
+                return (packet.message.kind == bb_kind
+                        and packet.message.src == 1)
+
+            # The sequencer (node 0) refuses to serve retransmissions, as
+            # if its history were lost; node 2 must recover via a peer —
+            # and node 3, freshly recovered with wiped history, must not
+            # be the one the rotation waits on.
+            def drop_retx(packet):
+                return (packet.message.kind == retx_kind
+                        and packet.message.src == 0)
+
+            def scenario():
+                proc = cluster.sim.current_process
+                for i in range(5):
+                    group.broadcast_from(1, payload=("pre", i), size=100)
+                proc.hold(0.1)
+                cluster.node(3).crash()
+                cluster.node(3).recover()
+                assert group.member(3).synced is False
+                cluster.node(2).nic.drop_filter = drop_bb_from_1
+                group.broadcast_from(1, payload="only-via-peer", size=100)
+                proc.hold(0.001)
+                cluster.node(2).nic.drop_filter = drop_retx
+                proc.hold(2.0)
+
+            cluster.node(1).kernel.spawn_thread(scenario)
+            cluster.run()
+            assert group.stats.peer_retransmissions > 0
+            assert log[2][-1] == (6, "only-via-peer")
+            assert len(log[2]) == 6
+            # The zombie stayed out of it: still unsynced, and its wiped
+            # engine (expecting seqno 1 again) delivered nothing new.
+            assert group.member(3).synced is False
+            assert log[3] == log[2][:5]

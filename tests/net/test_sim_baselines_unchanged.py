@@ -25,6 +25,7 @@ BASELINES = {
     "bench_adaptive_migration.py": "adaptive.json",
     "bench_rebalancing.py": "rebalance.json",
     "bench_primary_recovery.py": "recovery.json",
+    "bench_elasticity.py": "elasticity.json",
 }
 
 

@@ -1,0 +1,86 @@
+"""The rolling-restart and scale-in scenarios through the workload runner.
+
+Rolling restart: every non-client machine is crashed, recovered and caught
+back up in sequence under live mixed-policy traffic — conservation is
+asserted by the scenario's ``validate``, and the whole run (takeover
+points, rejoin windows, reseeded copies) must replay byte-for-byte under a
+fixed seed.  Scale-in: the broadcast-group set is merged down mid-run.
+Both kinds degrade to plain traffic on runtimes without the elasticity
+machinery, so the scenario matrix still sweeps everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import WorkloadRunner
+
+NUM_NODES = 5
+SEED = 21
+
+
+def run_restart(runtime, **kwargs):
+    return WorkloadRunner("rolling-restart", runtime=runtime,
+                          num_nodes=NUM_NODES, clients_per_node=1,
+                          seed=SEED, **kwargs).run()
+
+
+def run_scale_in(runtime, **kwargs):
+    return WorkloadRunner("scale-in", runtime=runtime, num_nodes=NUM_NODES,
+                          clients_per_node=1, seed=SEED, **kwargs).run()
+
+
+class TestRollingRestart:
+    @pytest.mark.parametrize("runtime", ["broadcast", "adaptive"])
+    def test_every_victim_restarts_and_rejoins_under_load(self, runtime):
+        report = run_restart(runtime)
+        facts = report.scenario_facts
+        assert facts["churn_active"] is True
+        # Every non-client machine went down and came back, in sequence.
+        assert facts["restarted_nodes"] == [2, 3, 4]
+        assert facts["rejoins"] == 3
+        assert facts["reseeded"] > 0
+        assert facts["counter_total"] == report.writes
+        # Clients were kept off the victims.
+        assert report.num_clients == 2
+        elasticity = report.rts_summary["elasticity"]
+        assert elasticity["node_rejoins"] == 3
+        assert elasticity["max_rejoin_window"] is not None
+        assert [entry[0] for entry in elasticity["rejoin_log"]] == [2, 3, 4]
+
+    def test_restart_runs_are_deterministic(self):
+        first = run_restart("adaptive")
+        second = run_restart("adaptive")
+        assert "elasticity" in first.fingerprint()
+        assert first.fingerprint() == second.fingerprint()
+
+    @pytest.mark.parametrize("runtime", ["central", "ivy"])
+    def test_degrades_without_rejoin_support(self, runtime):
+        report = run_restart(runtime)
+        facts = report.scenario_facts
+        assert facts["churn_active"] is False
+        assert facts["counter_total"] == report.writes
+        assert "elasticity" not in report.rts_summary
+
+
+class TestScaleIn:
+    def test_groups_merge_under_load(self):
+        report = run_scale_in("broadcast", num_shards=4)
+        facts = report.scenario_facts
+        assert facts["scale_active"] is True
+        assert facts["shards_removed"] == 2
+        assert facts["active_shards"] == 2
+        assert facts["counter_total"] == report.writes
+        assert report.rts_summary["elasticity"]["removed_shards"] == [3, 2]
+
+    def test_scale_in_runs_are_deterministic(self):
+        first = run_scale_in("broadcast", num_shards=4)
+        second = run_scale_in("broadcast", num_shards=4)
+        assert "elasticity" in first.fingerprint()
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_degrades_with_a_single_group(self):
+        report = run_scale_in("broadcast")
+        facts = report.scenario_facts
+        assert facts["scale_active"] is False
+        assert facts["counter_total"] == report.writes

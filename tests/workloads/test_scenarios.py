@@ -11,7 +11,7 @@ from repro.workloads.scenarios import scenario
 
 BUILTIN_KINDS = ["counter-farm", "fifo-queue", "hot-spot", "hotspot-shift",
                  "kv-table", "policy-mix", "primary-churn",
-                 "read-mostly-catalog"]
+                 "read-mostly-catalog", "rolling-restart", "scale-in"]
 
 
 class TestRegistry:
