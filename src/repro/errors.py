@@ -61,6 +61,11 @@ class RtsError(ReproError):
     """Errors raised by the shared-object runtime systems."""
 
 
+class TransactionAborted(RtsError):
+    """Raised by ``transact(..., on_guard="abort")`` when a guard rejects
+    the group; no participant applied anything."""
+
+
 class UnknownObjectError(RtsError):
     """Raised when an operation references an object id not registered locally."""
 

@@ -97,6 +97,24 @@ class OrcaProcess:
                                         name=name, policy=policy)
         return BoundObject(self.rts, handle)
 
+    def transact(self, ops, on_guard: str = "retry") -> List[Any]:
+        """Execute operations on several shared objects atomically.
+
+        ``ops`` is a sequence of ``(obj, op_name[, args[, kwargs]])``
+        entries where ``obj`` is a :class:`BoundObject` (or a raw handle);
+        the per-operation results come back in the same order.  The group
+        is all-or-nothing and serializable against every other invocation
+        in the program.  ``on_guard="abort"`` raises
+        :class:`~repro.errors.TransactionAborted` when a guard rejects the
+        group instead of waiting and retrying.
+        """
+        proc = self._require_running()
+        transact = getattr(self.rts, "transact", None)
+        if transact is None:
+            raise OrcaError(
+                f"runtime {self.rts.name!r} does not support transactions")
+        return transact(proc, ops, on_guard=on_guard)
+
     # ------------------------------------------------------------------ #
     # Process management
     # ------------------------------------------------------------------ #

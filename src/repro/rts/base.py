@@ -78,6 +78,17 @@ class RtsStats:
     nodes_drained: int = 0
     shards_removed: int = 0
     seats_handed_back: int = 0
+    #: Transaction-layer events: committed groups (by path), transactions
+    #: surfaced to the caller as aborted, internal attempt retries after a
+    #: guard rejection, ordinary writes deferred behind a prepared or
+    #: barrier lock, and coordinator-crash recovery passes.
+    txn_commits: int = 0
+    txn_aborts: int = 0
+    txn_retries: int = 0
+    txn_same_shard_commits: int = 0
+    txn_cross_shard_commits: int = 0
+    txn_deferred_writes: int = 0
+    txn_recoveries: int = 0
     per_object_reads: Dict[int, int] = field(default_factory=dict)
     per_object_writes: Dict[int, int] = field(default_factory=dict)
 

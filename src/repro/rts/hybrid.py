@@ -567,6 +567,12 @@ class HybridRts(RuntimeSystem):
         #: Broadcast groups retired by remove_shard, in retirement order.
         self.removed_shards: List[int] = []
 
+        # -- cross-object transactions ------------------------------------ #
+        #: Lazily created transaction layer (first transact() call builds
+        #: it); while None, every hook below is skipped and the runtime
+        #: behaves byte-identically to one without the layer.
+        self._txn_layer: Optional[Any] = None
+
         initial = self.default_policy
         needs_broadcast = (isinstance(initial, AdaptivePolicy)
                            or initial.mechanism == MECHANISM_BROADCAST)
@@ -926,6 +932,28 @@ class HybridRts(RuntimeSystem):
         node.kernel.spawn_thread(migration_body, name=f"migrate:{handle.name}")
 
     # ------------------------------------------------------------------ #
+    # Cross-object atomic transactions
+    # ------------------------------------------------------------------ #
+
+    def transact(self, proc: "SimProcess", ops, on_guard: str = "retry") -> List[Any]:
+        """Execute a group of operations atomically and serializably.
+
+        ``ops`` is a sequence of ``(handle, op_name[, args[, kwargs]])``
+        entries; the results are returned in the same order.  Groups whose
+        participants all ride one shard's broadcast commit as a single
+        ordered record; everything else runs an ordered two-phase commit
+        (see :mod:`repro.txn`).  ``on_guard`` selects what happens when a
+        guard rejects the group: ``"retry"`` (default) re-attempts once
+        the rejecting object changes, ``"abort"`` raises
+        :class:`~repro.errors.TransactionAborted` with nothing applied.
+        """
+        if self._txn_layer is None:
+            from ..txn import TransactionLayer
+
+            self._txn_layer = TransactionLayer(self)
+        return self._txn_layer.transact(proc, ops, on_guard=on_guard)
+
+    # ------------------------------------------------------------------ #
     # Broadcast mechanism (reads local, writes through the ordered group)
     # ------------------------------------------------------------------ #
 
@@ -1064,12 +1092,27 @@ class HybridRts(RuntimeSystem):
         if kind == "shard-arrive":
             self._apply_shard_arrive(node_id, payload, delivered.origin)
             return
+        if isinstance(kind, str) and kind.startswith("txn-"):
+            # Transaction records exist only after some transact() call
+            # built the (cluster-global) layer, so it is always present
+            # when one is delivered.
+            self._txn_layer.on_deliver(node_id, payload, delivered.origin,
+                                       delivered.seqno)
+            return
         raise RtsError(f"unknown broadcast RTS payload kind {kind!r}")
 
     def _apply_one(self, node_id: int, manager, node, obj_id: int,
                    op_name: str, args, kwargs, invocation_id: int, epoch: int,
                    origin: int, seqno: int) -> None:
         """Apply one delivered write (standalone or decoded from a batch)."""
+        if self._txn_layer is not None and self._txn_layer.defer_write(
+                node_id, obj_id,
+                (op_name, args, kwargs, invocation_id, epoch, origin, seqno)):
+            # A transaction holds this member's object (prepared or epoch
+            # barrier): the write replays FIFO when the lock releases —
+            # before any epoch check, because the lock's release position
+            # in the order is what decides the write's fate everywhere.
+            return
         delivered_up_to = self._node_epoch.get((node_id, obj_id), 0)
         if epoch > delivered_up_to:
             # A post-switch write outran this member's delivery of the
@@ -1239,14 +1282,16 @@ class HybridRts(RuntimeSystem):
         return result
 
     def _primary_write(self, proc: "SimProcess", nid: int, handle: ObjectHandle,
-                       op, args, kwargs) -> Any:
+                       op, args, kwargs, wid=None) -> Any:
         obj_id = handle.obj_id
         # One write id per invocation, stable across retries: it is what
         # lets the new primary after a crash (or the old one after a lost
         # reply) recognise a re-issued write and apply it exactly once.
         # The origin is the client *process* (names are deterministic), so
-        # dedup state needs only the newest id per origin.
-        wid = (proc.name, next(self._write_ids))
+        # dedup state needs only the newest id per origin.  The transaction
+        # layer passes its own stable per-sub-operation id instead.
+        if wid is None:
+            wid = (proc.name, next(self._write_ids))
         while True:
             if self._mechanism_of(obj_id) != MECHANISM_PRIMARY:
                 return self._migrated_result(obj_id, wid)
@@ -1328,6 +1373,11 @@ class HybridRts(RuntimeSystem):
         recorded result is returned without touching the object again.
         """
         primary = self.directory.primary_of(obj_id)
+        if self._txn_layer is not None:
+            # A transaction pinning this seat holds ordinary writes here
+            # (its own sub-operations pass); serialisation order at the
+            # primary is unchanged, the writes just park first.
+            self._txn_layer.seat_gate(proc, obj_id, wid)
         table = self._applied_table(primary, obj_id)
         duplicate, recorded = self._lookup_applied(table, wid)
         if duplicate:
@@ -1726,6 +1776,11 @@ class HybridRts(RuntimeSystem):
                 self.cluster.node(crashed).kernel.cancel_timer(timer)
                 self._lag_probes.pop(key, None)
         self._schedule_recoveries()
+        if self._txn_layer is not None:
+            # After the runtime's own recovery: orphaned transactions (the
+            # dead machine coordinated them) are driven to completion by
+            # the lowest live node under presumed abort.
+            self._txn_layer.on_node_crash(crashed)
 
     def _on_drop(self, nid: int, payload: Dict[str, Any]) -> None:
         # A secondary informs the primary that it discarded its copy; the
@@ -1781,6 +1836,11 @@ class HybridRts(RuntimeSystem):
             # the current policies and epochs; switching under it could
             # strand the member on the wrong side of the switch.  Abort
             # cleanly — callers retry once the catch-up completes.
+            return False
+        if self._txn_layer is not None and self._txn_layer.pins(obj_id):
+            # A live transaction names the object as a participant; its
+            # prepares and seat locks assume a stable mechanism.  Abort
+            # cleanly — callers retry once the transaction completes.
             return False
         self._migrating.discard(obj_id)
         current_mechanism = self._mechanism_of(obj_id)
@@ -2079,6 +2139,10 @@ class HybridRts(RuntimeSystem):
         """
         self._flush_future_writes(node_id, obj_id)
         self._flush_deferred(node_id, obj_id)
+        if self._txn_layer is not None:
+            # A transaction record that outran this member's epoch sits
+            # under a barrier lock; the switch it awaited just landed.
+            self._txn_layer.on_switch_delivered(node_id, obj_id)
         for pending_id, pending in list(self._pending.items()):
             if (pending.obj_id == obj_id and pending.origin == node_id
                     and pending.epoch < epoch):
@@ -2136,6 +2200,10 @@ class HybridRts(RuntimeSystem):
             # A rejoin seed is captured against the current shard routes;
             # moving the object between orders under it could lose the
             # member the object entirely.  Abort cleanly.
+            return False
+        if self._txn_layer is not None and self._txn_layer.pins(obj_id):
+            # A live transaction's prepares assume the object's shard (its
+            # decision order may be this one).  Abort cleanly.
             return False
         self._migrating.discard(obj_id)
         self._migrate_in_progress.add(obj_id)
@@ -2258,6 +2326,11 @@ class HybridRts(RuntimeSystem):
         if obj_id in self._migrate_in_progress:
             return False
         if obj_id in self._migrating and not self._migration_settled(obj_id):
+            return False
+        if self._txn_layer is not None and self._txn_layer.pins(obj_id):
+            # A transaction holding (or about to take) this seat's lock
+            # evaluated its guards against the seat's state.  Abort
+            # cleanly — callers retry once the transaction completes.
             return False
         self._migrating.discard(obj_id)
         self._ensure_router()
@@ -2518,6 +2591,10 @@ class HybridRts(RuntimeSystem):
                       self._node_epoch, self._dest_epoch):
             for key in [k for k in table if k[0] == recovered]:
                 del table[key]
+        if self._txn_layer is not None:
+            # The member's lock entries and outcome markers died with it;
+            # the rejoin seeds re-establish them from a donor.
+            self._txn_layer.on_node_recover(recovered)
         kernel = self.cluster.node(recovered).kernel
         for key in [k for k in self._batchers if k[0] == recovered]:
             batcher = self._batchers.pop(key)
@@ -2670,6 +2747,7 @@ class HybridRts(RuntimeSystem):
         """
         manager = self.managers[donor]
         objects: List[Tuple[Any, ...]] = []
+        shard_objs: List[int] = []
         payload_bytes = 0
         for handle in sorted(self.handles(), key=lambda h: h.obj_id):
             obj_id = handle.obj_id
@@ -2677,6 +2755,7 @@ class HybridRts(RuntimeSystem):
                 continue
             if self.router.assign(obj_id, handle.name) != shard:
                 continue
+            shard_objs.append(obj_id)
             if not manager.has_valid_copy(obj_id):
                 continue
             replica = manager.get(obj_id)
@@ -2685,11 +2764,17 @@ class HybridRts(RuntimeSystem):
                             self._node_epoch.get((donor, obj_id), 0),
                             self._dest_epoch.get((donor, obj_id), 0)))
             payload_bytes += replica.instance.state_size()
+        payload = {"shard": shard, "generation": generation, "upto": upto,
+                   "objects": objects}
+        if self._txn_layer is not None:
+            # Transaction lock entries and queues travel with the replica
+            # state: they are as much a part of the donor's position in
+            # the order as the object versions are.
+            payload["txn"] = self._txn_layer.seed_state(donor, shard_objs)
         node = self.cluster.node(donor)
         node.send(node.make_message(
             rejoining, KIND_SEED, size=32 + payload_bytes,
-            payload={"shard": shard, "generation": generation, "upto": upto,
-                     "objects": objects}))
+            payload=payload))
 
     def _request_seed(self, rejoining: int, shard: int,
                       generation: int) -> None:
@@ -2745,6 +2830,8 @@ class HybridRts(RuntimeSystem):
                 self._dest_epoch[(node_id, obj_id)] = dest_epoch
             self._wake_replica_waiters(node_id, obj_id)
             count += 1
+        if self._txn_layer is not None and payload.get("txn"):
+            self._txn_layer.install_seed(node_id, payload["txn"])
         record = self._rejoin_record(node_id)
         if record is not None:
             record.objects_reseeded += count
@@ -3151,5 +3238,15 @@ class HybridRts(RuntimeSystem):
                      d.sequencer_seats_moved)
                     for d in self.drains if d.completed_at is not None],
                 "removed_shards": list(self.removed_shards),
+            }
+        if self.stats.txn_commits or self.stats.txn_aborts:
+            summary["transactions"] = {
+                "commits": self.stats.txn_commits,
+                "aborts": self.stats.txn_aborts,
+                "same_shard_commits": self.stats.txn_same_shard_commits,
+                "cross_shard_commits": self.stats.txn_cross_shard_commits,
+                "conflict_retries": self.stats.txn_retries,
+                "deferred_writes": self.stats.txn_deferred_writes,
+                "recoveries": self.stats.txn_recoveries,
             }
         return summary

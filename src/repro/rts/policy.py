@@ -39,6 +39,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 MECHANISM_BROADCAST = "broadcast"
 MECHANISM_PRIMARY = "primary"
 
+#: How a transaction prepares an object managed under a policy: through an
+#: ordered ``txn-prepare`` record in its shard's broadcast order, or by
+#: pinning its primary seat (see :mod:`repro.txn`).
+PREPARE_ORDER = "order"
+PREPARE_SEAT = "seat"
+
 
 class ManagementPolicy:
     """One point on the object-management spectrum (or a controller on it).
@@ -55,6 +61,12 @@ class ManagementPolicy:
     mechanism: Optional[str] = None
     #: Coherence protocol of primary-copy policies (``None`` otherwise).
     protocol: Optional[str] = None
+    #: How the transaction layer holds an object under this policy in a
+    #: prepared state: :data:`PREPARE_ORDER` (a ``txn-prepare`` record in
+    #: the shard order that defers conflicting writes) or
+    #: :data:`PREPARE_SEAT` (a lock pinning the primary seat).  ``None``
+    #: for controllers — the object's current fixed policy decides.
+    prepare_mode: Optional[str] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
@@ -65,6 +77,7 @@ class BroadcastReplicated(ManagementPolicy):
 
     name = "broadcast"
     mechanism = MECHANISM_BROADCAST
+    prepare_mode = PREPARE_ORDER
 
 
 class PrimaryCopyInvalidate(ManagementPolicy):
@@ -73,6 +86,7 @@ class PrimaryCopyInvalidate(ManagementPolicy):
     name = "primary-invalidate"
     mechanism = MECHANISM_PRIMARY
     protocol = "invalidation"
+    prepare_mode = PREPARE_SEAT
 
 
 class PrimaryCopyUpdate(ManagementPolicy):
@@ -81,6 +95,7 @@ class PrimaryCopyUpdate(ManagementPolicy):
     name = "primary-update"
     mechanism = MECHANISM_PRIMARY
     protocol = "update"
+    prepare_mode = PREPARE_SEAT
 
 
 #: The fixed policies, as shared flyweights keyed by their spelling.

@@ -171,8 +171,14 @@ class Simulator:
         return final
 
     def _check_deadlock(self) -> None:
+        # A process pinned to a crashed machine died with it: it can stay
+        # "blocked" forever without that being a deadlock (e.g. a client
+        # suspended mid-protocol when its own node crashes).  Its OS thread
+        # is reclaimed by shutdown(), like every other leftover.
         blocked = [
-            p for p in self._processes if p.state == "blocked" and not p.daemon
+            p for p in self._processes
+            if p.state == "blocked" and not p.daemon
+            and getattr(getattr(p, "node", None), "alive", True)
         ]
         if blocked:
             names = ", ".join(p.name for p in blocked)

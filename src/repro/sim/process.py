@@ -124,6 +124,15 @@ class SimProcess:
             raise SimulationError(
                 f"cannot resume process {self.name!r} in state {self.state}"
             )
+        node = getattr(self, "node", None)
+        if node is not None and not node.alive:
+            # The machine crashed while this process was blocked: its
+            # thread died with it.  Unwind instead of running user code —
+            # the same dead-node gate the Amoeba kernel applies to timers.
+            self._killed = True
+            self._wake_value = None
+            self._transfer_control()
+            return
         self._wake_value = value
         self._transfer_control()
 

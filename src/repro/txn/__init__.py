@@ -1,0 +1,156 @@
+"""Cross-object atomic transactions over the hybrid runtime.
+
+``rts.transact([(obj, op, args), ...])`` executes a group of operations on
+multiple shared objects with all-or-nothing semantics and serializability:
+
+* participants all broadcast-managed on **one shard** commit lock-free as
+  a single ordered record carrying every sub-operation (the same-shard
+  fast path — total order *is* atomicity);
+* everything else runs an **ordered 2PC**: per-object ``txn-prepare``
+  records sequenced through each broadcast participant's shard order plus
+  seat locks on primary-copy participants, acquired in ascending
+  object-id order (deadlock-free), with the commit point being the first
+  ``txn-decide`` record in the decision shard's order.
+
+Prepared objects *defer* conflicting writes into per-member FIFO queues
+instead of rejecting them, so per-client FIFO holds; coordinator crashes
+are resolved by a deterministic presumed-abort recovery pass that loses
+to (or confirms) any decide record already in the order.  The layer is
+created lazily on the first ``transact()`` call — runs that never
+transact execute byte-identically to a runtime without it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List
+
+from .coordinator import TxnCoordinator
+from .locks import MemberLockTable, SeatLockTable
+from .participant import TxnParticipant
+from .records import TXN_KINDS, TxnDescriptor
+from . import recovery as _recovery
+
+__all__ = [
+    "TXN_KINDS",
+    "TransactionLayer",
+    "TxnCoordinator",
+    "TxnDescriptor",
+    "TxnParticipant",
+]
+
+
+class TransactionLayer:
+    """Facade wiring coordinator, participant, locks and recovery to a
+    :class:`~repro.rts.hybrid.HybridRts`."""
+
+    def __init__(self, rts) -> None:
+        self.rts = rts
+        self.locks = MemberLockTable()
+        self.seats = SeatLockTable()
+        self.descs: Dict[int, TxnDescriptor] = {}
+        self.txn_ids = itertools.count(1)
+        #: obj_id -> number of live transactions naming it (pins() input).
+        self._pinned: Dict[int, int] = {}
+        self.participant = TxnParticipant(self)
+        self.coordinator = TxnCoordinator(self)
+        # A pure-broadcast cluster never installs the primary-copy crash
+        # services, so the layer listens for crashes itself.  Where the
+        # runtime's own crash handler also runs (and calls on_node_crash
+        # first), the second call is a no-op: every orphan already has a
+        # live recovery owner by then.
+        for node in rts.cluster.nodes:
+            node.on_crash(lambda n=node.node_id: self.on_node_crash(n))
+
+    # -- client surface -------------------------------------------------
+
+    def transact(self, proc, ops, on_guard: str = "retry") -> List[Any]:
+        return self.coordinator.transact(proc, ops, on_guard=on_guard)
+
+    # -- hooks called from HybridRts ------------------------------------
+
+    def on_deliver(self, node_id: int, payload, origin: int,
+                   seqno: int) -> None:
+        self.participant.process(node_id, payload, origin, seqno)
+
+    def defer_write(self, node_id: int, obj_id: int, entry) -> bool:
+        return self.participant.defer_write(node_id, obj_id, entry)
+
+    def seat_gate(self, proc, obj_id: int, wid) -> None:
+        """Hold an ordinary primary write while a transaction pins the
+        seat (the transaction's own applies pass through)."""
+        while True:
+            owner = self.seats.owner(obj_id)
+            if owner is None:
+                return
+            if (wid is not None and isinstance(wid[0], str)
+                    and wid[0].startswith(f"txn:{owner}#")):
+                return
+            self.seats.wait(obj_id, proc)
+            proc.suspend()
+
+    def pins(self, obj_id: int) -> bool:
+        """Is the object a participant of any live transaction?  Policy
+        migrations, shard moves and seat relocations refuse while true
+        (their callers already retry)."""
+        return self._pinned.get(obj_id, 0) > 0
+
+    def on_switch_delivered(self, node_id: int, obj_id: int) -> None:
+        self.participant.on_switch_delivered(node_id, obj_id)
+
+    def on_node_crash(self, crashed: int) -> None:
+        _recovery.schedule_recoveries(self, crashed)
+
+    def on_node_recover(self, recovered: int) -> None:
+        self.locks.wipe_node(recovered)
+
+    def seed_state(self, donor: int, obj_ids) -> Dict[str, Any]:
+        return self.locks.seed_state(donor, set(obj_ids))
+
+    def install_seed(self, node_id: int, state: Dict[str, Any]) -> None:
+        self.locks.install_seed(node_id, state)
+
+    # -- descriptor lifecycle -------------------------------------------
+
+    def register(self, desc: TxnDescriptor) -> None:
+        self.descs[desc.txn_id] = desc
+        for obj_id in desc.participants:
+            self._pinned[obj_id] = self._pinned.get(obj_id, 0) + 1
+
+    def complete(self, desc: TxnDescriptor, committed: bool,
+                 same_shard: bool = False) -> None:
+        if desc.done:
+            return
+        desc.done = True
+        rts = self.rts
+        for obj_id in desc.participants:
+            remaining = self._pinned.get(obj_id, 0) - 1
+            if remaining > 0:
+                self._pinned[obj_id] = remaining
+            else:
+                self._pinned.pop(obj_id, None)
+        if desc.recovery_node is None:
+            # Normal completion: no record of this transaction can still
+            # be in flight (every prepare precedes its outcome in its
+            # shard's order), so the tombstones are dead weight.  After a
+            # *recovery* completion the dead coordinator's prepare may
+            # still be sequenced behind the recovery abort at some member
+            # — those tombstones must outlive the descriptor.
+            self.locks.forget_txn(desc.txn_id)
+        # Prune the transaction's entries from the primary dedup tables
+        # (each sub-operation used a unique origin, so unlike client
+        # writes they would otherwise accumulate forever).
+        for index, obj_id, _op, _args, _kwargs in desc.primary_ops:
+            origin = f"txn:{desc.txn_id}#{index}"
+            primary = rts.directory.primary_of(obj_id)
+            if primary is not None:
+                rts._applied_table(primary, obj_id).pop(origin, None)
+            committed_record = rts._last_committed.get(obj_id)
+            if committed_record is not None:
+                committed_record[2].pop(origin, None)
+        if committed:
+            rts.stats.txn_commits += 1
+            if same_shard:
+                rts.stats.txn_same_shard_commits += 1
+            else:
+                rts.stats.txn_cross_shard_commits += 1

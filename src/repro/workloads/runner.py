@@ -58,8 +58,7 @@ def build_runtime(cluster: Cluster, kind: str,
         return CentralServerRts(cluster, **options)
     if kind == "ivy":
         return IvyObjectRuntime(cluster, **options)
-    raise ConfigurationError(
-        f"unknown runtime kind {kind!r} (use one of {RUNTIME_KINDS})")
+    raise ConfigurationError(f"unknown runtime kind {kind!r} (use one of {RUNTIME_KINDS})")
 
 
 def network_type_for(kind: str) -> str:
@@ -107,8 +106,7 @@ class WorkloadReport:
 
     def final_policies(self) -> Dict[str, str]:
         """Object name -> management policy at the end of the run."""
-        return {name: row.get("policy", "?")
-                for name, row in self.object_rows().items()}
+        return {name: row.get("policy", "?") for name, row in self.object_rows().items()}
 
     def fingerprint(self) -> Dict[str, Any]:
         """A stable, rounded digest used by determinism checks and tests."""
@@ -136,6 +134,13 @@ class WorkloadReport:
                 "rejoin_log": [list(entry)
                                for entry in elasticity["rejoin_log"]],
             }
+        transactions = self.rts_summary.get("transactions")
+        if transactions:
+            # Commit/abort/retry counts per path (same-shard vs 2PC) are
+            # behaviour the determinism regression pins down; runs that
+            # never transact carry no block at all, so pre-transaction
+            # baselines stay byte-identical.
+            extras["transactions"] = dict(sorted(transactions.items()))
         rebalancing = self.rts_summary.get("rebalancing")
         if rebalancing:
             # Where and when objects moved is part of the behaviour the
@@ -189,8 +194,7 @@ class WorkloadRunner:
         (see :mod:`repro.net`), reporting real wall-clock throughput.
         """
         if backend not in ("sim", "real"):
-            raise ConfigurationError(
-                f"unknown backend {backend!r} (use 'sim' or 'real')")
+            raise ConfigurationError(f"unknown backend {backend!r} (use 'sim' or 'real')")
         self.backend = backend
         if backend == "real":
             if runtime != "broadcast":

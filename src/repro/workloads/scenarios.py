@@ -32,7 +32,16 @@ cluster-benchmark literature care about:
   (takeover, rejoin, seat handback) under live traffic;
 * ``scale-in``       — a counter farm whose broadcast-group count is merged
   down mid-run via ``remove_shard``, the inverse of the rebalancer's live
-  group growth.
+  group growth;
+* ``bank-transfer``  — guarded accounts with atomic two-account transfers
+  through ``rts.transact`` (conservation is the invariant; runtimes without
+  transactions fall back to sequential unguarded adjustments);
+* ``kv-index``       — a table and its secondary index updated atomically,
+  validated entry-for-entry (the mirror only survives concurrent writers if
+  the two stores really commit as one);
+* ``queue-move``     — producer traffic into an inbox plus atomic
+  take-from-inbox/put-to-outbox moves (dequeue and enqueue counts must agree
+  exactly).
 
 New kinds register themselves with :class:`ScenarioRegistry` via the
 :func:`scenario` class decorator.
@@ -43,7 +52,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any, Dict, List, Type
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, TransactionAborted
 from ..orca.builtin_objects import DictObject, IntObject
 from ..rts.base import ObjectHandle, RuntimeSystem
 from ..rts.object_model import ObjectSpec, operation
@@ -82,6 +91,16 @@ class PollableQueue(ObjectSpec):
             return self.items.pop(0)
         self.empty_polls += 1
         return None
+
+    @operation(write=True, guard=lambda self: bool(self.items))
+    def take(self) -> Any:
+        """Dequeue the oldest item; the guard rejects an empty queue.
+
+        Unlike ``poll`` this never consumes "nothing" — inside a transaction
+        the guard turns move-from-empty into a clean all-or-nothing abort.
+        """
+        self.dequeued += 1
+        return self.items.pop(0)
 
     @operation(write=False)
     def size(self) -> int:
@@ -289,8 +308,7 @@ class ReadMostlyCatalog(Scenario):
 
     def validate(self, rts, proc, totals):
         size = rts.invoke(proc, self.handles[0], "size")
-        assert size == self.spec.num_keys, (
-            f"catalog size changed: {size} != {self.spec.num_keys}")
+        assert size == self.spec.num_keys, (f"catalog size changed: {size} != {self.spec.num_keys}")
         return {"catalog_size": size}
 
 
@@ -329,10 +347,8 @@ class PolicyMix(Scenario):
         catalog, ledger = self.handles
         total = rts.invoke(proc, ledger, "read")
         size = rts.invoke(proc, catalog, "size")
-        assert total == totals["writes"], (
-            f"ledger lost updates: {total} != {totals['writes']}")
-        assert size == self.spec.num_keys, (
-            f"catalog size changed: {size} != {self.spec.num_keys}")
+        assert total == totals["writes"], (f"ledger lost updates: {total} != {totals['writes']}")
+        assert size == self.spec.num_keys, (f"catalog size changed: {size} != {self.spec.num_keys}")
         facts = {"ledger_total": total, "catalog_size": size}
         policy_of = getattr(rts, "policy_of", None)
         if policy_of is not None:
@@ -403,8 +419,7 @@ class PrimaryChurn(Scenario):
     """
 
     #: Policies assigned round-robin over the counters.
-    POLICIES = ("primary-invalidate", "primary-update", "broadcast",
-                "adaptive")
+    POLICIES = ("primary-invalidate", "primary-update", "broadcast", "adaptive")
     #: Virtual times at which the victims die, one entry per victim.
     crash_times = (0.004, 0.009)
 
@@ -416,8 +431,7 @@ class PrimaryChurn(Scenario):
     @classmethod
     def default_spec(cls) -> WorkloadSpec:
         # A little think time stretches the run across the crash schedule.
-        return WorkloadSpec(name=cls.kind, num_keys=8, read_fraction=0.5,
-                            think_time=0.0005)
+        return WorkloadSpec(name=cls.kind, num_keys=8, read_fraction=0.5, think_time=0.0005)
 
     def _pick_victims(self, cluster) -> List[int]:
         count = min(len(self.crash_times), max(0, cluster.num_nodes - 2))
@@ -425,14 +439,12 @@ class PrimaryChurn(Scenario):
 
     def client_nodes(self, cluster) -> List[int]:
         reserved = set(self._pick_victims(cluster))
-        return [node.node_id for node in cluster.nodes
-                if node.node_id not in reserved]
+        return [node.node_id for node in cluster.nodes if node.node_id not in reserved]
 
     @staticmethod
     def _supports_churn(rts: RuntimeSystem) -> bool:
         """Can this runtime survive (and therefore stage) primary crashes?"""
-        return (hasattr(rts, "relocate_primary")
-                and rts.cluster.network.supports_broadcast)
+        return hasattr(rts, "relocate_primary") and rts.cluster.network.supports_broadcast
 
     def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
         is_hybrid = hasattr(rts, "relocate_primary")
@@ -459,11 +471,8 @@ class PrimaryChurn(Scenario):
         # takes a live primary down with clients still writing through it.
         seat = 0
         for handle in self.handles:
-            if rts.policy_of(handle) in ("primary-invalidate",
-                                         "primary-update"):
-                rts.relocate_primary(
-                    proc, handle,
-                    target=self.victims[seat % len(self.victims)])
+            if rts.policy_of(handle) in ("primary-invalidate", "primary-update"):
+                rts.relocate_primary(proc, handle, target=self.victims[seat % len(self.victims)])
                 seat += 1
 
         def crasher() -> None:
@@ -474,8 +483,7 @@ class PrimaryChurn(Scenario):
                 cluster.node(victim).crash()
 
         host = self.client_nodes(cluster)[0]
-        cluster.node(host).kernel.spawn_thread(crasher, name="primary-churn",
-                                               daemon=True)
+        cluster.node(host).kernel.spawn_thread(crasher, name="primary-churn", daemon=True)
 
     def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
         handle = self.handles[request.key]
@@ -488,8 +496,7 @@ class PrimaryChurn(Scenario):
         assert total == totals["writes"], (
             f"churned counters lost or duplicated updates: "
             f"{total} != {totals['writes']}")
-        facts: Dict[str, Any] = {"counter_total": total,
-                                 "churn_active": self.churn_active}
+        facts: Dict[str, Any] = {"counter_total": total, "churn_active": self.churn_active}
         if self.churn_active:
             facts["crashed_nodes"] = [
                 victim for victim in self.victims
@@ -517,8 +524,7 @@ class RollingRestart(Scenario):
     """
 
     #: Policies assigned round-robin over the counters.
-    POLICIES = ("primary-invalidate", "primary-update", "broadcast",
-                "adaptive")
+    POLICIES = ("primary-invalidate", "primary-update", "broadcast", "adaptive")
     #: Virtual time of the first crash.
     first_crash_at = 0.003
     #: How long a victim stays dead before it is recovered.
@@ -538,8 +544,7 @@ class RollingRestart(Scenario):
     @classmethod
     def default_spec(cls) -> WorkloadSpec:
         # Think time stretches the run across the whole restart schedule.
-        return WorkloadSpec(name=cls.kind, num_keys=8, read_fraction=0.5,
-                            think_time=0.0005)
+        return WorkloadSpec(name=cls.kind, num_keys=8, read_fraction=0.5, think_time=0.0005)
 
     def _pick_victims(self, cluster) -> List[int]:
         # Keep the first two machines for clients; roll everything else.
@@ -547,14 +552,12 @@ class RollingRestart(Scenario):
 
     def client_nodes(self, cluster) -> List[int]:
         reserved = set(self._pick_victims(cluster))
-        return [node.node_id for node in cluster.nodes
-                if node.node_id not in reserved]
+        return [node.node_id for node in cluster.nodes if node.node_id not in reserved]
 
     @staticmethod
     def _supports_restart(rts: RuntimeSystem) -> bool:
         """Can this runtime catch a wiped machine back up after recovery?"""
-        return (hasattr(rts, "is_caught_up")
-                and rts.cluster.network.supports_broadcast)
+        return hasattr(rts, "is_caught_up") and rts.cluster.network.supports_broadcast
 
     def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
         is_hybrid = hasattr(rts, "relocate_primary")
@@ -579,11 +582,8 @@ class RollingRestart(Scenario):
         # live primary down and every rejoin has seats to re-seat.
         seat = 0
         for handle in self.handles:
-            if rts.policy_of(handle) in ("primary-invalidate",
-                                         "primary-update"):
-                rts.relocate_primary(
-                    proc, handle,
-                    target=self.victims[seat % len(self.victims)])
+            if rts.policy_of(handle) in ("primary-invalidate", "primary-update"):
+                rts.relocate_primary(proc, handle, target=self.victims[seat % len(self.victims)])
                 seat += 1
 
         def restarter() -> None:
@@ -599,15 +599,12 @@ class RollingRestart(Scenario):
                         break
                     rproc.hold(self.poll)
                 else:  # pragma: no cover - deterministic safety bound
-                    raise AssertionError(
-                        f"node {victim} never caught up after recovery")
+                    raise AssertionError(f"node {victim} never caught up after recovery")
                 self.restarted.append(victim)
                 rproc.hold(self.gap)
 
         host = self.client_nodes(cluster)[0]
-        cluster.node(host).kernel.spawn_thread(restarter,
-                                               name="rolling-restart",
-                                               daemon=True)
+        cluster.node(host).kernel.spawn_thread(restarter, name="rolling-restart", daemon=True)
 
     def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
         handle = self.handles[request.key]
@@ -628,8 +625,7 @@ class RollingRestart(Scenario):
         assert total == totals["writes"], (
             f"rolling restart lost or duplicated updates: "
             f"{total} != {totals['writes']}")
-        facts: Dict[str, Any] = {"counter_total": total,
-                                 "churn_active": self.churn_active}
+        facts: Dict[str, Any] = {"counter_total": total, "churn_active": self.churn_active}
         if self.churn_active:
             assert self.restarted == self.victims, (
                 f"restart schedule incomplete: {self.restarted} != "
@@ -663,8 +659,7 @@ class ScaleIn(Scenario):
 
     @classmethod
     def default_spec(cls) -> WorkloadSpec:
-        return WorkloadSpec(name=cls.kind, num_keys=16, read_fraction=0.5,
-                            think_time=0.0005)
+        return WorkloadSpec(name=cls.kind, num_keys=16, read_fraction=0.5, think_time=0.0005)
 
     @staticmethod
     def _supports_scale_in(rts: RuntimeSystem) -> bool:
@@ -693,8 +688,7 @@ class ScaleIn(Scenario):
                     break
                 rts.remove_shard(sproc, active[-1])
 
-        cluster.node(0).kernel.spawn_thread(shrinker, name="scale-in",
-                                            daemon=True)
+        cluster.node(0).kernel.spawn_thread(shrinker, name="scale-in", daemon=True)
 
     def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
         handle = self.handles[request.key]
@@ -704,10 +698,8 @@ class ScaleIn(Scenario):
 
     def validate(self, rts, proc, totals):
         total = sum(rts.invoke(proc, handle, "read") for handle in self.handles)
-        assert total == totals["writes"], (
-            f"scale-in lost updates: {total} != {totals['writes']}")
-        facts: Dict[str, Any] = {"counter_total": total,
-                                 "scale_active": self.scale_active}
+        assert total == totals["writes"], (f"scale-in lost updates: {total} != {totals['writes']}")
+        facts: Dict[str, Any] = {"counter_total": total, "scale_active": self.scale_active}
         if self.scale_active:
             facts["shards_removed"] = rts.stats.shards_removed
             facts["active_shards"] = rts.router.num_active_shards
@@ -734,6 +726,259 @@ class HotSpotCell(Scenario):
 
     def validate(self, rts, proc, totals):
         value = rts.invoke(proc, self.handles[0], "read")
-        assert value == totals["writes"], (
-            f"hot cell lost updates: {value} != {totals['writes']}")
+        assert value == totals["writes"], (f"hot cell lost updates: {value} != {totals['writes']}")
         return {"cell_value": value}
+
+
+# ---------------------------------------------------------------------- #
+# Transactional scenario kinds
+# ---------------------------------------------------------------------- #
+
+
+def supports_transactions(rts: RuntimeSystem) -> bool:
+    """Can this runtime commit cross-object groups atomically?
+
+    ``transact`` sequences its prepare/decide records through the broadcast
+    groups, so besides the method itself the interconnect must support
+    broadcast.  Scenario kinds degrade to sequential per-object writes when
+    this is false, so they still run on every runtime.
+    """
+    return hasattr(rts, "transact") and rts.cluster.network.supports_broadcast
+
+
+class BankAccount(ObjectSpec):
+    """An account whose withdrawals are guarded against overdraft."""
+
+    def init(self, balance: int = 0) -> None:
+        self.balance = balance
+
+    @operation(write=False)
+    def read(self) -> int:
+        return self.balance
+
+    @operation(write=True)
+    def deposit(self, amount: int) -> int:
+        self.balance += amount
+        return self.balance
+
+    @operation(write=True, guard=lambda self, amount: self.balance >= amount)
+    def withdraw(self, amount: int) -> int:
+        self.balance -= amount
+        return self.balance
+
+    @operation(write=True)
+    def adjust(self, delta: int) -> int:
+        """Unguarded balance change (the non-transactional fallback path)."""
+        self.balance += delta
+        return self.balance
+
+
+@scenario("bank-transfer")
+class BankTransfer(Scenario):
+    """Guarded accounts with atomic two-account transfers.
+
+    A write request moves a small amount from the sampled account to a
+    deterministic partner via ``rts.transact`` — guarded withdraw plus
+    deposit as one all-or-nothing group — so the invariant is exact
+    conservation: the balances always sum to the initial endowment, at
+    every settle point, no matter which nodes crash mid-protocol.
+    Insufficient funds abort the transfer cleanly (counted, not retried).
+    Runtimes without transactions fall back to a sequential
+    deposit-then-adjust pair, which conserves in crash-free runs but is
+    not atomic — the degraded mode keeps the scenario runnable everywhere.
+    """
+
+    INITIAL_BALANCE = 100
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        super().__init__(spec)
+        self.transactional = False
+        self.transfers = 0
+        self.aborted = 0
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(name=cls.kind, num_keys=8, read_fraction=0.5)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.transactional = supports_transactions(rts)
+        self.handles = [
+            rts.create_object(proc, BankAccount, (self.INITIAL_BALANCE,),
+                              name=f"acct[{i}]")
+            for i in range(self.spec.num_keys)
+        ]
+
+    def _partner(self, request: Request) -> int:
+        if self.spec.num_keys < 2:
+            return request.key
+        offset = 1 + request.seq % (self.spec.num_keys - 1)
+        return (request.key + offset) % self.spec.num_keys
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        src = self.handles[request.key]
+        if not request.is_write:
+            return rts.invoke(proc, src, "read")
+        dst = self.handles[self._partner(request)]
+        amount = request.seq % 5 + 1
+        if self.transactional:
+            try:
+                result = rts.transact(proc, [(src, "withdraw", (amount,)),
+                                             (dst, "deposit", (amount,))],
+                                      on_guard="abort")
+            except TransactionAborted:
+                self.aborted += 1
+                return None
+            self.transfers += 1
+            return result
+        # Sequential fallback: deposit first, then an unguarded adjust, so
+        # no client ever blocks on a drained account.  Conserving, but not
+        # atomic — which is exactly the contrast the scenario documents.
+        rts.invoke(proc, dst, "deposit", (amount,))
+        self.transfers += 1
+        return rts.invoke(proc, src, "adjust", (-amount,))
+
+    def validate(self, rts, proc, totals):
+        balances = [rts.invoke(proc, handle, "read") for handle in self.handles]
+        total = sum(balances)
+        endowment = self.INITIAL_BALANCE * self.spec.num_keys
+        assert total == endowment, (f"bank transfers broke conservation: {total} != {endowment}")
+        facts: Dict[str, Any] = {
+            "bank_total": total,
+            "transfers_committed": self.transfers,
+            "transfers_aborted": self.aborted,
+            "transactional": self.transactional,
+        }
+        return facts
+
+
+@scenario("kv-index")
+class KVIndexed(Scenario):
+    """A table and its secondary index kept consistent atomically.
+
+    Every write stores the same entry into the primary table *and* the
+    index object as one transaction.  With concurrent writers racing on
+    hot keys, the mirror ``table[k] == index[k]`` (for every key, at any
+    settle point) survives only if the two stores really commit as one
+    — two sequential writes can interleave as T1.table, T2.table,
+    T2.index, T1.index and leave the index pointing at a value the table
+    no longer holds.  That makes the validation a direct serializability
+    check.  Runtimes without transactions use the sequential path, and
+    validation reports (rather than asserts) the mirror.
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        super().__init__(spec)
+        self.transactional = False
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(name=cls.kind, num_keys=8, read_fraction=0.7,
+                            popularity="zipfian", zipf_s=1.2)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.transactional = supports_transactions(rts)
+        table = rts.create_object(proc, DictObject, name="kv-primary")
+        index = rts.create_object(proc, DictObject, name="kv-index")
+        self.handles = [table, index]
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        table, index = self.handles
+        key = f"k{request.key}"
+        if not request.is_write:
+            return rts.invoke(proc, table, "lookup", (key,))
+        value = request.seq
+        if self.transactional:
+            return rts.transact(proc, [(table, "store", (key, value)),
+                                       (index, "store", (key, value))])
+        rts.invoke(proc, table, "store", (key, value))
+        return rts.invoke(proc, index, "store", (key, value))
+
+    def validate(self, rts, proc, totals):
+        table, index = self.handles
+        mismatches = 0
+        for k in range(self.spec.num_keys):
+            key = f"k{k}"
+            main = rts.invoke(proc, table, "lookup", (key,))
+            mirror = rts.invoke(proc, index, "lookup", (key,))
+            if main != mirror:
+                mismatches += 1
+        if self.transactional:
+            assert mismatches == 0, (f"secondary index diverged from table on {mismatches} keys")
+        return {"index_mismatches": mismatches,
+                "table_size": rts.invoke(proc, table, "size"),
+                "transactional": self.transactional}
+
+
+@scenario("queue-move")
+class QueueMove(Scenario):
+    """Producer traffic plus atomic inbox-to-outbox moves.
+
+    Even-sequence writes produce into the inbox; odd-sequence writes move
+    one item to the outbox via a transaction pairing the inbox's guarded
+    ``take`` with an outbox ``put`` — a move from an empty inbox aborts
+    cleanly instead of conjuring an item.  The invariant is exact flow
+    accounting: inbox dequeues equal outbox enqueues equal committed
+    moves, and the two backlogs partition everything produced.  Reads
+    poll queue sizes.  Without transactions the move degrades to
+    poll-then-put (skipping the put when the poll came up empty).
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        super().__init__(spec)
+        self.transactional = False
+        self.produced = 0
+        self.moves = 0
+        self.aborted = 0
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(name=cls.kind, num_keys=2, read_fraction=0.3)
+
+    def setup(self, rts: RuntimeSystem, proc: "SimProcess") -> None:
+        self.transactional = supports_transactions(rts)
+        inbox = rts.create_object(proc, PollableQueue, name="inbox")
+        outbox = rts.create_object(proc, PollableQueue, name="outbox")
+        self.handles = [inbox, outbox]
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        inbox, outbox = self.handles
+        if not request.is_write:
+            return rts.invoke(proc, self.handles[request.key % 2], "size")
+        if request.seq % 2 == 0:
+            self.produced += 1
+            return rts.invoke(proc, inbox, "put", (request.seq,))
+        if self.transactional:
+            try:
+                result = rts.transact(proc, [(inbox, "take"),
+                                             (outbox, "put", (request.seq,))],
+                                      on_guard="abort")
+            except TransactionAborted:
+                self.aborted += 1
+                return None
+            self.moves += 1
+            return result
+        item = rts.invoke(proc, inbox, "poll")
+        if item is None:
+            self.aborted += 1
+            return None
+        self.moves += 1
+        return rts.invoke(proc, outbox, "put", (item,))
+
+    def validate(self, rts, proc, totals):
+        inbox, outbox = self.handles
+        totals_in = rts.invoke(proc, inbox, "totals")
+        totals_out = rts.invoke(proc, outbox, "totals")
+        backlog_in = rts.invoke(proc, inbox, "size")
+        backlog_out = rts.invoke(proc, outbox, "size")
+        assert totals_in["enqueued"] == self.produced, (
+            f"inbox lost produced items: {totals_in['enqueued']} != "
+            f"{self.produced}")
+        assert totals_in["dequeued"] == totals_out["enqueued"] == self.moves, (
+            f"moves are not atomic: took {totals_in['dequeued']}, delivered "
+            f"{totals_out['enqueued']}, committed {self.moves}")
+        assert backlog_in == self.produced - self.moves
+        assert backlog_out == self.moves
+        return {"produced": self.produced, "moves": self.moves,
+                "moves_aborted": self.aborted, "inbox_backlog": backlog_in,
+                "outbox_backlog": backlog_out,
+                "transactional": self.transactional}

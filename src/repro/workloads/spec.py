@@ -136,18 +136,14 @@ class WorkloadSpec:
             raise ConfigurationError(
                 f"unknown client model {self.client_model!r} (use one of {CLIENT_MODELS})")
         if not 0.0 <= self.read_fraction <= 1.0:
-            raise ConfigurationError(
-                f"read_fraction must be in [0, 1], got {self.read_fraction}")
+            raise ConfigurationError(f"read_fraction must be in [0, 1], got {self.read_fraction}")
         if self.num_keys < 1:
             raise ConfigurationError(f"num_keys must be >= 1, got {self.num_keys}")
         if not 0 <= self.hot_keys <= self.num_keys:
-            raise ConfigurationError(
-                f"hot_keys must be in [0, num_keys], got {self.hot_keys}")
+            raise ConfigurationError(f"hot_keys must be in [0, num_keys], got {self.hot_keys}")
         if self.hot_keys and self.hot_read_fraction is None:
-            raise ConfigurationError(
-                "hot_keys needs hot_read_fraction to give the hot keys a mix")
-        if (self.hot_read_fraction is not None
-                and not 0.0 <= self.hot_read_fraction <= 1.0):
+            raise ConfigurationError("hot_keys needs hot_read_fraction to give the hot keys a mix")
+        if self.hot_read_fraction is not None and not 0.0 <= self.hot_read_fraction <= 1.0:
             raise ConfigurationError(
                 f"hot_read_fraction must be in [0, 1], got {self.hot_read_fraction}")
         if self.client_model == "open" and self.arrival_rate <= 0:
@@ -158,8 +154,7 @@ class WorkloadSpec:
                     "arrival_trace drives open-loop arrivals; set "
                     "client_model='open'")
             if self.phases:
-                raise ConfigurationError(
-                    "give either phases or arrival_trace, not both")
+                raise ConfigurationError("give either phases or arrival_trace, not both")
             for segment in self.arrival_trace:
                 if len(segment) != 2:
                     raise ConfigurationError(
@@ -172,8 +167,7 @@ class WorkloadSpec:
                         "positive duration and rate")
         for size in self.value_sizes:
             if not isinstance(size, int) or size < 1:
-                raise ConfigurationError(
-                    f"value sizes must be positive integers, got {size!r}")
+                raise ConfigurationError(f"value sizes must be positive integers, got {size!r}")
 
     # ------------------------------------------------------------------ #
 
@@ -318,8 +312,7 @@ def traced_request_stream(spec: WorkloadSpec,
         if key < spec.hot_keys:
             read_fraction = spec.hot_read_fraction
         is_write = rng.random() >= read_fraction
-        yield Request(seq=seq, key=key, is_write=is_write,
-                      phase=segment), arrival
+        yield Request(seq=seq, key=key, is_write=is_write, phase=segment), arrival
         seq += 1
 
 

@@ -26,6 +26,11 @@ BASELINES = {
     "bench_rebalancing.py": "rebalance.json",
     "bench_primary_recovery.py": "recovery.json",
     "bench_elasticity.py": "elasticity.json",
+    # PR 8: the transaction layer is created lazily on the first
+    # transact() call, so every *other* smoke above must stay
+    # byte-identical to its pre-transaction baseline — while this one
+    # pins the transactional paths themselves.
+    "bench_transactions.py": "transactions.json",
 }
 
 

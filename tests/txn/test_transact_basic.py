@@ -1,0 +1,238 @@
+"""Basic semantics of ``rts.transact``: atomicity on every commit path.
+
+Four commit shapes are pinned here — same-shard (one ordered record),
+cross-shard order/order (2PC through two broadcast orders), seat/seat
+(2PC over primary-copy seats), and the mixed order/seat case — plus the
+all-or-nothing abort semantics of guards and the Orca-level surface.
+Crash interleavings live in ``test_txn_crash_churn.py``.
+"""
+
+from __future__ import annotations
+
+from repro.amoeba.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import ConfigurationError, TransactionAborted
+from repro.orca.program import OrcaProgram
+from repro.rts.hybrid import HybridRts
+from repro.rts.object_model import ObjectSpec, operation
+
+
+class Account(ObjectSpec):
+    def init(self, balance=0):
+        self.balance = balance
+
+    @operation(write=False)
+    def read(self):
+        return self.balance
+
+    @operation(write=True, guard=lambda self, amount: self.balance >= amount)
+    def withdraw(self, amount):
+        self.balance -= amount
+        return self.balance
+
+    @operation(write=True)
+    def deposit(self, amount):
+        self.balance += amount
+        return self.balance
+
+
+def build(num_shards, policies, num_accounts=2, seed=7, num_nodes=3):
+    """A cluster with ``num_accounts`` funded accounts under ``policies``."""
+    cluster = Cluster(ClusterConfig(num_nodes=num_nodes, seed=seed))
+    rts = HybridRts(cluster, default_policy="broadcast",
+                    num_shards=num_shards)
+    handles = {}
+
+    def setup():
+        proc = cluster.sim.current_process
+        for i in range(num_accounts):
+            handles[i] = rts.create_object(
+                proc, Account, (100,), name=f"acct{i}",
+                policy=policies[i % len(policies)])
+
+    cluster.node(0).kernel.spawn_thread(setup)
+    cluster.run()
+    return cluster, rts, handles
+
+
+def run_movers(cluster, rts, handles, rounds=5):
+    """Two concurrent clients exchanging money in opposite directions."""
+
+    def mover(src, dst):
+        proc = cluster.sim.current_process
+        for _ in range(rounds):
+            rts.transact(proc, [(handles[src], "withdraw", (10,)),
+                                (handles[dst], "deposit", (10,))])
+
+    cluster.node(1).kernel.spawn_thread(mover, 0, 1)
+    cluster.node(2).kernel.spawn_thread(mover, 1, 0)
+    cluster.run()
+
+
+def read_balances(cluster, rts, handles):
+    out = {}
+
+    def reader():
+        proc = cluster.sim.current_process
+        for i, handle in handles.items():
+            out[i] = rts.invoke(proc, handle, "read")
+
+    cluster.node(0).kernel.spawn_thread(reader)
+    cluster.run()
+    return out
+
+
+class TestCommitPaths:
+    def test_same_shard_group_commits_as_one_record(self):
+        cluster, rts, handles = build(num_shards=1, policies=("broadcast",))
+        try:
+            run_movers(cluster, rts, handles)
+            balances = read_balances(cluster, rts, handles)
+            assert sum(balances.values()) == 200
+            assert rts.stats.txn_commits == 10
+            assert rts.stats.txn_same_shard_commits == 10
+            assert rts.stats.txn_cross_shard_commits == 0
+        finally:
+            cluster.shutdown()
+
+    def test_cross_shard_two_phase_over_broadcast_orders(self):
+        cluster, rts, handles = build(num_shards=2, policies=("broadcast",))
+        try:
+            assert rts.shard_of(handles[0]) != rts.shard_of(handles[1])
+            run_movers(cluster, rts, handles)
+            balances = read_balances(cluster, rts, handles)
+            assert sum(balances.values()) == 200
+            assert rts.stats.txn_commits == 10
+            assert rts.stats.txn_cross_shard_commits == 10
+        finally:
+            cluster.shutdown()
+
+    def test_seat_locked_two_phase_over_primary_copies(self):
+        cluster, rts, handles = build(
+            num_shards=2, policies=("primary-invalidate", "primary-update"))
+        try:
+            run_movers(cluster, rts, handles)
+            balances = read_balances(cluster, rts, handles)
+            assert sum(balances.values()) == 200
+            assert rts.stats.txn_commits == 10
+            assert rts.stats.txn_cross_shard_commits == 10
+        finally:
+            cluster.shutdown()
+
+    def test_mixed_order_and_seat_participants(self):
+        cluster, rts, handles = build(
+            num_shards=2, policies=("broadcast", "primary-invalidate"))
+        try:
+            run_movers(cluster, rts, handles)
+            balances = read_balances(cluster, rts, handles)
+            assert sum(balances.values()) == 200
+            assert rts.stats.txn_commits == 10
+        finally:
+            cluster.shutdown()
+
+    def test_results_come_back_in_op_order(self):
+        cluster, rts, handles = build(num_shards=2, policies=("broadcast",))
+        try:
+            results = {}
+
+            def client():
+                proc = cluster.sim.current_process
+                results["r"] = rts.transact(
+                    proc, [(handles[0], "withdraw", (30,)),
+                           (handles[1], "deposit", (30,)),
+                           (handles[0], "read")])
+
+            cluster.node(1).kernel.spawn_thread(client)
+            cluster.run()
+            assert results["r"] == [70, 130, 70]
+        finally:
+            cluster.shutdown()
+
+
+class TestAborts:
+    def test_guard_failure_aborts_the_whole_group(self):
+        cluster, rts, handles = build(num_shards=2, policies=("broadcast",))
+        try:
+            outcome = {}
+
+            def client():
+                proc = cluster.sim.current_process
+                try:
+                    rts.transact(proc, [(handles[0], "withdraw", (500,)),
+                                        (handles[1], "deposit", (500,))],
+                                 on_guard="abort")
+                except TransactionAborted as exc:
+                    outcome["error"] = exc
+
+            cluster.node(1).kernel.spawn_thread(client)
+            cluster.run()
+            assert "error" in outcome
+            balances = read_balances(cluster, rts, handles)
+            # All-or-nothing: the deposit never applied either.
+            assert balances == {0: 100, 1: 100}
+            assert rts.stats.txn_commits == 0
+            assert rts.stats.txn_aborts == 1
+        finally:
+            cluster.shutdown()
+
+    def test_bad_on_guard_and_bad_ops_are_rejected_eagerly(self):
+        cluster, rts, handles = build(num_shards=1, policies=("broadcast",))
+        try:
+            caught = {}
+
+            def client():
+                proc = cluster.sim.current_process
+                try:
+                    rts.transact(proc, [(handles[0], "withdraw", (1,))],
+                                 on_guard="explode")
+                except ConfigurationError as exc:
+                    caught["on_guard"] = exc
+                try:
+                    rts.transact(proc, [(handles[0], "no_such_op")])
+                except Exception as exc:
+                    caught["bad_op"] = exc
+                try:
+                    rts.transact(proc, [])
+                except ConfigurationError as exc:
+                    caught["empty"] = exc
+
+            cluster.node(1).kernel.spawn_thread(client)
+            cluster.run()
+            assert set(caught) == {"on_guard", "bad_op", "empty"}
+            # Nothing was applied by any rejected call.
+            assert read_balances(cluster, rts, handles)[0] == 100
+        finally:
+            cluster.shutdown()
+
+
+class TestOrcaSurface:
+    def test_orca_process_transact_delegates_to_the_runtime(self):
+        def main(proc):
+            a = proc.new_object(Account, 100, name="a")
+            b = proc.new_object(Account, 100, name="b")
+            results = proc.transact([(a, "withdraw", (25,)),
+                                     (b, "deposit", (25,))])
+            return results, (a.read(), b.read())
+
+        program = OrcaProgram(main, ClusterConfig(num_nodes=3, seed=7),
+                              rts_options={"num_shards": 2})
+        result = program.run()
+        assert result.value == ([75, 125], (75, 125))
+
+    def test_runtimes_without_transactions_are_detectable(self):
+        # transact() sequences its records through the broadcast groups, so
+        # the workload scenarios gate their transactional mode on the method
+        # *and* a broadcast-capable interconnect.  The baselines run on the
+        # switched network and must be detected as non-transactional.
+        from repro.workloads.scenarios import supports_transactions
+        from repro.workloads.runner import build_runtime, network_type_for
+
+        for kind, expected in (("broadcast", True), ("central", False),
+                               ("ivy", False)):
+            cluster = Cluster(ClusterConfig(num_nodes=2, seed=3),
+                              network_type=network_type_for(kind))
+            try:
+                rts = build_runtime(cluster, kind)
+                assert supports_transactions(rts) is expected, kind
+            finally:
+                cluster.shutdown()

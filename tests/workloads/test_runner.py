@@ -173,3 +173,54 @@ class TestCrossRuntimeConsistency:
                                   runtime=runtime).run()
             facts = report.scenario_facts
             assert facts["enqueued"] - facts["dequeued"] == facts["backlog"]
+
+
+class TestTransactionalScenarios:
+    """The PR 8 scenario kinds: atomic on a transactional runtime, degraded
+    (but still conserving / self-consistent) everywhere else."""
+
+    def test_bank_transfer_is_atomic_on_broadcast(self):
+        spec = WorkloadSpec(name="bank", num_keys=4, read_fraction=0.5,
+                            ops_per_client=12, think_time=0.0002)
+        report = small_runner("bank-transfer", workload=spec,
+                              runtime="broadcast", num_shards=2).run()
+        facts = report.scenario_facts
+        assert facts["transactional"] is True
+        assert facts["bank_total"] == 4 * 100
+        assert facts["transfers_committed"] + facts["transfers_aborted"] == report.writes
+        # Commit counters surface through the summary and the fingerprint.
+        transactions = report.rts_summary["transactions"]
+        assert transactions["commits"] == facts["transfers_committed"]
+        assert report.fingerprint()["transactions"]["commits"] == transactions["commits"]
+
+    def test_bank_transfer_falls_back_on_non_transactional_runtimes(self):
+        spec = WorkloadSpec(name="bank", num_keys=4, read_fraction=0.5,
+                            ops_per_client=12, think_time=0.0002)
+        report = small_runner("bank-transfer", workload=spec,
+                              runtime="central").run()
+        facts = report.scenario_facts
+        assert facts["transactional"] is False
+        assert facts["bank_total"] == 4 * 100
+        # No transaction ever ran, so the summary carries no block and the
+        # fingerprint stays shaped exactly like a pre-transaction report.
+        assert "transactions" not in report.rts_summary
+        assert "transactions" not in report.fingerprint()
+
+    def test_kv_index_mirror_stays_consistent(self):
+        spec = WorkloadSpec(name="kv", num_keys=6, read_fraction=0.4,
+                            ops_per_client=12, think_time=0.0002)
+        report = small_runner("kv-index", workload=spec,
+                              runtime="broadcast", num_shards=2).run()
+        facts = report.scenario_facts
+        assert facts["transactional"] is True
+        assert facts["index_mismatches"] == 0
+
+    def test_queue_move_accounts_for_every_item(self):
+        spec = WorkloadSpec(name="qm", num_keys=2, read_fraction=0.25,
+                            ops_per_client=16, think_time=0.0002)
+        for runtime in ("broadcast", "central"):
+            report = small_runner("queue-move", workload=spec,
+                                  runtime=runtime, seed=13).run()
+            facts = report.scenario_facts
+            assert facts["inbox_backlog"] == facts["produced"] - facts["moves"]
+            assert facts["outbox_backlog"] == facts["moves"]

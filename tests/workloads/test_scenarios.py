@@ -9,9 +9,10 @@ from repro.rts.object_model import execute_operation
 from repro.workloads import PollableQueue, Scenario, ScenarioRegistry, WorkloadSpec
 from repro.workloads.scenarios import scenario
 
-BUILTIN_KINDS = ["counter-farm", "fifo-queue", "hot-spot", "hotspot-shift",
-                 "kv-table", "policy-mix", "primary-churn",
-                 "read-mostly-catalog", "rolling-restart", "scale-in"]
+BUILTIN_KINDS = ["bank-transfer", "counter-farm", "fifo-queue", "hot-spot",
+                 "hotspot-shift", "kv-index", "kv-table", "policy-mix",
+                 "primary-churn", "queue-move", "read-mostly-catalog",
+                 "rolling-restart", "scale-in"]
 
 
 class TestRegistry:
