@@ -15,11 +15,22 @@ virtual time, so the default +/-15% tolerance is generous headroom for
 intentional performance changes; genuine regressions blow straight
 through it.
 
+A second mode gates **wall-clock** time: ``--budget`` takes a committed
+budget file (cell name -> max seconds) and ``--timings`` the measured
+timings JSON a benchmark emitted (e.g. ``bench_kernel_scaling.py
+--timings``).  Every budgeted cell must be present and inside its budget.
+Budgets are set with generous headroom over a healthy run — they exist to
+catch the kernel hot path regressing by integer factors, not CI noise.
+
 Usage::
 
     python scripts/check_bench_regression.py \
         --baseline benchmarks/baselines/workloads.json \
         --candidate smoke-1.json [--tolerance 0.15]
+
+    python scripts/check_bench_regression.py \
+        --budget benchmarks/baselines/wallclock_budget.json \
+        --timings timings.json
 """
 
 from __future__ import annotations
@@ -94,13 +105,46 @@ def compare(baseline, candidate, tolerance):
     return problems
 
 
+def check_budget(budget, timings):
+    """Return problems for budgeted cells that are missing or over budget."""
+    problems = []
+    for cell, limit in sorted(budget.items()):
+        measured = timings.get(cell)
+        if not isinstance(measured, (int, float)):
+            problems.append(f"{cell}: no measured timing (budget {limit}s)")
+        elif float(measured) > float(limit):
+            problems.append(f"{cell}: {float(measured):.3f}s exceeds budget {float(limit):.3f}s")
+    return problems
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--baseline")
+    parser.add_argument("--candidate")
     parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument("--budget", help="committed wall-clock budget file (cell -> max s)")
+    parser.add_argument("--timings", help="measured wall-clock timings to gate with --budget")
     args = parser.parse_args(argv)
 
+    if bool(args.budget) != bool(args.timings):
+        parser.error("--budget and --timings must be used together")
+    if args.budget:
+        with open(args.budget) as fh:
+            budget = json.load(fh)
+        with open(args.timings) as fh:
+            timings = json.load(fh)
+        problems = check_budget(budget, timings)
+        label = f"{args.timings} vs budget {args.budget}"
+        if problems:
+            print(f"OVER BUDGET: {label}")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"ok: {label} ({len(budget)} cells inside their wall-clock budget)")
+        return 0
+
+    if not args.baseline or not args.candidate:
+        parser.error("either --baseline/--candidate or --budget/--timings is required")
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     with open(args.candidate) as fh:

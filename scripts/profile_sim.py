@@ -1,0 +1,113 @@
+"""Profile the simulator hot path over a parameterised benchmark cell.
+
+Runs one broadcast-heavy workload cell (the same shape as
+``benchmarks/bench_kernel_scaling.py``) under ``cProfile`` and prints a
+top-N table by cumulative and by internal time, so "make the kernel faster"
+always starts from a measurement instead of a hunch.  CI can archive the
+output as an artifact to track where the time goes across commits.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_sim.py
+    PYTHONPATH=src python scripts/profile_sim.py --nodes 64 --ops 20 --top 40
+    PYTHONPATH=src python scripts/profile_sim.py --out profile.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import os
+import pstats
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - script-mode bootstrap
+    sys.path.insert(0, _SRC)
+
+from repro.config import ClusterConfig, CostModel
+from repro.workloads import WorkloadRunner, WorkloadSpec
+
+
+def build_cell(args: argparse.Namespace):
+    """The profiled workload: sequenced write broadcasts, loaded sequencer."""
+    cost_model = CostModel().with_overrides(cpu={"sequencing_cost": args.sequencing_cost})
+    spec = WorkloadSpec(
+        name="counter-farm-writes",
+        num_keys=32,
+        read_fraction=0.0,
+        ops_per_client=args.ops,
+        think_time=args.think_time,
+    )
+
+    def cell():
+        runner = WorkloadRunner(
+            "counter-farm",
+            workload=spec,
+            runtime="broadcast",
+            num_nodes=args.nodes,
+            clients_per_node=args.clients,
+            seed=args.seed,
+            num_shards=args.shards,
+            config=ClusterConfig(num_nodes=args.nodes, seed=args.seed, cost_model=cost_model),
+        )
+        return runner.run()
+
+    return cell
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile the discrete-event hot path over one bench cell"
+    )
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--clients", type=int, default=6, help="closed-loop clients per node")
+    parser.add_argument("--ops", type=int, default=40, help="ops per client")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--think-time", type=float, default=0.0005)
+    parser.add_argument(
+        "--sequencing-cost",
+        type=float,
+        default=2.0e-4,
+        help="per-message sequencer service time (seconds)",
+    )
+    parser.add_argument("--top", type=int, default=25, help="rows per ranking table")
+    parser.add_argument("--out", default=None, help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    cell = build_cell(args)
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    report = cell()
+    profiler.disable()
+    wall = time.perf_counter() - started
+
+    buf = io.StringIO()
+    buf.write(
+        f"profile_sim: {args.nodes} nodes x {args.clients} clients x "
+        f"{args.ops} ops (shards={args.shards}, seed={args.seed})\n"
+        f"wall={wall:.3f}s ops={report.total_ops} "
+        f"virtual_throughput={report.throughput:.1f} ops/s\n\n"
+    )
+    stats = pstats.Stats(profiler, stream=buf)
+    buf.write(f"=== top {args.top} by cumulative time ===\n")
+    stats.sort_stats("cumulative").print_stats(args.top)
+    buf.write(f"\n=== top {args.top} by internal time ===\n")
+    stats.sort_stats("tottime").print_stats(args.top)
+
+    text = buf.getvalue()
+    sys.stdout.write(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

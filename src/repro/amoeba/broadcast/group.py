@@ -321,35 +321,49 @@ class GroupMember:
         self.node.send(msg)
 
     def _deliver_ready(self) -> None:
+        history = self._delivered_history
+        history_size = self.group.params.history_size
+        gap_timers = self._gap_timers
+        gap_attempts = self._gap_attempts
+        pending_sends = self._pending_sends
+        stats = self.group.stats
+        node_id = self.node_id
+        sim = self.node.sim
+        tracing = sim.tracer.enabled
         for delivered in self.engine.pop_deliverable():
-            self._delivered_history[delivered.seqno] = HistoryEntry(
-                delivered.seqno, delivered.origin, delivered.uid, delivered.payload, delivered.size
+            seqno = delivered.seqno
+            history[seqno] = HistoryEntry(
+                seqno, delivered.origin, delivered.uid, delivered.payload, delivered.size
             )
-            while len(self._delivered_history) > self.group.params.history_size:
-                self._delivered_history.popitem(last=False)
-            timer = self._gap_timers.pop(delivered.seqno, None)
-            if timer is not None:
-                self.node.kernel.cancel_timer(timer)
-            self._gap_attempts.pop(delivered.seqno, None)
-            self._last_delivery_time = self.node.sim.now
-            record = self._pending_sends.get(delivered.uid)
-            if record is not None and delivered.origin == self.node_id:
-                record.delivered = True
-                if record.retry_timer is not None:
-                    self.node.kernel.cancel_timer(record.retry_timer)
-                self._pending_sends.pop(delivered.uid, None)
-                if record.on_delivered is not None:
-                    record.on_delivered(delivered.seqno)
-            self.group.stats.deliveries += 1
-            self.group.stats.per_member_deliveries[self.node_id] = (
-                self.group.stats.per_member_deliveries.get(self.node_id, 0) + 1
+            while len(history) > history_size:
+                history.popitem(last=False)
+            if gap_timers:
+                timer = gap_timers.pop(seqno, None)
+                if timer is not None:
+                    self.node.kernel.cancel_timer(timer)
+            if gap_attempts:
+                gap_attempts.pop(seqno, None)
+            self._last_delivery_time = sim.now
+            if delivered.origin == node_id:
+                record = pending_sends.get(delivered.uid)
+                if record is not None:
+                    record.delivered = True
+                    if record.retry_timer is not None:
+                        self.node.kernel.cancel_timer(record.retry_timer)
+                    pending_sends.pop(delivered.uid, None)
+                    if record.on_delivered is not None:
+                        record.on_delivered(seqno)
+            stats.deliveries += 1
+            stats.per_member_deliveries[node_id] = (
+                stats.per_member_deliveries.get(node_id, 0) + 1
             )
-            self.node.sim.trace(
-                "grp.deliver",
-                f"node {self.node_id} delivers #{delivered.seqno}",
-                origin=delivered.origin,
-                seqno=delivered.seqno,
-            )
+            if tracing:
+                sim.trace(
+                    "grp.deliver",
+                    f"node {node_id} delivers #{seqno}",
+                    origin=delivered.origin,
+                    seqno=seqno,
+                )
             if self.delivery_handler is not None:
                 self.delivery_handler(delivered)
 

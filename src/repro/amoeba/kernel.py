@@ -91,14 +91,17 @@ class AmoebaKernel:
         """Arm a one-shot timer; returns a timer id usable with :meth:`cancel_timer`."""
         self._timer_ids += 1
         timer_id = self._timer_ids
-
-        def _fire() -> None:
-            self._timers.pop(timer_id, None)
-            if self.node.alive:
-                callback(*args)
-
-        self._timers[timer_id] = self.sim.schedule(delay, _fire)
+        # A bound method with plain args, not a per-timer closure: timers are
+        # armed (and usually cancelled) once per protocol message.
+        self._timers[timer_id] = self.sim.schedule(
+            delay, self._fire_timer, timer_id, callback, args
+        )
         return timer_id
+
+    def _fire_timer(self, timer_id: int, callback: Callable[..., Any], args: tuple) -> None:
+        self._timers.pop(timer_id, None)
+        if self.node.alive:
+            callback(*args)
 
     def cancel_timer(self, timer_id: int) -> None:
         """Disarm a timer if it has not fired yet."""

@@ -19,6 +19,15 @@ _msg_counter = itertools.count(1)
 BROADCAST = None
 
 
+#: Keys-portion sizes for dict payloads keyed by their tuple of (all-``str``)
+#: keys: protocol payloads reuse a handful of header shapes with interned key
+#: strings, so the keys' contribution is computed once per shape.  Restricted
+#: to exact-``str`` keys because only their size is a pure function of
+#: equality (an object with a custom ``__eq__``/``marshal_size`` is not).
+_DICT_SHAPE_SIZES: Dict[tuple, int] = {}
+_DICT_SHAPE_CACHE_LIMIT = 4096
+
+
 def estimate_size(value: Any) -> int:
     """Estimate the marshalled size, in bytes, of a Python value.
 
@@ -32,21 +41,63 @@ def estimate_size(value: Any) -> int:
     * dicts: 8 bytes of framing plus keys and values;
     * objects exposing ``marshal_size()``: whatever that reports;
     * anything else: 64 bytes (a conservative default for small records).
+
+    The scalar cases are answered with exact-type checks (``bool`` first:
+    it is an ``int`` subclass); everything else goes through an iterative
+    walk, so arbitrarily deep payloads cannot hit the recursion limit.
     """
-    if value is None or isinstance(value, bool):
+    if value is None or value is True or value is False:
         return 1
-    if isinstance(value, (int, float)):
+    t = type(value)
+    if t is int or t is float:
         return 8
-    if isinstance(value, (str, bytes, bytearray)):
-        return max(1, len(value))
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return 8 + sum(estimate_size(item) for item in value)
-    if isinstance(value, dict):
-        return 8 + sum(estimate_size(k) + estimate_size(v) for k, v in value.items())
-    marshal_size = getattr(value, "marshal_size", None)
-    if callable(marshal_size):
-        return int(marshal_size())
-    return 64
+    if t is str or t is bytes:
+        length = len(value)
+        return length if length > 0 else 1
+    return _estimate_structured(value)
+
+
+def _estimate_structured(value: Any) -> int:
+    """The non-scalar (or subclassed-scalar) cases of :func:`estimate_size`.
+
+    An explicit stack replaces recursion.  Element order never matters —
+    integer addition commutes — so set/dict iteration order is irrelevant.
+    """
+    total = 0
+    stack = [value]
+    pop = stack.pop
+    while stack:
+        v = pop()
+        if v is None or isinstance(v, bool):
+            total += 1
+        elif isinstance(v, (int, float)):
+            total += 8
+        elif isinstance(v, (str, bytes, bytearray)):
+            total += max(1, len(v))
+        elif isinstance(v, (list, tuple, set, frozenset)):
+            total += 8
+            stack.extend(v)
+        elif isinstance(v, dict):
+            total += 8
+            if v:
+                keys = tuple(v)
+                if all(type(k) is str for k in keys):
+                    keys_size = _DICT_SHAPE_SIZES.get(keys)
+                    if keys_size is None:
+                        keys_size = sum(max(1, len(k)) for k in keys)
+                        if len(_DICT_SHAPE_SIZES) < _DICT_SHAPE_CACHE_LIMIT:
+                            _DICT_SHAPE_SIZES[keys] = keys_size
+                    total += keys_size
+                else:
+                    stack.extend(keys)
+                stack.extend(v.values())
+        else:
+            marshal_size = getattr(v, "marshal_size", None)
+            if callable(marshal_size):
+                total += int(marshal_size())
+            else:
+                total += 64
+    return total
 
 
 @dataclass
@@ -88,7 +139,14 @@ class Message:
         return self.dst is BROADCAST
 
     def reply_to(self, kind: str, payload: Any = None, size: int = 0, **headers: Any) -> "Message":
-        """Build a unicast message back to this message's sender."""
+        """Build a unicast message back to this message's sender.
+
+        A reply that echoes this message's payload object reuses this
+        message's (already computed or caller-supplied) size instead of
+        walking the payload a second time.
+        """
+        if size <= 0 and payload is not None and payload is self.payload:
+            size = self.size
         merged = {"in_reply_to": self.msg_id}
         merged.update(headers)
         return Message(

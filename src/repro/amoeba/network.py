@@ -93,6 +93,9 @@ class BaseNetwork(Transport):
         self.name = name
         self.stats = NetworkStats()
         self._nics: Dict[int, "NetworkInterface"] = {}
+        #: Sorted node ids, rebuilt on attach: the broadcast fan-out walks
+        #: this every packet, and nodes only ever attach (never detach).
+        self._node_order: List[int] = []
         self._loss_rng = sim.rng.stream(f"{name}.loss")
 
     # -- attachment ------------------------------------------------------ #
@@ -102,6 +105,7 @@ class BaseNetwork(Transport):
         if nic.node_id in self._nics:
             raise NetworkError(f"node {nic.node_id} already attached to {self.name}")
         self._nics[nic.node_id] = nic
+        self._node_order = sorted(self._nics)
         nic.network = self
 
     def nic_for(self, node_id: int) -> "NetworkInterface":
@@ -112,7 +116,7 @@ class BaseNetwork(Transport):
 
     @property
     def node_ids(self) -> List[int]:
-        return sorted(self._nics)
+        return list(self._node_order)
 
     def peer_alive(self, node_id: int) -> bool:
         """Is the machine behind ``node_id`` up?
@@ -169,11 +173,40 @@ class BaseNetwork(Transport):
         self.sim.schedule(self.params.latency, nic.receive_packet, packet)
 
     def _broadcast_packet(self, packet: Packet) -> None:
+        """Fan one packet out to every attached NIC except the sender.
+
+        All copies share the same propagation latency, so instead of one
+        scheduled event per member (the O(members) hot spot at 64+ nodes)
+        the surviving destinations are delivered by **one** event that calls
+        each NIC in ascending node-id order.  The per-destination events
+        would have been scheduled back to back with consecutive sequence
+        numbers — nothing could interleave between them — so firing them
+        inside one callback, in the same order, is exactly equivalent.
+        Loss draws happen here, per destination in ascending id order, to
+        keep the rng stream's draw sequence identical to the per-event
+        implementation.
+        """
         sender = packet.message.src
-        for node_id in self.node_ids:
-            if node_id == sender:
-                continue
-            self._deliver_packet(packet, node_id)
+        nics = self._nics
+        loss_rate = self.params.loss_rate
+        if loss_rate > 0.0:
+            rng = self._loss_rng
+            targets = []
+            for node_id in self._node_order:
+                if node_id == sender:
+                    continue
+                if rng.random() < loss_rate:
+                    self.stats.packets_dropped += 1
+                else:
+                    targets.append(nics[node_id])
+        else:
+            targets = [nics[nid] for nid in self._node_order if nid != sender]
+        if targets:
+            self.sim.schedule(self.params.latency, self._deliver_broadcast, packet, targets)
+
+    def _deliver_broadcast(self, packet: Packet, targets: List["NetworkInterface"]) -> None:
+        for nic in targets:
+            nic.receive_packet(packet)
 
 
 class EthernetNetwork(BaseNetwork):

@@ -81,13 +81,15 @@ class NetworkInterface(TransportEndpoint):
         node = self.node
         self.stats.messages_received += 1
         node.charge_overhead(node.cost_model.cpu.protocol_cost)
-        node.sim.trace(
-            "net.deliver",
-            f"node {node.node_id} received {msg.kind}",
-            msg_id=msg.msg_id,
-            src=msg.src,
-            size=msg.size,
-        )
+        if node.sim.tracer.enabled:
+            # Guarded: the f-string below is per-delivery hot-path work.
+            node.sim.trace(
+                "net.deliver",
+                f"node {node.node_id} received {msg.kind}",
+                msg_id=msg.msg_id,
+                src=msg.src,
+                size=msg.size,
+            )
         node.dispatch(msg)
 
     def deliver(self, msg: Message) -> None:

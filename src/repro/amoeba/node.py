@@ -132,8 +132,10 @@ class Node:
         self, dst: Optional[int], kind: str, payload: Any = None, size: int = 0, **headers: Any
     ) -> Message:
         """Convenience constructor stamping this node as the source."""
+        # ``headers`` is already a fresh dict (built from the ** call), so it
+        # is handed to the Message without another copy.
         return Message(
-            src=self.node_id, dst=dst, kind=kind, payload=payload, size=size, headers=dict(headers)
+            src=self.node_id, dst=dst, kind=kind, payload=payload, size=size, headers=headers
         )
 
     # ------------------------------------------------------------------ #

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from sys import getrefcount
 from typing import Any, Callable, List, Optional
 
 from ..errors import DeadlockError, SimulationError
@@ -9,6 +10,10 @@ from .events import Event, EventQueue
 from .process import SimProcess
 from .rng import RngRegistry
 from .trace import Tracer
+
+#: Upper bound on the fired-event free list; beyond this, events are left to
+#: the garbage collector like before pooling existed.
+_EVENT_POOL_LIMIT = 1024
 
 
 class Simulator:
@@ -44,6 +49,16 @@ class Simulator:
         self._current_process: Optional[SimProcess] = None
         self._running = False
         self._events_processed = 0
+        #: Free list of fired events with no outside references, recycled by
+        #: :meth:`schedule` / :meth:`schedule_at` to avoid an allocation per
+        #: event on the hot path.
+        self._event_pool: List[Event] = []
+        #: True while an unbounded :meth:`run` is active: lets
+        #: :meth:`SimProcess.hold` advance the clock directly when nothing
+        #: can fire before the process would resume (see ``process.py``).
+        #: Must stay False under ``until``/``max_events`` bounds, which the
+        #: fast path would silently overshoot.
+        self._fast_hold_ok = False
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -55,7 +70,21 @@ class Simulator:
         """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback, *args, **kwargs)
+        queue = self._queue
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = self.now + delay
+            event.seq = queue.next_seq()
+            event.callback = callback
+            event.args = args
+            event.kwargs = kwargs or None
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(self.now + delay, queue.next_seq(), callback, args, kwargs)
+        queue.push(event)
+        return event
 
     def schedule_at(
         self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any
@@ -65,8 +94,20 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule an event at {time} before current time {self.now}"
             )
-        event = Event(time, self._queue.next_seq(), callback, args, kwargs)
-        self._queue.push(event)
+        queue = self._queue
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = queue.next_seq()
+            event.callback = callback
+            event.args = args
+            event.kwargs = kwargs or None
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(time, queue.next_seq(), callback, args, kwargs)
+        queue.push(event)
         return event
 
     def cancel(self, event: Event) -> None:
@@ -91,7 +132,11 @@ class Simulator:
         """Create a :class:`SimProcess` running ``target`` and schedule its start."""
         proc_name = name or getattr(target, "__name__", "process")
         proc = SimProcess(
-            self, target, args, kwargs, name=f"{proc_name}#{len(self._processes)}",
+            self,
+            target,
+            args,
+            kwargs,
+            name=f"{proc_name}#{len(self._processes)}",
             daemon=daemon,
         )
         self._processes.append(proc)
@@ -137,27 +182,70 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
+        self._fast_hold_ok = until is None and max_events is None
         try:
-            fired = 0
-            while self._queue:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    return self.now
-                event = self._queue.pop()
-                self.now = event.time
-                event.fire()
-                self._events_processed += 1
-                fired += 1
-                if max_events is not None and fired >= max_events:
+            if self._fast_hold_ok:
+                self._run_unbounded()
+            else:
+                if self._run_bounded(until, max_events):
                     return self.now
             if check_deadlock:
                 self._check_deadlock()
             return self.now
         finally:
             self._running = False
+            self._fast_hold_ok = False
+
+    def _run_unbounded(self) -> None:
+        """The monomorphic inner loop: no bound checks, inlined dispatch.
+
+        ``pop_next`` only yields live events, so the loop fires them without
+        re-checking cancellation.  ``fired`` is set *before* the callback so
+        a callback cancelling its own event cannot corrupt the live count.
+        Events nobody else references (refcount: the loop local plus the
+        ``getrefcount`` argument) are recycled through the free list.
+        """
+        pop_next = self._queue.pop_next
+        pool = self._event_pool
+        fired = 0
+        while True:
+            event = pop_next()
+            if event is None:
+                break
+            self.now = event.time
+            event.fired = True
+            kwargs = event.kwargs
+            if kwargs:
+                event.callback(*event.args, **kwargs)
+            else:
+                event.callback(*event.args)
+            fired += 1
+            if getrefcount(event) == 2 and len(pool) < _EVENT_POOL_LIMIT:
+                event.callback = None
+                event.args = ()
+                event.kwargs = None
+                pool.append(event)
+        self._events_processed += fired
+
+    def _run_bounded(self, until: Optional[float], max_events: Optional[int]) -> bool:
+        """The bounded loop; returns True when a bound cut the run short."""
+        queue = self._queue
+        fired = 0
+        while queue:
+            next_time = queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                return True
+            event = queue.pop()
+            self.now = event.time
+            event.fire()
+            self._events_processed += 1
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                return True
+        return False
 
     def run_until_complete(self, processes: List[SimProcess], **run_kwargs: Any) -> float:
         """Run until every process in ``processes`` has terminated."""
@@ -165,9 +253,7 @@ class Simulator:
         still_alive = [p for p in processes if p.alive]
         if still_alive:
             names = ", ".join(p.name for p in still_alive)
-            raise DeadlockError(
-                f"simulation ended at t={final:.6f} with live processes: {names}"
-            )
+            raise DeadlockError(f"simulation ended at t={final:.6f} with live processes: {names}")
         return final
 
     def _check_deadlock(self) -> None:
@@ -176,8 +262,10 @@ class Simulator:
         # suspended mid-protocol when its own node crashes).  Its OS thread
         # is reclaimed by shutdown(), like every other leftover.
         blocked = [
-            p for p in self._processes
-            if p.state == "blocked" and not p.daemon
+            p
+            for p in self._processes
+            if p.state == "blocked"
+            and not p.daemon
             and getattr(getattr(p, "node", None), "alive", True)
         ]
         if blocked:

@@ -66,11 +66,16 @@ class SimProcess:
         self._killed = False
         self._wake_value: Any = None
         self._completion_waiters: List[Callable[["SimProcess"], None]] = []
-        self._resume_evt = threading.Event()
-        self._yield_evt = threading.Event()
-        self._thread = threading.Thread(
-            target=self._bootstrap, name=f"sim:{name}", daemon=True
-        )
+        # Control-transfer handshake: two raw locks used as binary
+        # semaphores.  The kernel and the process strictly alternate
+        # (release the peer's lock, block on one's own), so each transfer
+        # costs two lock operations instead of the ~six a pair of
+        # ``threading.Event`` set/wait/clear cycles performs.
+        self._resume_sem = threading.Lock()
+        self._resume_sem.acquire()
+        self._yield_sem = threading.Lock()
+        self._yield_sem.acquire()
+        self._thread = threading.Thread(target=self._bootstrap, name=f"sim:{name}", daemon=True)
         self._thread_started = False
 
     # ------------------------------------------------------------------ #
@@ -121,9 +126,7 @@ class SimProcess:
         if self.state == "killed":
             return
         if self.state != "blocked":
-            raise SimulationError(
-                f"cannot resume process {self.name!r} in state {self.state}"
-            )
+            raise SimulationError(f"cannot resume process {self.name!r} in state {self.state}")
         node = getattr(self, "node", None)
         if node is not None and not node.alive:
             # The machine crashed while this process was blocked: its
@@ -141,9 +144,8 @@ class SimProcess:
         previous = self.sim._current_process
         self.sim._current_process = self
         self.state = "running"
-        self._yield_evt.clear()
-        self._resume_evt.set()
-        self._yield_evt.wait()
+        self._resume_sem.release()
+        self._yield_sem.acquire()
         self.sim._current_process = previous
         if self.state == "failed" and not self.daemon:
             exc = self.exception
@@ -171,8 +173,7 @@ class SimProcess:
     # ------------------------------------------------------------------ #
 
     def _bootstrap(self) -> None:
-        self._resume_evt.wait()
-        self._resume_evt.clear()
+        self._resume_sem.acquire()
         try:
             if self._killed:
                 raise ProcessKilled()
@@ -186,7 +187,7 @@ class SimProcess:
         finally:
             if self.state == "finished":
                 self._on_finished()
-            self._yield_evt.set()
+            self._yield_sem.release()
 
     def _on_finished(self) -> None:
         """Flush pending compute and notify joiners.  Runs with control held."""
@@ -206,18 +207,15 @@ class SimProcess:
 
     def _yield_to_kernel(self) -> Any:
         """Give control back to the kernel and wait to be resumed."""
-        self._yield_evt.set()
-        self._resume_evt.wait()
-        self._resume_evt.clear()
+        self._yield_sem.release()
+        self._resume_sem.acquire()
         if self._killed:
             raise ProcessKilled()
         return self._wake_value
 
     def _require_current(self) -> None:
         if self.sim._current_process is not self:
-            raise SimulationError(
-                f"primitive called outside process {self.name!r}'s own context"
-            )
+            raise SimulationError(f"primitive called outside process {self.name!r}'s own context")
 
     # -- work accounting ------------------------------------------------ #
 
@@ -263,8 +261,22 @@ class SimProcess:
             raise SimulationError("hold() requires a non-negative duration")
         total = duration + self._pending_compute
         self._pending_compute = 0.0
+        sim = self.sim
+        if sim._fast_hold_ok:
+            # Nothing in the queue can fire strictly before this process
+            # would resume, so the resume event would be the very next event:
+            # advance the clock here and skip the schedule + two-threading.Event
+            # round trip entirely.  Equal timestamps must NOT take this path —
+            # an already-queued event at exactly ``target`` has a smaller seq
+            # and fires first in the real ordering.  Only valid during an
+            # unbounded run (no ``until``/``max_events`` to overshoot).
+            target = sim.now + total
+            next_time = sim._queue.peek_time()
+            if next_time is None or next_time > target:
+                sim.now = target
+                return
         self.state = "blocked"
-        self.sim.schedule(total, self._kernel_resume)
+        sim.schedule(total, self._kernel_resume)
         self._yield_to_kernel()
 
     def suspend(self) -> Any:

@@ -76,8 +76,9 @@ class FifoResource:
             self.busy_time += self.sim.now - self._busy_since
             self._busy_since = None
 
-    def use(self, duration: float, callback: Optional[Callable[..., Any]] = None,
-            *args: Any) -> None:
+    def use(
+        self, duration: float, callback: Optional[Callable[..., Any]] = None, *args: Any
+    ) -> None:
         """Request the resource, hold it for ``duration``, then release.
 
         ``callback(*args)`` (if given) is invoked at the moment the holding

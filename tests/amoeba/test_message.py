@@ -7,6 +7,70 @@ from hypothesis import given, strategies as st
 from repro.amoeba.message import Message, estimate_size
 
 
+def recursive_estimate(value):
+    """The original recursive ``estimate_size`` the fast path must match."""
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, (str, bytes, bytearray)):
+        return max(1, len(value))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 8 + sum(recursive_estimate(item) for item in value)
+    if isinstance(value, dict):
+        return 8 + sum(
+            recursive_estimate(k) + recursive_estimate(v) for k, v in value.items()
+        )
+    marshal_size = getattr(value, "marshal_size", None)
+    if callable(marshal_size):
+        return int(marshal_size())
+    return 64
+
+
+class _Blob:
+    def __init__(self, size):
+        self._size = size
+
+    def marshal_size(self):
+        return self._size
+
+
+class _Opaque:
+    pass
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=8),
+    st.binary(max_size=8),
+    st.builds(bytearray, st.binary(max_size=6)),
+    st.frozensets(st.integers(), max_size=4),
+    st.builds(_Blob, st.integers(min_value=0, max_value=500)),
+    st.builds(_Opaque),
+)
+
+#: Nested payloads mixing every branch: containers of scalars, dicts with
+#: string keys (the cached header-shape path), dicts with non-string keys,
+#: and custom marshal_size / opaque objects at any depth.
+_payloads = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=5), children, max_size=4),
+        st.dictionaries(
+            st.one_of(st.integers(), st.tuples(st.integers(), st.text(max_size=3))),
+            children,
+            max_size=3,
+        ),
+    ),
+    max_leaves=25,
+)
+
+
 class TestEstimateSize:
     def test_scalars(self):
         assert estimate_size(None) == 1
@@ -43,6 +107,24 @@ class TestEstimateSize:
     def test_size_is_always_positive(self, value):
         assert estimate_size(value) >= 1
 
+    @given(_payloads)
+    def test_fast_path_matches_recursive_reference(self, value):
+        assert estimate_size(value) == recursive_estimate(value)
+
+    def test_deeply_nested_payload_does_not_recurse(self):
+        value = 7
+        for _ in range(5000):  # far past the default recursion limit
+            value = [value]
+        assert estimate_size(value) == 5000 * 8 + 8
+
+    def test_repeated_dict_shapes_stay_consistent(self):
+        # Header-shaped dicts hit the keys-size cache; the answer must not
+        # drift between the cold and cached lookups.
+        payload = {"seq": 1, "origin": 2, "view": 3}
+        first = estimate_size(payload)
+        assert estimate_size(dict(payload)) == first
+        assert first == recursive_estimate(payload)
+
 
 class TestMessage:
     def test_size_estimated_when_omitted(self):
@@ -68,3 +150,22 @@ class TestMessage:
         assert reply.dst == 2
         assert reply.src == 5
         assert reply.headers["in_reply_to"] == request.msg_id
+
+    def test_reply_echoing_payload_reuses_request_size(self):
+        # A caller-supplied size (e.g. a simulated bulk read) must carry over
+        # to a reply that echoes the same payload object, instead of being
+        # re-estimated from the (much smaller) Python value.
+        payload = ["chunk"]
+        request = Message(src=2, dst=5, kind="req", payload=payload, size=4096)
+        reply = request.reply_to("rep", payload=payload)
+        assert reply.size == 4096
+
+    def test_reply_with_new_payload_is_estimated_fresh(self):
+        request = Message(src=2, dst=5, kind="req", payload="hi", size=4096)
+        assert request.reply_to("rep", payload="okay").size == 4
+        # ... and an explicit size always wins.
+        assert request.reply_to("rep", payload="okay", size=9).size == 9
+
+    def test_reply_with_none_payload_does_not_inherit_size(self):
+        request = Message(src=2, dst=5, kind="req", payload=None, size=4096)
+        assert request.reply_to("ack").size == 1

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import heapq
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -11,6 +13,30 @@ from repro.sim.events import Event, EventQueue
 
 def make_event(queue: EventQueue, time: float) -> Event:
     return Event(time, queue.next_seq(), lambda: None)
+
+
+class ReferenceQueue:
+    """The one-stable-heap queue the three-structure design must match."""
+
+    def __init__(self) -> None:
+        self._heap = []
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+
+    def _skip_cancelled(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+
+    def pop_next(self):
+        self._skip_cancelled()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self):
+        self._skip_cancelled()
+        return self._heap[0][0] if self._heap else None
 
 
 class TestEventQueue:
@@ -84,6 +110,97 @@ class TestEventQueue:
         # Equal times must preserve insertion order (stability).
         expected = sorted(events, key=lambda e: (e.time, e.seq))
         assert popped == expected
+
+
+class TestEqualTimeOrderAcrossStructures:
+    def test_now_bucket_does_not_jump_older_wheel_entries(self):
+        queue = EventQueue()
+        t = 1e-4
+        first = make_event(queue, t)
+        second = make_event(queue, t)
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first  # advances the queue's clock to t
+        third = make_event(queue, t)  # lands in the O(1) now bucket
+        queue.push(third)
+        assert queue.pop() is second  # older seq, buffered elsewhere, wins
+        assert queue.pop() is third
+
+
+class TestCompaction:
+    def test_cancel_heavy_load_compacts_buffers(self):
+        queue = EventQueue()
+        events = []
+        for i in range(200):
+            event = make_event(queue, 1.0 + i * 1e-3)
+            events.append(event)
+            queue.push(event)
+        assert queue.buffered == 200
+        for event in events[:150]:
+            event.cancel()
+            queue.note_cancelled()
+        # Compaction triggers at the 101st cancel (cancelled > live): the
+        # structures shrink to the 99 entries still buffered at that point,
+        # and the 49 cancels after it stay under the retrigger threshold.
+        assert len(queue) == 50
+        assert queue.buffered == 99
+        assert [queue.pop() for _ in range(50)] == events[150:]
+        assert not queue
+        assert queue.buffered == 0
+
+
+#: A time grid mixing near ties (wheel-slot granularity), sub-horizon
+#: floats, and far timestamps (heap fallback) so pushes exercise every
+#: internal structure and collide on equal timestamps often.
+_push_times = st.one_of(
+    st.integers(min_value=0, max_value=80).map(lambda i: i * 1.7e-5),
+    st.floats(min_value=0, max_value=0.02, allow_nan=False),
+    st.integers(min_value=0, max_value=30).map(lambda i: i * 0.31),
+)
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _push_times),
+        st.tuples(st.just("pop"), st.just(0)),
+        st.tuples(st.just("peek"), st.just(0)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=10**6)),
+    ),
+    max_size=200,
+)
+
+
+class TestEventQueueMatchesReference:
+    @given(_operations)
+    def test_interleaved_ops_match_single_stable_heap(self, operations):
+        queue = EventQueue()
+        reference = ReferenceQueue()
+        in_queue = []  # pushed, not yet popped or cancelled
+        for op, arg in operations:
+            if op == "push":
+                event = Event(float(arg), queue.next_seq(), lambda: None)
+                queue.push(event)
+                reference.push(event)
+                in_queue.append(event)
+            elif op == "pop":
+                popped = queue.pop_next()
+                assert popped is reference.pop_next()
+                if popped is not None:
+                    in_queue.remove(popped)
+            elif op == "peek":
+                assert queue.peek_time() == reference.peek_time()
+            elif in_queue:  # cancel a still-queued event
+                event = in_queue.pop(arg % len(in_queue))
+                event.cancel()
+                queue.note_cancelled()
+        # Drain both: every remaining live event must come out in the same
+        # order, regardless of which internal structure buffered it.
+        while True:
+            mine = queue.pop_next()
+            assert mine is reference.pop_next()
+            if mine is None:
+                break
+        assert len(queue) == 0
+        assert queue.buffered == 0
 
 
 class TestEvent:
