@@ -89,8 +89,7 @@ FIFO_SPEC = WorkloadSpec(name="fifo-queue", read_fraction=0.5,
 FAST_CONTROLLER = {"min_accesses": 8, "check_interval": 4}
 
 
-def run_cell(scenario: str, runtime: str, spec: WorkloadSpec,
-             controller=None):
+def run_cell(scenario: str, runtime: str, spec: WorkloadSpec, controller=None):
     # Every runtime on the same shared Ethernet: the comparison varies the
     # management policy, not the interconnect.
     options = None
@@ -124,8 +123,7 @@ class BenchLog(ObjectSpec):
 def run_election_migration(seed=SEED, writers_per_node=2, ops_per_writer=12):
     """Crash the sequencer, then migrate the hot object while the election
     is still open; returns per-client order facts."""
-    cluster = Cluster(ClusterConfig(num_nodes=NUM_NODES, seed=seed,
-                                    cost_model=COST_MODEL))
+    cluster = Cluster(ClusterConfig(num_nodes=NUM_NODES, seed=seed, cost_model=COST_MODEL))
     rts = HybridRts(cluster, default_policy="broadcast")
     handles = {}
 
@@ -165,13 +163,11 @@ def run_election_migration(seed=SEED, writers_per_node=2, ops_per_writer=12):
     cluster.run()
 
     primary = rts.directory.primary_of(handles["log"].obj_id)
-    log = [tuple(item) for item in
-           rts.managers[primary].get(handles["log"].obj_id).instance.items]
+    log = [tuple(item) for item in rts.managers[primary].get(handles["log"].obj_id).instance.items]
     per_client = {}
     for node_id, writer_id, k in log:
         per_client.setdefault((node_id, writer_id), []).append(k)
-    fifo_ok = all(ks == list(range(ops_per_writer))
-                  for ks in per_client.values())
+    fifo_ok = all(ks == list(range(ops_per_writer)) for ks in per_client.values())
     complete = len(per_client) == (NUM_NODES - 1) * writers_per_node
     facts = {
         "elections": rts.group.stats.elections,
@@ -230,16 +226,12 @@ def test_adaptive_beats_fixed_runtimes_on_mixed_counter_farm(benchmark):
 
     rows = []
     for rt, report in reports.items():
-        p50s, p95, p99, mean = format_latency_row(
-            report.request_latency["overall"])
+        p50s, p95, p99, mean = format_latency_row(report.request_latency["overall"])
         migs = report.rts_summary.get("migrations", {}).get("total", 0)
-        rows.append([rt, f"{report.throughput:.0f}", p50s, p95, p99, mean,
-                     str(migs)])
-    benchmark.extra_info["throughput"] = {rt: round(t, 3)
-                                          for rt, t in throughput.items()}
+        rows.append([rt, f"{report.throughput:.0f}", p50s, p95, p99, mean, str(migs)])
+    benchmark.extra_info["throughput"] = {rt: round(t, 3) for rt, t in throughput.items()}
     benchmark.extra_info["policies"] = policies
-    benchmark.extra_info["cells"] = {rt: r.fingerprint()
-                                     for rt, r in reports.items()}
+    benchmark.extra_info["cells"] = {rt: r.fingerprint() for rt, r in reports.items()}
     print()
     print(format_table(
         ["runtime", "ops/s", "p50 ms", "p95 ms", "p99 ms", "mean ms",
@@ -276,13 +268,10 @@ def test_adaptive_matches_best_fixed_p99_on_fifo_queue(benchmark):
 
     rows = []
     for rt, report in reports.items():
-        p50s, p95s, p99s, mean = format_latency_row(
-            report.request_latency["overall"])
+        p50s, p95s, p99s, mean = format_latency_row(report.request_latency["overall"])
         rows.append([rt, f"{report.throughput:.0f}", p50s, p95s, p99s, mean])
-    benchmark.extra_info["p99_by_runtime"] = {rt: round(v, 6)
-                                              for rt, v in p99.items()}
-    benchmark.extra_info["cells"] = {rt: r.fingerprint()
-                                     for rt, r in reports.items()}
+    benchmark.extra_info["p99_by_runtime"] = {rt: round(v, 6) for rt, v in p99.items()}
+    benchmark.extra_info["cells"] = {rt: r.fingerprint() for rt, r in reports.items()}
     print()
     print(format_table(
         ["runtime", "ops/s", "p50 ms", "p95 ms", "p99 ms", "mean ms"],
@@ -343,12 +332,10 @@ def smoke_reports():
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Adaptive migration benchmark (script mode)")
+    parser = argparse.ArgumentParser(description="Adaptive migration benchmark (script mode)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the reduced cells and emit canonical JSON")
-    parser.add_argument("--out", default=None,
-                        help="write the JSON report here instead of stdout")
+    parser.add_argument("--out", default=None, help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.error("script mode currently only supports --smoke")

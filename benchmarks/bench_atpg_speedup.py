@@ -30,8 +30,7 @@ def test_atpg_speedup_curve(benchmark):
         times = {}
         coverages = set()
         for procs in PROCESSOR_COUNTS:
-            result = run_atpg_program(circuit, num_procs=procs,
-                                      use_fault_simulation=False)
+            result = run_atpg_program(circuit, num_procs=procs, use_fault_simulation=False)
             times[procs] = result.elapsed
             coverages.add(result.value.covered)
         return times, coverages
@@ -47,8 +46,7 @@ def test_atpg_speedup_curve(benchmark):
     assert curve.efficiency(max(times)) > 0.55
 
     benchmark.extra_info["num_gates"] = NUM_GATES
-    benchmark.extra_info["speedups"] = {str(p): round(s, 2)
-                                        for p, s in curve.speedups().items()}
+    benchmark.extra_info["speedups"] = {str(p): round(s, 2) for p, s in curve.speedups().items()}
     print()
     print(render_speedup_figure(
         f"§4.4 — ATPG speedup ({NUM_GATES} gates, plain PODEM)", curve, max(times)))

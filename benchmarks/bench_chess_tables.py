@@ -27,10 +27,8 @@ def test_shared_vs_local_tables(benchmark):
     positions = [random_tactical_position(seed=s, plies=6) for s in (3, 9)]
 
     def experiment():
-        shared = run_chess_program(positions, num_procs=NUM_PROCS, depth=DEPTH,
-                                   shared_tables=True)
-        local = run_chess_program(positions, num_procs=NUM_PROCS, depth=DEPTH,
-                                  shared_tables=False)
+        shared = run_chess_program(positions, num_procs=NUM_PROCS, depth=DEPTH, shared_tables=True)
+        local = run_chess_program(positions, num_procs=NUM_PROCS, depth=DEPTH, shared_tables=False)
         return shared, local
 
     shared, local = run_once(benchmark, experiment)

@@ -173,8 +173,7 @@ def run_drain_cell(seed=SEED, num_nodes=NUM_NODES,
             # Per (log, writer): each writer round-robins the three logs,
             # so FIFO holds within a log, not across them.
             per_client.setdefault((key, node_id, writer_id), []).append(k)
-    fifo_ok = all(ks == sorted(ks) and len(ks) == len(set(ks))
-                  for ks in per_client.values())
+    fifo_ok = all(ks == sorted(ks) and len(ks) == len(set(ks)) for ks in per_client.values())
     expected = (num_nodes - 1) * writers_per_node * ops_per_writer
     record = rts.drains[0] if rts.drains else None
     facts = {
@@ -238,8 +237,7 @@ def elasticity_cells(**kwargs):
 
 
 def _print_cells(title, cells):
-    restart, drain, scale = (cells["rolling-restart"], cells["drain"],
-                             cells["scale-in"])
+    restart, drain, scale = (cells["rolling-restart"], cells["drain"], cells["scale-in"])
     rows = [
         ["rolling-restart",
          f"{len(restart['restarted_nodes'])} nodes",
@@ -259,8 +257,7 @@ def _print_cells(title, cells):
          f"{scale['counter_total']}/{scale['writes']}"],
     ]
     print()
-    print(format_table(["cell", "scope", "events", "cost", "conserved"],
-                       rows, title=title))
+    print(format_table(["cell", "scope", "events", "cost", "conserved"], rows, title=title))
 
 
 @pytest.mark.benchmark(group="elasticity")
@@ -296,8 +293,7 @@ def test_elasticity_loop_conserves_every_write(benchmark):
     assert repeat == restart
 
     benchmark.extra_info["cells"] = cells
-    _print_cells(
-        f"Elasticity loop on {NUM_NODES} nodes (seed {SEED})", cells)
+    _print_cells(f"Elasticity loop on {NUM_NODES} nodes (seed {SEED})", cells)
 
 
 # ---------------------------------------------------------------------- #
@@ -308,12 +304,10 @@ SMOKE_KWARGS = dict(num_nodes=5, clients_per_node=1, ops_per_client=40)
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Elasticity benchmark (script mode)")
+    parser = argparse.ArgumentParser(description="Elasticity benchmark (script mode)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the reduced cells and emit canonical JSON")
-    parser.add_argument("--out", default=None,
-                        help="write the JSON report here instead of stdout")
+    parser.add_argument("--out", default=None, help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.error("script mode currently only supports --smoke")

@@ -53,9 +53,7 @@ def test_fig2_tsp_speedup_curve(benchmark, tsp_processor_counts):
     assert reads > 20 * writes
 
     benchmark.extra_info["num_cities"] = NUM_CITIES
-    benchmark.extra_info["speedups"] = {str(p): round(s, 2)
-                                        for p, s in curve.speedups().items()}
+    benchmark.extra_info["speedups"] = {str(p): round(s, 2) for p, s in curve.speedups().items()}
     benchmark.extra_info["read_write_ratio"] = round(reads / max(1, writes), 1)
     print()
-    print(render_speedup_figure(
-        f"Fig. 2 — TSP speedup ({NUM_CITIES} cities)", curve, max(times)))
+    print(render_speedup_figure(f"Fig. 2 — TSP speedup ({NUM_CITIES} cities)", curve, max(times)))

@@ -51,11 +51,9 @@ def test_fig3_acp_speedup_curve(benchmark, acp_processor_counts):
     assert overheads[top] > overheads[min(times)]
 
     benchmark.extra_info["num_variables"] = NUM_VARIABLES
-    benchmark.extra_info["speedups"] = {str(p): round(s, 2)
-                                        for p, s in curve.speedups().items()}
+    benchmark.extra_info["speedups"] = {str(p): round(s, 2) for p, s in curve.speedups().items()}
     benchmark.extra_info["protocol_overhead_seconds"] = {
         str(p): round(o, 4) for p, o in overheads.items()
     }
     print()
-    print(render_speedup_figure(
-        f"Fig. 3 — ACP speedup ({NUM_VARIABLES} variables)", curve, top))
+    print(render_speedup_figure(f"Fig. 3 — ACP speedup ({NUM_VARIABLES} variables)", curve, top))

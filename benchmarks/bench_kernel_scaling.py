@@ -101,10 +101,8 @@ def test_kernel_scaling_sweep(benchmark):
     repeat, _ = run_cell(largest, CLIENTS_PER_NODE, SPEC.ops_per_client)
     assert repeat.fingerprint() == largest_report.fingerprint()
 
-    benchmark.extra_info["cells"] = {
-        str(nodes): report.fingerprint() for nodes, report, _ in cells}
-    benchmark.extra_info["wall_seconds"] = {
-        str(nodes): wall for nodes, _, wall in cells}
+    benchmark.extra_info["cells"] = {str(nodes): report.fingerprint() for nodes, report, _ in cells}
+    benchmark.extra_info["wall_seconds"] = {str(nodes): wall for nodes, _, wall in cells}
     print()
     print(format_table(
         ["nodes", "ops", "ops/s (virtual)", "virtual ms", "wall s"],
@@ -129,8 +127,7 @@ def smoke_cells():
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Kernel scaling benchmark (script mode)")
+    parser = argparse.ArgumentParser(description="Kernel scaling benchmark (script mode)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the reduced sweep and emit canonical JSON")
     parser.add_argument("--out", default=None,

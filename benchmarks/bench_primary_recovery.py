@@ -91,8 +91,7 @@ def run_recovery_cell(policy, crash=True, seed=SEED, num_nodes=NUM_NODES,
 
     def setup():
         proc = cluster.sim.current_process
-        handles["log"] = rts.create_object(proc, BenchLog, name="log",
-                                           policy=policy)
+        handles["log"] = rts.create_object(proc, BenchLog, name="log", policy=policy)
         rts.relocate_primary(proc, handles["log"], target=victim)
 
     cluster.node(0).kernel.spawn_thread(setup)
@@ -152,8 +151,7 @@ def run_recovery_cell(policy, crash=True, seed=SEED, num_nodes=NUM_NODES,
         # cell would measure after its takeover.
         tput_from = t0 + CRASH_AT + 0.001
         source = None
-    in_window = [t for t in completions
-                 if tput_from <= t < tput_from + TPUT_WINDOW]
+    in_window = [t for t in completions if tput_from <= t < tput_from + TPUT_WINDOW]
     facts = {
         "policy": policy,
         "crashed": crash,
@@ -254,12 +252,10 @@ SMOKE_KWARGS = dict(num_nodes=5, writers_per_node=1, ops_per_writer=40)
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Primary-failure recovery benchmark (script mode)")
+    parser = argparse.ArgumentParser(description="Primary-failure recovery benchmark (script mode)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the reduced cells and emit canonical JSON")
-    parser.add_argument("--out", default=None,
-                        help="write the JSON report here instead of stdout")
+    parser.add_argument("--out", default=None, help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.error("script mode currently only supports --smoke")

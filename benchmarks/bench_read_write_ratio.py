@@ -86,8 +86,7 @@ def test_replication_pays_off_for_read_mostly_objects(benchmark):
     advantage_write_heavy = cen_w / rep_w
     assert advantage_read_mostly > advantage_write_heavy
 
-    table = [[f"{rf:.2f}", f"{rep:.4f}", f"{cen:.4f}", f"{ivy:.4f}"]
-             for rf, rep, cen, ivy in rows]
+    table = [[f"{rf:.2f}", f"{rep:.4f}", f"{cen:.4f}", f"{ivy:.4f}"] for rf, rep, cen, ivy in rows]
     benchmark.extra_info["rows"] = {
         str(rf): {"replicated": round(rep, 4), "central": round(cen, 4),
                   "ivy_dsm": round(ivy, 4)}

@@ -149,12 +149,10 @@ def test_real_backend_throughput_with_oracle_check(benchmark):
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Real-socket backend benchmark (script mode)")
+    parser = argparse.ArgumentParser(description="Real-socket backend benchmark (script mode)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the comparison cells and emit JSON")
-    parser.add_argument("--out", default=None,
-                        help="write the JSON report here instead of stdout")
+    parser.add_argument("--out", default=None, help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.error("script mode currently only supports --smoke")

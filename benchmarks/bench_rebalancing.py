@@ -80,14 +80,11 @@ SKEW_SPEC = WorkloadSpec(name="skewed-writes", num_keys=64,
                          popularity="zipfian", zipf_s=1.2, read_fraction=0.0,
                          ops_per_client=100, think_time=0.0)
 
-FLOW_SPEC = SKEW_SPEC.with_overrides(name="skewed-writes-fc", zipf_s=1.3,
-                                     ops_per_client=150)
+FLOW_SPEC = SKEW_SPEC.with_overrides(name="skewed-writes-fc", zipf_s=1.3, ops_per_client=150)
 
-REBALANCE = {"interval": 0.004, "imbalance": 1.4, "min_writes": 64,
-             "max_moves": 3}
+REBALANCE = {"interval": 0.004, "imbalance": 1.4, "min_writes": 64, "max_moves": 3}
 
-BACKPRESSURE_BATCHING = {"max_batch": 4, "flush_delay": 0.0,
-                         "backpressure_depth": 8}
+BACKPRESSURE_BATCHING = {"max_batch": 4, "flush_delay": 0.0, "backpressure_depth": 8}
 
 
 def oracle_placement(spec: WorkloadSpec) -> ExplicitPlacement:
@@ -156,8 +153,7 @@ def run_live_growth(seed=SEED, writers_per_node=2, ops_per_writer=40,
                     num_nodes=NUM_NODES, grow_to=4):
     """Start with ONE broadcast group; let the controller add groups to the
     running cluster and spread the logs over them; returns order facts."""
-    cluster = Cluster(ClusterConfig(num_nodes=num_nodes, seed=seed,
-                                    cost_model=COST_MODEL))
+    cluster = Cluster(ClusterConfig(num_nodes=num_nodes, seed=seed, cost_model=COST_MODEL))
     rts = HybridRts(cluster, default_policy="broadcast", num_shards=1,
                     rebalance={"interval": 0.004, "imbalance": 1.4,
                                "min_writes": 48, "max_moves": 3,
@@ -192,8 +188,7 @@ def run_live_growth(seed=SEED, writers_per_node=2, ops_per_writer=40,
         per_client = {}
         for node_id, writer_id, k in items:
             per_client.setdefault((node_id, writer_id), []).append(k)
-        fifo_ok &= all(ks == list(range(ops_per_writer))
-                       for ks in per_client.values())
+        fifo_ok &= all(ks == list(range(ops_per_writer)) for ks in per_client.values())
         fifo_ok &= len(per_client) == writers_per_node
         for node in cluster.nodes:
             replicas_agree &= (rts.managers[node.node_id]
@@ -224,11 +219,9 @@ def run_live_growth(seed=SEED, writers_per_node=2, ops_per_writer=40,
 def _print_cells(title, reports, extra_cols=()):
     rows = []
     for name, report in reports.items():
-        p50, p95, p99, mean = format_latency_row(
-            report.request_latency["overall"])
+        p50, p95, p99, mean = format_latency_row(report.request_latency["overall"])
         rebal = report.rts_summary.get("rebalancing", {})
-        row = [name, f"{report.throughput:.0f}", p50, p95, p99,
-               str(rebal.get("moves", 0))]
+        row = [name, f"{report.throughput:.0f}", p50, p95, p99, str(rebal.get("moves", 0))]
         for col in extra_cols:
             row.append(str(report.rts_summary.get(col, 0)))
         rows.append(row)
@@ -270,11 +263,9 @@ def test_rebalancing_recovers_skewed_write_throughput(benchmark):
                       rebalance=REBALANCE)
     assert repeat.fingerprint() == reports["rebalanced"].fingerprint()
 
-    benchmark.extra_info["throughput"] = {k: round(v, 3)
-                                          for k, v in throughput.items()}
+    benchmark.extra_info["throughput"] = {k: round(v, 3) for k, v in throughput.items()}
     benchmark.extra_info["moves"] = rebalancing["moves"]
-    benchmark.extra_info["cells"] = {k: r.fingerprint()
-                                     for k, r in reports.items()}
+    benchmark.extra_info["cells"] = {k: r.fingerprint() for k, r in reports.items()}
     _print_cells(
         f"Zipf(s={SKEW_SPEC.zipf_s}) write-only counter farm, no flow "
         f"control ({NUM_NODES} nodes, {NUM_SHARDS} shards, "
@@ -300,10 +291,8 @@ def test_rebalancing_composes_with_flow_control(benchmark):
         assert report.rts_summary.get("flow_control_holds", 0) > 0, name
         assert report.scenario_facts["counter_total"] == report.writes
 
-    benchmark.extra_info["throughput"] = {k: round(v, 3)
-                                          for k, v in throughput.items()}
-    benchmark.extra_info["cells"] = {k: r.fingerprint()
-                                     for k, r in reports.items()}
+    benchmark.extra_info["throughput"] = {k: round(v, 3) for k, v in throughput.items()}
+    benchmark.extra_info["cells"] = {k: r.fingerprint() for k, r in reports.items()}
     _print_cells(
         f"Zipf(s={FLOW_SPEC.zipf_s}) counter farm with batch-aware flow "
         f"control ({NUM_NODES} nodes, {NUM_SHARDS} shards, seed {SEED})",
@@ -367,17 +356,14 @@ def smoke_reports():
                    "max_moves": 3},
         batching=dict(BACKPRESSURE_BATCHING), cost_model=SLOW_COST_MODEL,
         num_nodes=SMOKE_NODES, clients_per_node=3)
-    return {"static": static, "rebalanced": rebalanced,
-            "flow-control": flow}
+    return {"static": static, "rebalanced": rebalanced, "flow-control": flow}
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Shard rebalancing benchmark (script mode)")
+    parser = argparse.ArgumentParser(description="Shard rebalancing benchmark (script mode)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the reduced cells and emit canonical JSON")
-    parser.add_argument("--out", default=None,
-                        help="write the JSON report here instead of stdout")
+    parser.add_argument("--out", default=None, help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.error("script mode currently only supports --smoke")

@@ -121,9 +121,7 @@ def test_throughput_scales_with_shard_count(benchmark):
     benchmark.extra_info["throughput_by_shards"] = {
         str(s): round(t, 3) for s, t in throughput.items()
     }
-    benchmark.extra_info["cells"] = {
-        f"shards={s}": r.fingerprint() for s, r in sweep.items()
-    }
+    benchmark.extra_info["cells"] = {f"shards={s}": r.fingerprint() for s, r in sweep.items()}
     print()
     print(format_table(
         ["shards", "ops/s", "p50 ms", "p95 ms", "p99 ms", "mean ms"],
@@ -162,8 +160,7 @@ def test_batched_writes_beat_unbatched_p99_on_fifo_queue(benchmark):
         p50, p95, p99s, mean = format_latency_row(report.request_latency["overall"])
         sharding = report.rts_summary.get("sharding")
         mean_batch = (sharding["per_shard"][0]["mean_batch"] if sharding else 1.0)
-        rows.append([mode, f"{report.throughput:.0f}", p50, p95, p99s, mean,
-                     f"{mean_batch:.2f}"])
+        rows.append([mode, f"{report.throughput:.0f}", p50, p95, p99s, mean, f"{mean_batch:.2f}"])
     benchmark.extra_info["p99_by_mode"] = {m: round(v, 6) for m, v in p99.items()}
     benchmark.extra_info["cells"] = {m: r.fingerprint() for m, r in reports.items()}
     print()

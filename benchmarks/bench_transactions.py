@@ -79,8 +79,7 @@ class Account(ObjectSpec):
 def _build(seed, num_accounts, num_shards, policies=("broadcast",),
            num_nodes=NUM_NODES, initial=INITIAL):
     cluster = Cluster(ClusterConfig(num_nodes=num_nodes, seed=seed))
-    rts = HybridRts(cluster, default_policy="broadcast",
-                    num_shards=num_shards)
+    rts = HybridRts(cluster, default_policy="broadcast", num_shards=num_shards)
     handles = []
 
     def setup():
@@ -131,9 +130,7 @@ def run_commit_cost_cell(same_shard, seed=SEED, num_nodes=NUM_NODES,
     shard orders (full ordered 2PC).
     """
     num_shards = 1 if same_shard else 2
-    cluster, rts, handles = _build(seed, num_accounts=2,
-                                   num_shards=num_shards,
-                                   num_nodes=num_nodes)
+    cluster, rts, handles = _build(seed, num_accounts=2, num_shards=num_shards, num_nodes=num_nodes)
     if not same_shard:
         assert rts.shard_of(handles[0]) != rts.shard_of(handles[1])
     latencies = []
@@ -321,8 +318,7 @@ def _print_cells(title, cells):
          f"post={crash['post_window_throughput']}/s"],
     ]
     print()
-    print(format_table(["cell", "volume", "…", "…", "rate"], rows,
-                       title=title))
+    print(format_table(["cell", "volume", "…", "…", "rate"], rows, title=title))
 
 
 @pytest.mark.benchmark(group="transactions")
@@ -347,17 +343,14 @@ def test_transaction_paths_commit_atomically(benchmark):
     crash = cells["crash"]
     assert crash["conserved"], crash
     assert crash["takeovers"] >= 1, "the victim's seats were never taken over"
-    assert crash["commits_after_crash"] > 0, (
-        "no transaction committed after the crash")
+    assert crash["commits_after_crash"] > 0, ("no transaction committed after the crash")
 
     # Determinism: the cheapest cell replays byte-for-byte.
     repeat = run_commit_cost_cell(True)
     assert repeat == same
 
     benchmark.extra_info["cells"] = cells
-    _print_cells(
-        f"Cross-object transactions on {NUM_NODES} nodes (seed {SEED})",
-        cells)
+    _print_cells(f"Cross-object transactions on {NUM_NODES} nodes (seed {SEED})", cells)
 
 
 # ---------------------------------------------------------------------- #
@@ -368,12 +361,10 @@ SMOKE_KWARGS = dict(num_nodes=5, rounds=12)
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Transaction benchmark (script mode)")
+    parser = argparse.ArgumentParser(description="Transaction benchmark (script mode)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the reduced cells and emit canonical JSON")
-    parser.add_argument("--out", default=None,
-                        help="write the JSON report here instead of stdout")
+    parser.add_argument("--out", default=None, help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.error("script mode currently only supports --smoke")

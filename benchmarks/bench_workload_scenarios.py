@@ -79,9 +79,7 @@ def run_cell(scenario: str, runtime: str):
 @pytest.mark.benchmark(group="workloads")
 def test_scenario_matrix_latency_and_throughput(benchmark):
     def experiment():
-        return [run_cell(scenario, runtime)
-                for scenario in SCENARIOS
-                for runtime in RUNTIME_KINDS]
+        return [run_cell(scenario, runtime) for scenario in SCENARIOS for runtime in RUNTIME_KINDS]
 
     reports = run_once(benchmark, experiment)
 
@@ -116,9 +114,7 @@ def test_scenario_matrix_latency_and_throughput(benchmark):
         rows.append([report.scenario, report.runtime,
                      str(report.total_ops), f"{report.throughput:.0f}",
                      p50, p95, p99, mean])
-    benchmark.extra_info["cells"] = {
-        f"{r.scenario}/{r.runtime}": r.fingerprint() for r in reports
-    }
+    benchmark.extra_info["cells"] = {f"{r.scenario}/{r.runtime}": r.fingerprint() for r in reports}
     benchmark.extra_info["records"] = len(collection)
     print()
     print(format_table(
@@ -166,12 +162,10 @@ def smoke_reports():
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Workload scenario benchmark (script mode)")
+    parser = argparse.ArgumentParser(description="Workload scenario benchmark (script mode)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the reduced matrix and emit canonical JSON")
-    parser.add_argument("--out", default=None,
-                        help="write the JSON report here instead of stdout")
+    parser.add_argument("--out", default=None, help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.error("script mode currently only supports --smoke")

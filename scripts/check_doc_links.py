@@ -1,0 +1,123 @@
+"""Docs link check: every relative Markdown link must resolve.
+
+Scans the repository's Markdown files (README.md, docs/, benchmarks/,
+ROADMAP.md, ...) for inline links and validates:
+
+* relative file targets exist (``[text](docs/ARCHITECTURE.md)``);
+* anchor fragments point at a real heading in the target file, using
+  GitHub's slug rules (lowercase, punctuation stripped, spaces to
+  dashes), for both ``other.md#section`` and same-file ``#section``
+  links.
+
+External links (``http(s)://``, ``mailto:``) are not fetched — this
+gate is about keeping the internal docs graph unbroken as files move,
+not about the outside world.
+
+Usage::
+
+    python scripts/check_doc_links.py [root]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: Directories never scanned for Markdown sources.
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+
+#: Inline Markdown links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings, used to build the anchor set of a file.
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+#: Fenced code blocks must not contribute links or headings.
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor rule (close enough for ASCII docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _markdown_lines(path: str):
+    """Yield the file's lines with fenced code blocks blanked out."""
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if _FENCE.match(line.strip()):
+                in_fence = not in_fence
+                yield ""
+            else:
+                yield "" if in_fence else line
+
+
+def find_markdown_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path: str):
+    """The set of heading slugs a Markdown file exposes."""
+    slugs = set()
+    for line in _markdown_lines(path):
+        match = _HEADING.match(line)
+        if match:
+            slugs.add(_slugify(match.group(1)))
+    return slugs
+
+
+def check_file(path: str, root: str, anchor_cache):
+    problems = []
+    for number, line in enumerate(_markdown_lines(path), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, fragment = target.partition("#")
+            if target:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+            else:
+                resolved = path  # same-file anchor
+            where = f"{os.path.relpath(path, root)}:{number}"
+            if not os.path.exists(resolved):
+                problems.append(f"{where}: broken link -> {target}")
+                continue
+            if fragment and resolved.endswith(".md"):
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = anchors_of(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    problems.append(
+                        f"{where}: missing anchor -> "
+                        f"{target or os.path.basename(path)}#{fragment}")
+    return problems
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = os.path.abspath(args[0]) if args else os.getcwd()
+    anchor_cache = {}
+    problems = []
+    checked = 0
+    for path in find_markdown_files(root):
+        checked += 1
+        problems.extend(check_file(path, root, anchor_cache))
+    if problems:
+        print(f"BROKEN DOCS LINKS ({len(problems)}):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"ok: {checked} Markdown files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

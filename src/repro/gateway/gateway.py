@@ -1,0 +1,363 @@
+"""One gateway: arrival pump, admission control, fair queue, worker pool.
+
+A :class:`Gateway` multiplexes every session on its node onto the runtime's
+invoke path with exactly ``1 + workers`` simulated processes:
+
+* the **driver** pops session arrivals (a heap of ``(arrival_time,
+  session)``) in virtual-time order and runs the admission pipeline for
+  each — token-bucket quota, overload shed, accept-queue bound — then
+  either parks the request in the weighted fair queue or sheds it;
+* the **workers** block on a counting semaphore, pop the fair queue, and
+  perform the request against the runtime; completions feed closed-loop
+  sessions their next arrival through the driver.
+
+Everything is decided at deterministic virtual times with named rng
+streams, so gateway cells fingerprint byte-identically per seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from ..sim.sync import SimSemaphore
+from ..workloads.spec import Request, TenantSpec
+from .params import GatewayParams
+from .session import READY, ClientSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..amoeba.cluster import Node
+    from ..sim.process import SimProcess
+    from .tier import GatewayTier
+
+#: Admission-pipeline shed reasons, in the order the pipeline checks them.
+SHED_REASONS = ("quota", "overload", "queue_full", "evicted")
+
+
+class TokenBucket:
+    """A token-bucket quota: ``rate`` tokens/second, capacity ``burst``.
+
+    Refill is computed lazily from the arrival timestamps themselves (all
+    virtual-time), so two runs of the same seed see identical decisions.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: Optional[float]) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else rate
+        self.tokens = self.burst
+        self.stamp: Optional[float] = None
+
+    def try_take(self, now: float) -> bool:
+        """Spend one token at virtual time ``now`` if the quota allows it."""
+        if self.stamp is None:
+            self.stamp = now
+        elif now > self.stamp:
+            self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+            self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class TenantState:
+    """Per-gateway accounting for one tenant class."""
+
+    __slots__ = ("spec", "name", "weight", "priority", "bucket", "last_finish",
+                 "offered", "admitted", "completed", "shed")
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.weight = spec.weight
+        self.priority = spec.priority
+        self.bucket = TokenBucket(spec.rate, spec.burst) if spec.rate is not None else None
+        #: Finish tag of this tenant's most recent enqueue (SFQ state).
+        self.last_finish = 0.0
+        self.offered = 0
+        self.admitted = 0
+        self.completed = 0
+        self.shed = dict.fromkeys(SHED_REASONS, 0)
+
+
+class _QueueEntry:
+    """One admitted request parked in the fair queue."""
+
+    __slots__ = ("arrival", "request", "session", "tenant")
+
+    def __init__(self, arrival: float, request: Request,
+                 session: ClientSession, tenant: TenantState) -> None:
+        self.arrival = arrival
+        self.request = request
+        self.session = session
+        self.tenant = tenant
+
+
+class FairQueue:
+    """Start-time fair queueing (SFQ) across tenants.
+
+    Each enqueue is tagged ``start = max(vtime, tenant.last_finish)`` and
+    ``finish = start + 1/weight``; dequeues pop the smallest finish tag and
+    advance the queue's virtual time to the popped start tag.  Backlogged
+    tenants therefore share service in proportion to their weights, while
+    an idle tenant's unused share is not banked.
+    """
+
+    __slots__ = ("_heap", "_seq", "_vtime")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, float, _QueueEntry]] = []
+        self._seq = 0
+        self._vtime = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: _QueueEntry) -> None:
+        tenant = entry.tenant
+        start = self._vtime if self._vtime > tenant.last_finish else tenant.last_finish
+        finish = start + 1.0 / tenant.weight
+        tenant.last_finish = finish
+        self._seq += 1
+        heapq.heappush(self._heap, (finish, self._seq, start, entry))
+
+    def pop(self) -> _QueueEntry:
+        _finish, _seq, start, entry = heapq.heappop(self._heap)
+        if start > self._vtime:
+            self._vtime = start
+        return entry
+
+    def evict_lower_priority(self, priority: int) -> Optional[_QueueEntry]:
+        """Remove and return the least-entitled entry below ``priority``.
+
+        "Least entitled" is the lowest tenant priority, breaking ties
+        toward the largest finish tag and then the most recent enqueue, so
+        the victim is always the request fair queueing would have served
+        last.  Returns ``None`` when nothing queued is below ``priority``.
+        """
+        best_index = -1
+        best_key: Optional[Tuple[int, float, int]] = None
+        for index, (finish, seq, _start, entry) in enumerate(self._heap):
+            tenant_priority = entry.tenant.priority
+            if tenant_priority >= priority:
+                continue
+            key = (tenant_priority, -finish, -seq)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        if best_index < 0:
+            return None
+        victim = self._heap[best_index][3]
+        last = self._heap.pop()
+        if best_index < len(self._heap):
+            self._heap[best_index] = last
+            heapq.heapify(self._heap)
+        return victim
+
+
+class Gateway:
+    """The per-node front door: one driver process plus a worker pool."""
+
+    def __init__(self, tier: "GatewayTier", node: "Node",
+                 params: GatewayParams) -> None:
+        self.tier = tier
+        self.node = node
+        self.sim = node.sim
+        self.rts = tier.rts
+        self.scenario = tier.scenario
+        self.params = params
+        self.tenants: List[TenantState] = [TenantState(spec)
+                                           for spec in tier.tenant_specs]
+        self._max_priority = max(state.priority for state in self.tenants)
+        self.sessions: List[ClientSession] = []
+        #: Pending session arrivals: (arrival_time, seq, session, request).
+        self.arrivals: List[Tuple[float, int, ClientSession, Request]] = []
+        self.queue = FairQueue()
+        self.work = SimSemaphore(self.sim, 0, name=f"gateway{node.node_id}.work")
+        #: Closed-loop arrivals produced by workers, merged by the driver.
+        self._incoming: List[Tuple[float, int, ClientSession, Request]] = []
+        #: Sessions whose next arrival waits on an in-flight completion.
+        self._awaiting = 0
+        self._seq = 0
+        self._driver: Optional["SimProcess"] = None
+        self._sleeping = False
+        self._closing = False
+
+    # ------------------------------------------------------------------ #
+    # Construction / start
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> List["SimProcess"]:
+        """Build this node's sessions and spawn the driver + workers."""
+        node_id = self.node.node_id
+        for state in self.tenants:
+            spec = self.tier.tenant_workload(state.spec)
+            for index in range(state.spec.sessions):
+                rng = self.sim.rng.stream(
+                    f"gateway.{node_id}.{state.name}.{index}")
+                self.sessions.append(ClientSession(
+                    sid=len(self.sessions), tenant=state, spec=spec,
+                    rng=rng, start_time=0.0))
+        procs = [self.node.kernel.spawn_thread(
+            self._driver_body, name=f"gw{node_id}.driver")]
+        self._driver = procs[0]
+        for wid in range(self.params.workers):
+            procs.append(self.node.kernel.spawn_thread(
+                self._worker_body, name=f"gw{node_id}.worker{wid}"))
+        return procs
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------ #
+    # Driver: the arrival pump
+    # ------------------------------------------------------------------ #
+
+    def _driver_body(self) -> None:
+        proc = self.sim.current_process
+        start = proc.local_time
+        for session in self.sessions:
+            session.start_time = start
+            session._open_clock = start
+            self._chain(session, start)
+            # A closed-loop session's *first* request has no predecessor
+            # whose completion could release it: time it off the start.
+            self._release_waiting(session, start)
+        heap = self.arrivals
+        while True:
+            if self._incoming:
+                for item in self._incoming:
+                    heapq.heappush(heap, item)
+                del self._incoming[:]
+            now = proc.local_time
+            while heap and heap[0][0] <= now:
+                arrival, _seq, session, request = heapq.heappop(heap)
+                self._admit(now, arrival, session, request)
+            if heap:
+                self._sleep(proc, heap[0][0])
+            elif self._awaiting or self._incoming:
+                self._sleep(proc, None)
+            else:
+                break
+        # Shutdown: every session is exhausted and no completion can
+        # produce another arrival; wake each worker once so it can observe
+        # the flag after the queue drains.
+        self._closing = True
+        self.work.release(self.params.workers)
+
+    def _sleep(self, proc: "SimProcess", until: Optional[float]) -> None:
+        """Suspend until the next arrival is due or a worker stirs us."""
+        timer = None
+        if until is not None:
+            delay = until - proc.local_time
+            timer = self.sim.schedule(delay if delay > 0.0 else 0.0, self._stir)
+        self._sleeping = True
+        proc.suspend()
+        self._sleeping = False
+        if timer is not None:
+            self.sim.cancel(timer)
+
+    def _stir(self) -> None:
+        """Wake the driver (idempotent; timer and workers both call this)."""
+        if self._sleeping and self._driver is not None:
+            self._sleeping = False
+            self._driver.wake()
+
+    # ------------------------------------------------------------------ #
+    # Admission pipeline
+    # ------------------------------------------------------------------ #
+
+    def _admit(self, now: float, arrival: float, session: ClientSession,
+               request: Request) -> None:
+        tenant = session.tenant
+        tenant.offered += 1
+        params = self.params
+        reason: Optional[str] = None
+        if tenant.bucket is not None and not tenant.bucket.try_take(arrival):
+            reason = "quota"
+        elif (params.shed_depth is not None
+              and tenant.priority < self._max_priority
+              and self.rts.downstream_queue_depth() >= params.shed_depth):
+            reason = "overload"
+        elif params.accept_queue is not None and len(self.queue) >= params.accept_queue:
+            victim = self.queue.evict_lower_priority(tenant.priority)
+            if victim is None:
+                reason = "queue_full"
+            else:
+                self._evict(now, victim)
+        # Generate the session's next request either way (sheds included):
+        # an open-loop session stays on schedule, a closed-loop one chains
+        # off this request's completion (for sheds, the rejection itself).
+        if reason is not None:
+            tenant.shed[reason] += 1
+            self.tier.note_shed(tenant, request, reason)
+            self._chain(session, now)
+            # A shed *is* the request's completion as far as the session
+            # can tell: a closed-loop successor hears "no" at shed time
+            # and thinks from there.
+            self._release_waiting(session, now)
+        else:
+            tenant.admitted += 1
+            self.queue.push(_QueueEntry(arrival, request, session, tenant))
+            self.work.release()
+            self._chain(session, now)
+
+    def _evict(self, now: float, victim: _QueueEntry) -> None:
+        victim.tenant.shed["evicted"] += 1
+        self.tier.note_shed(victim.tenant, victim.request, "evicted")
+        self._release_waiting(victim.session, now)
+
+    def _release_waiting(self, session: ClientSession, base: float) -> None:
+        """Time a stashed closed-loop successor off its predecessor's end."""
+        if session.waiting is None:
+            return
+        next_arrival, next_request = session.release(base)
+        self._awaiting -= 1
+        heapq.heappush(self.arrivals,
+                       (next_arrival, self._next_seq(), session, next_request))
+
+    def _chain(self, session: ClientSession, now: float) -> None:
+        if session.done or session.waiting is not None:
+            return
+        state = session.advance(now)
+        if state is None:
+            return
+        tag, arrival, request = state
+        if tag == READY:
+            heapq.heappush(self.arrivals,
+                           (arrival, self._next_seq(), session, request))
+        else:
+            self._awaiting += 1
+
+    # ------------------------------------------------------------------ #
+    # Workers: the service pool
+    # ------------------------------------------------------------------ #
+
+    def _worker_body(self) -> None:
+        proc = self.sim.current_process
+        while True:
+            self.work.acquire()
+            if len(self.queue):
+                entry = self.queue.pop()
+            elif self._closing:
+                return
+            else:
+                # An eviction consumed this permit's queue entry; go back
+                # to sleep on the semaphore.
+                continue
+            self.scenario.perform(self.rts, proc, entry.request)
+            completion = proc.local_time
+            tenant = entry.tenant
+            tenant.completed += 1
+            self.tier.note_completion(tenant, entry.request,
+                                      completion - entry.arrival)
+            session = entry.session
+            if session.waiting is not None:
+                next_arrival, next_request = session.release(completion)
+                self._awaiting -= 1
+                self._incoming.append(
+                    (next_arrival, self._next_seq(), session, next_request))
+                self._stir()

@@ -1,0 +1,106 @@
+"""Client sessions: cheap per-client state machines, not simulated processes.
+
+A :class:`ClientSession` is the gateway-tier replacement for the classic
+runner's one-SimProcess-per-client: it owns a deterministic request stream
+(:func:`~repro.workloads.spec.request_stream`, or the traced variant when
+the spec carries an ``arrival_trace``) and turns it into timed *arrivals*
+for its gateway's driver.  A session is a generator plus a few floats —
+no OS thread — which is what makes ≥10k concurrent sessions per sim cell
+affordable.
+
+Arrival semantics follow the spec's (possibly per-phase) client model:
+
+* **open** phases draw Poisson gaps onto an absolute arrival clock, so
+  arrivals stay on schedule no matter how far behind the service side is
+  (latency is charged from the intended arrival — no coordinated
+  omission);
+* **closed** phases wait for the previous request's completion (or its
+  shed) plus an exponential think time;
+* **hybrid** streams switch per phase: the open clock restarts from the
+  switch point whenever a closed phase hands over to an open one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..workloads.spec import (
+    Request,
+    ResolvedPhase,
+    WorkloadSpec,
+    request_stream,
+    traced_request_stream,
+)
+
+#: ``advance`` outcome tags: the next arrival is already timed, or it waits
+#: on the in-flight request's completion (closed-loop chaining).
+READY = "ready"
+WAIT = "wait"
+
+
+class ClientSession:
+    """One client's request stream, advanced by its gateway's driver."""
+
+    __slots__ = ("sid", "tenant", "rng", "phases", "start_time", "waiting",
+                 "done", "_iter", "_traced", "_open_clock", "_prev_model")
+
+    def __init__(self, sid: int, tenant: Any, spec: WorkloadSpec,
+                 rng: random.Random, start_time: float) -> None:
+        self.sid = sid
+        #: The gateway-side tenant state this session bills to (opaque here).
+        self.tenant = tenant
+        self.rng = rng
+        self.phases: List[ResolvedPhase] = spec.resolved_phases()
+        self.start_time = start_time
+        #: A generated closed-loop request waiting for its predecessor's
+        #: completion before its arrival time exists.
+        self.waiting: Optional[Request] = None
+        self.done = False
+        self._traced = bool(spec.arrival_trace)
+        self._iter: Iterator[Any] = (traced_request_stream(spec, rng)
+                                     if self._traced else request_stream(spec, rng))
+        self._open_clock = start_time
+        self._prev_model: Optional[str] = None
+
+    def advance(self, now: float) -> Optional[Tuple[str, float, Optional[Request]]]:
+        """Generate the next request; returns how (and when) it arrives.
+
+        ``(READY, arrival, request)`` — the arrival time is determined
+        (open-loop schedule or trace offset); ``(WAIT, 0.0, None)`` — the
+        request is closed-loop and stashed in :attr:`waiting` until
+        :meth:`release` is called with its predecessor's completion time;
+        ``None`` — the stream is exhausted.
+        """
+        item = next(self._iter, None)
+        if item is None:
+            self.done = True
+            return None
+        if self._traced:
+            request, offset = item
+            return (READY, self.start_time + offset, request)
+        request = item
+        phase = self.phases[request.phase]
+        if phase.client_model == "open":
+            if self._prev_model == "closed":
+                # Closed -> open handover: the schedule restarts from the
+                # switch point instead of back-filling arrivals for the
+                # time spent in the closed phase.
+                self._open_clock = now
+            self._prev_model = "open"
+            self._open_clock += self.rng.expovariate(phase.arrival_rate)
+            return (READY, self._open_clock, request)
+        self._prev_model = "closed"
+        self.waiting = request
+        return (WAIT, 0.0, None)
+
+    def release(self, completion_time: float) -> Tuple[float, Request]:
+        """Time the stashed closed-loop request off its predecessor's end."""
+        request = self.waiting
+        assert request is not None, "release() without a waiting request"
+        self.waiting = None
+        think = self.phases[request.phase].think_time
+        arrival = completion_time
+        if think > 0.0:
+            arrival += self.rng.expovariate(1.0 / think)
+        return arrival, request

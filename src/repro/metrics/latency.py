@@ -163,6 +163,20 @@ class LatencyRecorder:
         return out
 
 
+def rounded_summary(summary: Dict[str, float], digits: int = 9) -> Dict[str, float]:
+    """A fingerprint-stable copy of a histogram summary.
+
+    Counts become ints; every other field is rounded to ``digits`` decimal
+    places, matching the rounding :meth:`WorkloadReport.fingerprint` applies
+    to its own latency columns so summaries embed into canonical-JSON
+    reports without float-repr jitter.
+    """
+    out: Dict[str, float] = {}
+    for key, value in summary.items():
+        out[key] = int(value) if key == "count" else round(value, digits)
+    return out
+
+
 def format_latency_row(summary: Dict[str, float]) -> Tuple[str, str, str, str]:
     """Render (p50, p95, p99, mean) of a summary in milliseconds for tables."""
     return (f"{summary['p50'] * 1000:.3f}",

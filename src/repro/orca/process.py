@@ -107,6 +107,12 @@ class OrcaProcess:
         in the program.  ``on_guard="abort"`` raises
         :class:`~repro.errors.TransactionAborted` when a guard rejects the
         group instead of waiting and retrying.
+
+        Caveat: plain reads between a cross-shard commit's per-shard
+        applies can see read skew (one object post-commit, another
+        pre-commit); read the objects through a transaction of their own
+        when a consistent multi-object view matters.  See
+        :meth:`repro.rts.hybrid.HybridRts.transact`.
         """
         proc = self._require_running()
         transact = getattr(self.rts, "transact", None)

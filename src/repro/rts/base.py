@@ -116,6 +116,10 @@ class RuntimeSystem(ABC):
         self.stats = RtsStats()
         #: Invocation-latency hook; inert until a recorder is attached.
         self.latency_probe = LatencyProbe()
+        #: Gateway/session tier, attached lazily by gateway-mode workload
+        #: runs (see :mod:`repro.gateway`); ``None`` keeps reports and
+        #: fingerprints byte-identical to pre-gateway runs.
+        self.gateway_tier: Optional[Any] = None
         self._object_ids = itertools.count(1)
         self._handles: Dict[int, ObjectHandle] = {}
         #: One object manager per machine.
@@ -193,6 +197,18 @@ class RuntimeSystem(ABC):
         self.latency_probe.recorder = recorder
         return recorder
 
+    def downstream_queue_depth(self) -> int:
+        """Instantaneous depth of the runtime's deepest service queue.
+
+        This is the congestion signal the gateway tier sheds on: the same
+        per-shard sequencer depth that arms the write batcher's
+        backpressure, surfaced for admission-time decisions at the client
+        edge.  Runtimes without an internal service queue report 0 (never
+        congested), so gateways degrade to quota/queue-bound admission
+        only.
+        """
+        return 0
+
     # ------------------------------------------------------------------ #
     # Helpers shared by implementations
     # ------------------------------------------------------------------ #
@@ -250,4 +266,6 @@ class RuntimeSystem(ABC):
         }
         if self.stats.batches_sent:
             summary["batches_sent"] = self.stats.batches_sent
+        if self.gateway_tier is not None:
+            summary["gateway"] = self.gateway_tier.summary()
         return summary

@@ -946,6 +946,16 @@ class HybridRts(RuntimeSystem):
         guard rejects the group: ``"retry"`` (default) re-attempts once
         the rejecting object changes, ``"abort"`` raises
         :class:`~repro.errors.TransactionAborted` with nothing applied.
+
+        .. caveat:: readers are not snapshot-isolated.  A cross-shard
+           commit applies through per-shard ``txn-outcome`` records, and
+           between those applies a plain read can observe one
+           participant's post-commit state next to another's pre-commit
+           state (read skew).  Writes are fully serialized — conflicting
+           writes defer behind the prepare — so this never corrupts
+           state; a reader needing a consistent view across objects must
+           issue the reads *as a transaction* of its own.  A dedicated
+           read-only fast path is an open item.
         """
         if self._txn_layer is None:
             from ..txn import TransactionLayer
@@ -3176,6 +3186,19 @@ class HybridRts(RuntimeSystem):
             if shard is not None and self.num_shards > 1:
                 row["shard"] = shard
         return summary
+
+    def downstream_queue_depth(self) -> int:
+        """Deepest active-shard sequencer queue — the gateway shed signal.
+
+        The same depth the write batcher's flow control watches
+        (:meth:`_WriteBatcher._backpressured`), taken as a max over active
+        shards so one congested shard is enough to arm edge shedding.
+        """
+        router = self.router
+        if router is None:
+            return 0
+        return max((router.group_for(shard).sequencer.queue_depth
+                    for shard in router.active_shards()), default=0)
 
     def read_write_summary(self) -> Dict[str, Any]:
         summary = super().read_write_summary()

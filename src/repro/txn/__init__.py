@@ -18,6 +18,11 @@ are resolved by a deterministic presumed-abort recovery pass that loses
 to (or confirms) any decide record already in the order.  The layer is
 created lazily on the first ``transact()`` call — runs that never
 transact execute byte-identically to a runtime without it.
+
+Isolation caveat: *writes* are serializable, but plain reads taken
+between a cross-shard commit's per-shard outcome applies can observe
+read skew — see :meth:`repro.rts.hybrid.HybridRts.transact` for the
+full statement and the workaround (read through a transaction).
 """
 
 from __future__ import annotations

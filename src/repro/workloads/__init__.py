@@ -39,6 +39,7 @@ from .spec import (
     KeySampler,
     PhaseSpec,
     Request,
+    TenantSpec,
     WorkloadSpec,
     bursty,
     request_stream,
@@ -60,6 +61,7 @@ __all__ = [
     "KeySampler",
     "PhaseSpec",
     "Request",
+    "TenantSpec",
     "WorkloadSpec",
     "bursty",
     "request_stream",

@@ -141,6 +141,14 @@ class WorkloadReport:
             # never transact carry no block at all, so pre-transaction
             # baselines stay byte-identical.
             extras["transactions"] = dict(sorted(transactions.items()))
+        gateway = self.rts_summary.get("gateway")
+        if gateway:
+            # The gateway block is already fingerprint-stable (counters are
+            # ints, latency summaries pre-rounded), so the whole admission/
+            # shed/per-tenant behaviour is pinned by the determinism
+            # regression; tier-less runs carry no block and stay
+            # byte-identical to pre-gateway baselines.
+            extras["gateway"] = gateway
         rebalancing = self.rts_summary.get("rebalancing")
         if rebalancing:
             # Where and when objects moved is part of the behaviour the
@@ -183,7 +191,8 @@ class WorkloadRunner:
                  rts_options: Optional[Dict[str, Any]] = None,
                  config: Optional[ClusterConfig] = None,
                  network_type: Optional[str] = None,
-                 backend: str = "sim") -> None:
+                 backend: str = "sim",
+                 gateway: Optional[Any] = None) -> None:
         """``network_type`` overrides the runtime's natural interconnect
         (e.g. run the p2p runtime on the shared Ethernet so a cross-runtime
         comparison holds the hardware fixed).
@@ -192,10 +201,29 @@ class WorkloadRunner:
         runs inside the deterministic discrete-event simulator; ``"real"``
         runs the same scenario across real OS processes over UDP sockets
         (see :mod:`repro.net`), reporting real wall-clock throughput.
+
+        ``gateway`` switches the client edge to the session tier
+        (:mod:`repro.gateway`): ``True`` / a dict of
+        :class:`~repro.gateway.GatewayParams` fields / params.  Instead of
+        ``clients_per_node`` simulated client processes, each client node
+        hosts one gateway driving the spec's tenant sessions through
+        admission control, weighted fair queueing and overload shedding.
+        ``None`` (default) keeps the classic runner.
         """
         if backend not in ("sim", "real"):
             raise ConfigurationError(f"unknown backend {backend!r} (use 'sim' or 'real')")
         self.backend = backend
+        if gateway is not None:
+            # Deferred import: the classic runner path must not pull in the
+            # gateway tier (and repro.gateway imports workload specs).
+            from ..gateway import gateway_params
+
+            if backend != "sim":
+                raise ConfigurationError(
+                    "the gateway tier is simulator-only; run backend='sim'")
+            self.gateway = gateway_params(gateway)
+        else:
+            self.gateway = None
         if backend == "real":
             if runtime != "broadcast":
                 raise ConfigurationError(
@@ -282,11 +310,19 @@ class WorkloadRunner:
                     request_recorder.record(kind, proc.local_time - arrival)
                     counts["writes" if request.is_write else "reads"] += 1
                 return
-            open_loop = spec.client_model == "open"
+            # The loop mode is per resolved phase, so one client can switch
+            # between closed-loop think/issue and open-loop Poisson arrivals
+            # mid-stream (a "hybrid" client).  The open-loop arrival clock
+            # restarts at every closed->open handover instead of
+            # back-filling arrivals for the time spent closed.
+            prev_model = None
             next_arrival = proc.local_time
             for request in request_stream(spec, rng):
                 phase = phases[request.phase]
-                if open_loop:
+                if phase.client_model == "open":
+                    if prev_model == "closed":
+                        next_arrival = proc.local_time
+                    prev_model = "open"
                     next_arrival += rng.expovariate(phase.arrival_rate)
                     if proc.local_time < next_arrival:
                         proc.hold(next_arrival - proc.local_time)
@@ -294,6 +330,7 @@ class WorkloadRunner:
                     # counts toward latency (no coordinated omission).
                     issued_at = next_arrival
                 else:
+                    prev_model = "closed"
                     if phase.think_time > 0.0:
                         proc.hold(rng.expovariate(1.0 / phase.think_time))
                     issued_at = proc.local_time
@@ -301,6 +338,15 @@ class WorkloadRunner:
                 kind = "write" if request.is_write else "read"
                 request_recorder.record(kind, proc.local_time - issued_at)
                 counts["writes" if request.is_write else "reads"] += 1
+
+        gateway_tier = None
+        if self.gateway is not None:
+            from ..gateway import GatewayTier
+
+            gateway_tier = GatewayTier(rts, scenario, self.gateway,
+                                       recorder=request_recorder,
+                                       counts=counts)
+            rts.gateway_tier = gateway_tier
 
         def orchestrator() -> None:
             proc = sim.current_process
@@ -310,17 +356,21 @@ class WorkloadRunner:
             # window: setup and post-run validation stay out of the stats.
             rts.attach_latency_recorder(rts_recorder)
             window["start"] = proc.local_time
-            clients = []
             # Scenario kinds that crash machines mid-run reserve them here,
             # so no client is stranded on a node scheduled to die.
             hosts = scenario.client_nodes(cluster)
-            counts["clients"] = len(hosts) * self.clients_per_node
-            for node_id in hosts:
-                node = cluster.node(node_id)
-                for client_id in range(self.clients_per_node):
-                    clients.append(node.kernel.spawn_thread(
-                        client_body, node.node_id, client_id,
-                        name=f"client{client_id}"))
+            if gateway_tier is not None:
+                clients = gateway_tier.build(cluster, hosts)
+                counts["clients"] = gateway_tier.num_sessions
+            else:
+                clients = []
+                counts["clients"] = len(hosts) * self.clients_per_node
+                for node_id in hosts:
+                    node = cluster.node(node_id)
+                    for client_id in range(self.clients_per_node):
+                        clients.append(node.kernel.spawn_thread(
+                            client_body, node.node_id, client_id,
+                            name=f"client{client_id}"))
             for client in clients:
                 proc.join(client)
             window["end"] = proc.local_time

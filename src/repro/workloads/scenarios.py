@@ -41,7 +41,16 @@ cluster-benchmark literature care about:
   the two stores really commit as one);
 * ``queue-move``     — producer traffic into an inbox plus atomic
   take-from-inbox/put-to-outbox moves (dequeue and enqueue counts must agree
-  exactly).
+  exactly);
+* ``multi-tenant-noisy-neighbour`` — a counter farm shared by a quiet
+  tenant and a noisy one whose open-loop rate far exceeds its token-bucket
+  quota: the gateway-tier isolation scenario (quota + weighted fair
+  queueing must keep the quiet tenant's p99 flat);
+* ``flash-crowd``    — calm / 4x-overload / calm open-loop phases piling
+  onto one hot counter: the graceful-degradation scenario (bounded accept
+  queues and priority shedding versus the unshed p99 spiral);
+* ``diurnal-trace``  — a counter farm driven by an ``arrival_trace`` day
+  curve (night / ramp / peak / evening), replayed deterministically.
 
 New kinds register themselves with :class:`ScenarioRegistry` via the
 :func:`scenario` class decorator.
@@ -56,7 +65,7 @@ from ..errors import ConfigurationError, TransactionAborted
 from ..orca.builtin_objects import DictObject, IntObject
 from ..rts.base import ObjectHandle, RuntimeSystem
 from ..rts.object_model import ObjectSpec, operation
-from .spec import Request, WorkloadSpec
+from .spec import PhaseSpec, Request, TenantSpec, WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.process import SimProcess
@@ -982,3 +991,99 @@ class QueueMove(Scenario):
                 "moves_aborted": self.aborted, "inbox_backlog": backlog_in,
                 "outbox_backlog": backlog_out,
                 "transactional": self.transactional}
+
+
+# ---------------------------------------------------------------------- #
+# Gateway-tier scenario kinds
+# ---------------------------------------------------------------------- #
+
+
+@scenario("multi-tenant-noisy-neighbour")
+class NoisyNeighbour(CounterFarm):
+    """A quiet tenant and a rate-capped noisy one sharing a counter farm.
+
+    The noisy tenant's open-loop sessions offer far more traffic than its
+    token-bucket quota allows; the gateway tier must shed the excess at
+    admission and fair-queue what remains, so the quiet tenant's latency
+    barely moves compared to running alone.  Run it through
+    ``WorkloadRunner(gateway=...)``; under the classic runner the tenant
+    list is inert and this degrades to a plain open-loop counter farm.
+    """
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(
+            name=cls.kind, num_keys=16, read_fraction=0.9,
+            client_model="open", arrival_rate=150.0, ops_per_client=30,
+            tenants=(
+                TenantSpec(name="quiet", sessions=4, weight=1.0, priority=1),
+                TenantSpec(name="noisy", sessions=8, weight=1.0, priority=0,
+                           rate=300.0, burst=30.0, arrival_rate=600.0),
+            ))
+
+
+@scenario("flash-crowd")
+class FlashCrowd(CounterFarm):
+    """Calm / overload / calm arrival phases piling onto one hot counter.
+
+    The middle phase multiplies the open-loop arrival rate (4x by
+    default) and redirects every request to counter 0, the "everyone
+    refreshes the same page" shape.  With a bounded accept queue (and
+    priority shedding for the standard tenant) admitted-request p99 stays
+    near the unloaded cell's; without admission control the backlog — and
+    p99 — grows with the length of the crowd phase.
+    """
+
+    #: Crowd-phase arrival-rate multiplier over the calm phases.
+    overload = 4.0
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        calm_rate = 100.0
+        return WorkloadSpec(
+            name=cls.kind, num_keys=8, read_fraction=0.9,
+            client_model="open", arrival_rate=calm_rate,
+            phases=(
+                PhaseSpec(ops_per_client=10, arrival_rate=calm_rate),
+                PhaseSpec(ops_per_client=40,
+                          arrival_rate=calm_rate * cls.overload),
+                PhaseSpec(ops_per_client=10, arrival_rate=calm_rate),
+            ),
+            tenants=(
+                TenantSpec(name="premium", sessions=2, weight=2.0, priority=1),
+                TenantSpec(name="standard", sessions=6, weight=1.0, priority=0),
+            ))
+
+    def perform(self, rts: RuntimeSystem, proc: "SimProcess", request: Request) -> Any:
+        key = 0 if request.phase == 1 else request.key
+        handle = self.handles[key]
+        if request.is_write:
+            return rts.invoke(proc, handle, "add", (1,))
+        return rts.invoke(proc, handle, "read")
+
+
+@scenario("diurnal-trace")
+class DiurnalTrace(CounterFarm):
+    """A counter farm under a deterministic day-curve ``arrival_trace``.
+
+    Night trickle, morning ramp, midday peak, evening tail — replayed as
+    piecewise-Poisson segments, so one run sweeps the gateway through
+    idle, nominal and saturated operating points.  The trace segment index
+    is the request's ``phase``.
+    """
+
+    @classmethod
+    def default_spec(cls) -> WorkloadSpec:
+        return WorkloadSpec(
+            name=cls.kind, num_keys=16, popularity="zipfian", zipf_s=1.1,
+            read_fraction=0.9, client_model="open",
+            arrival_trace=((0.02, 50.0),    # night
+                           (0.02, 250.0),   # morning ramp
+                           (0.02, 600.0),   # midday peak
+                           (0.02, 150.0)),  # evening
+            tenants=(
+                TenantSpec(name="interactive", sessions=4, weight=2.0,
+                           priority=1),
+                TenantSpec(name="batch", sessions=4, weight=1.0, priority=0,
+                           rate=400.0),
+            ))

@@ -37,12 +37,16 @@ class PhaseSpec:
 
     Fields left at ``None`` inherit the workload-level value, so a phase list
     can express just the deltas ("same traffic, but write-heavy for a burst").
+    ``client_model`` may differ per phase, giving *hybrid* clients: a client
+    can run a closed-loop warm-up phase and then switch to open-loop Poisson
+    arrivals (or back) at a phase boundary.
     """
 
     ops_per_client: int
     read_fraction: float = None  # type: ignore[assignment]
     think_time: float = None  # type: ignore[assignment]
     arrival_rate: float = None  # type: ignore[assignment]
+    client_model: str = None  # type: ignore[assignment]
 
 
 @dataclass(frozen=True)
@@ -53,6 +57,81 @@ class ResolvedPhase:
     read_fraction: float
     think_time: float
     arrival_rate: float
+    client_model: str
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant class of gateway sessions (see :mod:`repro.gateway`).
+
+    Attributes
+    ----------
+    name:
+        Tenant label; keys the per-tenant latency histograms and shed
+        counters in ``read_write_summary()["gateway"]``.
+    sessions:
+        Concurrent sessions this tenant opens **per gateway** (one gateway
+        per client node).  Sessions are cheap state machines, not simulated
+        processes, so thousands per gateway are fine.
+    weight:
+        Weighted-fair-queueing share.  A backlogged tenant with weight 2
+        gets twice the service of a backlogged tenant with weight 1.
+    rate / burst:
+        Token-bucket quota per gateway, in requests/second and requests.
+        ``rate=None`` leaves the tenant uncapped; ``burst`` defaults to one
+        second of tokens.  Requests beyond the quota are shed at admission
+        (counted per tenant as ``shed_quota``).
+    priority:
+        Overload-shedding class: when the gateway's downstream queue depth
+        crosses its shed threshold, only the highest-priority tenants are
+        admitted, and an arriving higher-priority request may evict a
+        queued lower-priority one from a full accept queue.
+    arrival_rate / think_time / ops_per_session:
+        Per-tenant overrides of the workload-level pacing knobs; ``None``
+        inherits the spec value (``ops_per_client`` for the last).
+    """
+
+    name: str
+    sessions: int = 8
+    weight: float = 1.0
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    priority: int = 0
+    arrival_rate: Optional[float] = None
+    think_time: Optional[float] = None
+    ops_per_session: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenants need a non-empty name")
+        if self.sessions < 1:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs sessions >= 1, got {self.sessions}")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs weight > 0, got {self.weight}")
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs rate > 0 (or None), got {self.rate}")
+        if self.burst is not None and self.burst <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs burst > 0 (or None), got {self.burst}")
+        if self.burst is not None and self.rate is None:
+            raise ConfigurationError(
+                f"tenant {self.name!r} sets burst without rate; the bucket "
+                "needs a refill rate")
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs arrival_rate > 0 (or None), "
+                f"got {self.arrival_rate}")
+        if self.think_time is not None and self.think_time < 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs think_time >= 0 (or None), "
+                f"got {self.think_time}")
+        if self.ops_per_session is not None and self.ops_per_session < 1:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs ops_per_session >= 1 (or None), "
+                f"got {self.ops_per_session}")
 
 
 @dataclass(frozen=True)
@@ -111,6 +190,13 @@ class WorkloadSpec:
         write counts can carry very unequal byte traffic).  Empty
         (default) keeps the classic fixed-size payloads, so existing
         workloads are untouched.
+    tenants:
+        Gateway-tier tenant classes (:class:`TenantSpec`).  Only consumed
+        by gateway-mode runs (see :mod:`repro.gateway`): each client node
+        hosts one gateway through which every tenant opens ``sessions``
+        lightweight sessions, subject to per-tenant weighted fair queueing,
+        token-bucket quotas, and priority-based overload shedding.  Empty
+        (default) keeps the classic one-sim-process-per-client runner.
     """
 
     name: str = "workload"
@@ -127,6 +213,7 @@ class WorkloadSpec:
     phases: Tuple[PhaseSpec, ...] = field(default_factory=tuple)
     arrival_trace: Tuple[Tuple[float, float], ...] = field(default_factory=tuple)
     value_sizes: Tuple[int, ...] = field(default_factory=tuple)
+    tenants: Tuple[TenantSpec, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.popularity not in POPULARITY_KINDS:
@@ -148,6 +235,23 @@ class WorkloadSpec:
                 f"hot_read_fraction must be in [0, 1], got {self.hot_read_fraction}")
         if self.client_model == "open" and self.arrival_rate <= 0:
             raise ConfigurationError("open-loop workloads need arrival_rate > 0")
+        for index, phase in enumerate(self.phases):
+            model = phase.client_model
+            if model is not None and model not in CLIENT_MODELS:
+                raise ConfigurationError(
+                    f"phase {index} has unknown client model {model!r} "
+                    f"(use one of {CLIENT_MODELS})")
+            effective_model = self.client_model if model is None else model
+            effective_rate = (self.arrival_rate if phase.arrival_rate is None
+                              else phase.arrival_rate)
+            if effective_model == "open" and effective_rate <= 0:
+                raise ConfigurationError(
+                    f"phase {index} is open-loop and needs arrival_rate > 0")
+        seen_tenants = set()
+        for tenant in self.tenants:
+            if tenant.name in seen_tenants:
+                raise ConfigurationError(f"duplicate tenant name {tenant.name!r}")
+            seen_tenants.add(tenant.name)
         if self.arrival_trace:
             if self.client_model != "open":
                 raise ConfigurationError(
@@ -175,7 +279,8 @@ class WorkloadSpec:
         """The phase schedule with workload-level defaults filled in."""
         if not self.phases:
             return [ResolvedPhase(self.ops_per_client, self.read_fraction,
-                                  self.think_time, self.arrival_rate)]
+                                  self.think_time, self.arrival_rate,
+                                  self.client_model)]
         resolved = []
         for phase in self.phases:
             resolved.append(ResolvedPhase(
@@ -186,6 +291,8 @@ class WorkloadSpec:
                             else phase.think_time),
                 arrival_rate=(self.arrival_rate if phase.arrival_rate is None
                               else phase.arrival_rate),
+                client_model=(self.client_model if phase.client_model is None
+                              else phase.client_model),
             ))
         return resolved
 

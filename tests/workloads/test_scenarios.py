@@ -9,10 +9,11 @@ from repro.rts.object_model import execute_operation
 from repro.workloads import PollableQueue, Scenario, ScenarioRegistry, WorkloadSpec
 from repro.workloads.scenarios import scenario
 
-BUILTIN_KINDS = ["bank-transfer", "counter-farm", "fifo-queue", "hot-spot",
-                 "hotspot-shift", "kv-index", "kv-table", "policy-mix",
-                 "primary-churn", "queue-move", "read-mostly-catalog",
-                 "rolling-restart", "scale-in"]
+BUILTIN_KINDS = ["bank-transfer", "counter-farm", "diurnal-trace",
+                 "fifo-queue", "flash-crowd", "hot-spot", "hotspot-shift",
+                 "kv-index", "kv-table", "multi-tenant-noisy-neighbour",
+                 "policy-mix", "primary-churn", "queue-move",
+                 "read-mostly-catalog", "rolling-restart", "scale-in"]
 
 
 class TestRegistry:
